@@ -1,0 +1,153 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// pair runs the same workload with one mechanism enabled and disabled and
+// reports the headline quantity it moves. They complement the per-figure
+// benchmarks in bench_test.go.
+package preemptsched_test
+
+import (
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/sched"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/trace"
+)
+
+func ablationJobs(b *testing.B) []cluster.JobSpec {
+	b.Helper()
+	jobs, err := trace.GenerateJobs(trace.JobsConfig{Seed: 13, Jobs: 250, MeanTasksPerJob: 5, Span: 4 * time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+func ablationRun(b *testing.B, mutate func(*sched.Config)) *sched.Result {
+	b.Helper()
+	jobs := ablationJobs(b)
+	cfg := sched.DefaultConfig(core.PolicyAdaptive, storage.HDD)
+	cfg.Nodes = 10
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := sched.Run(cfg, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.Preemptions == 0 {
+		b.Fatal("ablation workload produced no preemptions")
+	}
+	return r
+}
+
+// BenchmarkAblationIncremental quantifies incremental checkpointing
+// (Section 4.1 item 3): disabling it forces full dumps on every
+// re-preemption.
+func BenchmarkAblationIncremental(b *testing.B) {
+	var on, off *sched.Result
+	for i := 0; i < b.N; i++ {
+		on = ablationRun(b, nil)
+		off = ablationRun(b, func(c *sched.Config) { c.DisableIncremental = true })
+	}
+	b.ReportMetric(on.IOBusyHours, "io_hours_incremental")
+	b.ReportMetric(off.IOBusyHours, "io_hours_full_dumps")
+	b.ReportMetric(on.MeanResponse(cluster.BandFree), "low_resp_s_incremental")
+	b.ReportMetric(off.MeanResponse(cluster.BandFree), "low_resp_s_full_dumps")
+}
+
+// BenchmarkAblationCostAwareEviction quantifies cost-aware victim
+// selection (Section 5.2.2) against naive priority-order eviction.
+func BenchmarkAblationCostAwareEviction(b *testing.B) {
+	var smart, naive *sched.Result
+	for i := 0; i < b.N; i++ {
+		smart = ablationRun(b, nil)
+		naive = ablationRun(b, func(c *sched.Config) { c.NaiveVictimSelection = true })
+	}
+	b.ReportMetric(smart.OverheadCPUHours, "overhead_core_h_cost_aware")
+	b.ReportMetric(naive.OverheadCPUHours, "overhead_core_h_naive")
+}
+
+// BenchmarkAblationRestorePlacement quantifies Algorithm 2 (local vs
+// remote restore choice) against first-fit placement.
+func BenchmarkAblationRestorePlacement(b *testing.B) {
+	var alg2, firstFit *sched.Result
+	for i := 0; i < b.N; i++ {
+		alg2 = ablationRun(b, nil)
+		firstFit = ablationRun(b, func(c *sched.Config) { c.DisableRestorePlacement = true })
+	}
+	b.ReportMetric(float64(alg2.RemoteRestores), "remote_restores_alg2")
+	b.ReportMetric(float64(firstFit.RemoteRestores), "remote_restores_first_fit")
+	b.ReportMetric(alg2.MeanResponse(cluster.BandFree), "low_resp_s_alg2")
+	b.ReportMetric(firstFit.MeanResponse(cluster.BandFree), "low_resp_s_first_fit")
+}
+
+// BenchmarkAblationEvictionThreshold runs the Cavdar-style capped-eviction
+// baseline against unlimited preemption under the kill policy.
+func BenchmarkAblationEvictionThreshold(b *testing.B) {
+	var unlimited, capped *sched.Result
+	for i := 0; i < b.N; i++ {
+		jobs := ablationJobs(b)
+		cfg := sched.DefaultConfig(core.PolicyKill, storage.SSD)
+		cfg.Nodes = 10
+		var err error
+		unlimited, err = sched.Run(cfg, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.MaxEvictionsPerTask = 2
+		capped, err = sched.Run(cfg, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(unlimited.WastedCPUHours, "waste_core_h_unlimited")
+	b.ReportMetric(capped.WastedCPUHours, "waste_core_h_capped")
+}
+
+// BenchmarkAblationNVRAM compares NVM-as-file-system (PMFS) against the
+// paper's future-work NVM-as-virtual-memory mode.
+func BenchmarkAblationNVRAM(b *testing.B) {
+	var pmfs, nvram *sched.Result
+	for i := 0; i < b.N; i++ {
+		pmfs = ablationRun(b, func(c *sched.Config) { c.StorageKind = storage.NVM })
+		nvram = ablationRun(b, func(c *sched.Config) { c.StorageKind = storage.NVRAM })
+	}
+	b.ReportMetric(pmfs.MeanResponse(cluster.BandFree), "low_resp_s_pmfs")
+	b.ReportMetric(nvram.MeanResponse(cluster.BandFree), "low_resp_s_nvram")
+	b.ReportMetric(pmfs.IOBusyHours, "io_hours_pmfs")
+	b.ReportMetric(nvram.IOBusyHours, "io_hours_nvram")
+}
+
+// BenchmarkAblationPreCopy compares stop-and-copy checkpointing against
+// the pre-copy (CRIU pre-dump) optimization.
+func BenchmarkAblationPreCopy(b *testing.B) {
+	var stop, pre *sched.Result
+	for i := 0; i < b.N; i++ {
+		stop = ablationRun(b, func(c *sched.Config) { c.Policy = core.PolicyCheckpoint })
+		pre = ablationRun(b, func(c *sched.Config) {
+			c.Policy = core.PolicyCheckpoint
+			c.PreCopy = true
+		})
+	}
+	b.ReportMetric(stop.OverheadCPUHours, "overhead_core_h_stop_copy")
+	b.ReportMetric(pre.OverheadCPUHours, "overhead_core_h_precopy")
+	b.ReportMetric(stop.MeanResponse(cluster.BandFree), "low_resp_s_stop_copy")
+	b.ReportMetric(pre.MeanResponse(cluster.BandFree), "low_resp_s_precopy")
+}
+
+// BenchmarkAblationDisciplines compares the three scheduling disciplines
+// on an identical workload under adaptive checkpoint-based preemption.
+func BenchmarkAblationDisciplines(b *testing.B) {
+	results := map[sched.Discipline]*sched.Result{}
+	for i := 0; i < b.N; i++ {
+		for _, d := range []sched.Discipline{sched.DisciplinePriority, sched.DisciplineFairShare, sched.DisciplineCapacity} {
+			r := ablationRun(b, func(c *sched.Config) { c.Discipline = d })
+			results[d] = r
+		}
+	}
+	b.ReportMetric(results[sched.DisciplinePriority].MeanResponse(cluster.BandProduction), "high_resp_s_priority")
+	b.ReportMetric(results[sched.DisciplineFairShare].MeanResponse(cluster.BandProduction), "high_resp_s_fairshare")
+	b.ReportMetric(results[sched.DisciplineCapacity].MeanResponse(cluster.BandProduction), "high_resp_s_capacity")
+}

@@ -1,0 +1,109 @@
+// Command clusterrun executes the Facebook-derived workload on the
+// mini-YARN framework under one preemption policy, printing the outcomes
+// behind the paper's Figures 8-12.
+//
+// Usage:
+//
+//	clusterrun [-policy kill|checkpoint|adaptive|wait] [-storage hdd|ssd|nvm]
+//	           [-jobs N] [-tasks N] [-nodes N] [-slots N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/workload"
+	"preemptsched/internal/yarn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	policyFlag := flag.String("policy", "adaptive", "preemption policy: wait|kill|checkpoint|adaptive")
+	storageFlag := flag.String("storage", "nvm", "checkpoint storage: hdd|ssd|nvm")
+	jobs := flag.Int("jobs", 40, "number of jobs (paper: 40)")
+	tasks := flag.Int("tasks", 7000, "total tasks (paper: ~7000)")
+	nodes := flag.Int("nodes", 8, "NodeManager count (paper: 8)")
+	slots := flag.Int("slots", 24, "containers per node (paper: 24)")
+	seed := flag.Int64("seed", 21, "workload seed")
+	preCopy := flag.Bool("precopy", false, "use pre-copy checkpointing (dump while the victim runs)")
+	program := flag.String("program", "kmeans", "per-task application: kmeans|wordcount")
+	compactAfter := flag.Int("compact-after", 0, "merge image chains longer than this (0 = never)")
+	flag.Parse()
+
+	policy, err := core.ParsePolicy(*policyFlag)
+	if err != nil {
+		return err
+	}
+	var kind storage.Kind
+	switch strings.ToLower(*storageFlag) {
+	case "hdd":
+		kind = storage.HDD
+	case "ssd":
+		kind = storage.SSD
+	case "nvm", "pmfs":
+		kind = storage.NVM
+	default:
+		return fmt.Errorf("unknown storage %q", *storageFlag)
+	}
+
+	wc := workload.DefaultFacebookConfig()
+	wc.Seed = *seed
+	wc.Jobs = *jobs
+	wc.TotalTasks = *tasks
+	jobSpecs, err := workload.Facebook(wc)
+	if err != nil {
+		return err
+	}
+
+	cfg := yarn.DefaultConfig(policy, kind)
+	cfg.Nodes = *nodes
+	cfg.ContainersPerNode = *slots
+	cfg.PreCopy = *preCopy
+	cfg.Program = *program
+	cfg.CompactChainAfter = *compactAfter
+
+	total := 0
+	for i := range jobSpecs {
+		total += len(jobSpecs[i].Tasks)
+	}
+	fmt.Printf("running %d jobs (%d tasks) on %d nodes x %d containers, policy=%v storage=%s\n",
+		len(jobSpecs), total, cfg.Nodes, cfg.ContainersPerNode, policy, kind)
+
+	start := time.Now()
+	r, err := yarn.Run(cfg, jobSpecs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("emulated %v of cluster time in %v\n\n", r.Makespan.Round(time.Second), time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("wasted CPU:      %.2f core-hours (%.1f%% of usage)\n", r.WastedCPUHours, 100*r.WasteFraction())
+	fmt.Printf("energy:          %.2f kWh\n", r.EnergyKWh)
+	fmt.Printf("response (mean): low %.0fs, high %.0fs\n",
+		r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandProduction))
+	fmt.Printf("preemptions:     %d (kills %d, checkpoints %d of which %d incremental, %d pre-copy)\n",
+		r.Preemptions, r.Kills, r.Checkpoints, r.IncrementalCheckpoints, r.PreCopies)
+	fmt.Printf("restores:        %d (%d remote, %d failed->restarted), compactions %d\n",
+		r.Restores, r.RemoteRestores, r.RestoreFailures, r.Compactions)
+	fmt.Printf("overheads:       CPU %.2f%%, I/O %.2f%%\n",
+		100*r.CPUOverheadFraction(), 100*r.IOOverheadFraction(cfg.Nodes))
+	fmt.Printf("checkpoint data: peak %.1f GiB logical, %.1f MiB real bytes in DFS\n",
+		float64(r.PeakImageBytes)/float64(cluster.GiB(1)), float64(r.DFSStoredBytes)/float64(cluster.MiB(1)))
+
+	fmt.Println("\nresponse-time CDF (all jobs):")
+	for _, pt := range r.JobResponseAllSec.CDF(10) {
+		fmt.Printf("  %3.0f%%  %7.0fs\n", 100*pt.F, pt.X)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes the rendered report to stdout or a file.
+//
+// Usage:
+//
+//	experiments [-scale default|paper] [-o report.txt] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"preemptsched/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.String("scale", "default", "input sizes: default (seconds) or paper (minutes)")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var o experiments.Options
+	switch *scale {
+	case "default":
+		o = experiments.Default()
+	case "paper":
+		o = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want default|paper)", *scale)
+	}
+	o.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	if err := experiments.RunAll(o, w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: full evaluation regenerated in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

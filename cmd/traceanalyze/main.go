@@ -1,0 +1,108 @@
+// Command traceanalyze regenerates the paper's Section 2 analysis: it
+// generates (or reads) a Google-cluster-like event trace and prints
+// Figures 1a-1c and Tables 1-2 plus the headline waste statistics.
+//
+// Usage:
+//
+//	traceanalyze [-tasks N] [-seed S] [-in trace.csv] [-dump trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"preemptsched/internal/experiments"
+	"preemptsched/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tasks := flag.Int("tasks", 40_000, "number of tasks in the generated trace")
+	seed := flag.Int64("seed", 1, "generator seed")
+	in := flag.String("in", "", "read a trace CSV instead of generating one")
+	dump := flag.String("dump", "", "also write the trace as CSV to this path")
+	flag.Parse()
+
+	var (
+		events []trace.Event
+		err    error
+	)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*in, ".gz") {
+			events, err = trace.ReadCSVGz(f)
+		} else {
+			events, err = trace.ReadCSV(f)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg := trace.DefaultGenConfig()
+		cfg.Tasks = *tasks
+		cfg.Seed = *seed
+		events, err = trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(*dump, ".gz") {
+			err = trace.WriteCSVGz(f, events)
+		} else {
+			err = trace.WriteCSV(f, events)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(events), *dump)
+	}
+
+	a := trace.Analyze(events)
+	fmt.Printf("tasks: %d   preempted: %d (%.1f%%)   repeat rate: %.1f%%   >=10 evictions: %.1f%%\n",
+		a.Tasks, a.PreemptedTasks, 100*a.OverallRate(), 100*a.RepeatRate(), 100*a.TenPlusRate())
+	fmt.Printf("wasted CPU under kill-based preemption: %.0f core-hours (%.1f%% of usage)\n\n",
+		a.WastedCPUHours, 100*a.WasteFraction())
+
+	o := experiments.Default()
+	o.Seed = *seed
+	o.TraceTasks = *tasks
+	for _, gen := range []func(experiments.Options) (fmt.Stringer, error){
+		wrap(experiments.Table1), wrap(experiments.Table2),
+		wrap(experiments.Fig1b), wrap(experiments.Fig1c), wrap(experiments.Fig1a),
+	} {
+		tb, err := gen(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	}
+	return nil
+}
+
+func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
+	return func(o experiments.Options) (fmt.Stringer, error) {
+		v, err := f(o)
+		return v, err
+	}
+}

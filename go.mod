@@ -1,0 +1,3 @@
+module preemptsched
+
+go 1.22

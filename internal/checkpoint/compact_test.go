@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"preemptsched/internal/storage"
+)
+
+func TestCompactChain(t *testing.T) {
+	e := newTestEngine(t)
+	store := storage.NewMemStore()
+
+	ref := newFillProc(t, 24, 80, 2)
+	want := runToCompletion(t, ref)
+
+	// Build a 4-link chain.
+	p := newFillProc(t, 24, 80, 2)
+	var last string
+	for i := 0; i < 4; i++ {
+		stepN(t, p, 6)
+		p.Suspend()
+		name := chainName(i)
+		opts := DumpOpts{}
+		if i > 0 {
+			opts = DumpOpts{Incremental: true, Parent: last}
+		}
+		if _, err := e.Dump(p, store, name, opts); err != nil {
+			t.Fatal(err)
+		}
+		last = name
+		p.ResumeInPlace()
+	}
+
+	info, err := Compact(store, last, "cc/flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DumpedPages != 24 {
+		t.Errorf("compact pages = %d, want full 24", info.DumpedPages)
+	}
+	if info.Steps != 24 {
+		t.Errorf("compact steps = %d, want 24", info.Steps)
+	}
+	// A restore from the compact image must be a single-link chain
+	// producing the identical continuation.
+	chain, err := Chain(store, "cc/flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 {
+		t.Errorf("compact chain length = %d", len(chain))
+	}
+	restored, _, err := e.Restore(store, "cc/flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runToCompletion(t, restored); got != want {
+		t.Errorf("compact restore checksum %x != uninterrupted %x", got, want)
+	}
+	// The old chain is untouched and still restorable.
+	if _, _, err := e.Restore(store, last); err != nil {
+		t.Errorf("source chain broken by compaction: %v", err)
+	}
+}
+
+func chainName(i int) string {
+	return string(rune('a'+i)) + "/img"
+}
+
+func TestCompactMissingChain(t *testing.T) {
+	store := storage.NewMemStore()
+	if _, err := Compact(store, "absent", "dst"); err == nil {
+		t.Error("compact of missing chain succeeded")
+	}
+}
+
+func TestCompactEquivalentToTipForFullImage(t *testing.T) {
+	e := newTestEngine(t)
+	store := storage.NewMemStore()
+	p := newFillProc(t, 8, 10, 1)
+	stepN(t, p, 3)
+	p.Suspend()
+	if _, err := e.Dump(p, store, "one", DumpOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Compact(store, "one", "one/flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Steps != 3 || info.DumpedPages != 8 {
+		t.Errorf("compact of single full image: %+v", info)
+	}
+}

@@ -1,0 +1,407 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"preemptsched/internal/proc"
+	"preemptsched/internal/storage"
+)
+
+// Engine dumps and restores virtual processes. It is stateless apart from
+// the program registry used to re-instantiate programs on restore.
+type Engine struct {
+	registry *proc.Registry
+}
+
+// NewEngine returns an engine resolving programs from registry.
+func NewEngine(registry *proc.Registry) *Engine {
+	if registry == nil {
+		panic("checkpoint: nil registry")
+	}
+	return &Engine{registry: registry}
+}
+
+// DumpOpts controls a dump.
+type DumpOpts struct {
+	// Incremental dumps only soft-dirty pages and records Parent as the
+	// base image. Parent must name an existing image of the same process.
+	Incremental bool
+	Parent      string
+}
+
+// ImageInfo summarizes a written or inspected image.
+type ImageInfo struct {
+	Name        string
+	ProcID      string
+	ProgramName string
+	Parent      string
+	Incremental bool
+	Steps       uint64
+	// DumpedPages is the number of page records in this image alone.
+	DumpedPages int
+	// StoredBytes is the on-store byte size of this image alone.
+	StoredBytes int64
+	// LogicalBytes is the footprint this image represents for *time*
+	// accounting: the full logical footprint for a full dump, or the dirty
+	// fraction of it for an incremental dump. This is the "size" term of
+	// Algorithm 1 in the paper.
+	LogicalBytes int64
+	// TotalLogicalBytes is the full logical footprint of the process,
+	// i.e. the size term for restoring the whole chain.
+	TotalLogicalBytes int64
+}
+
+// maxChainDepth bounds incremental parent chains; deeper chains indicate a
+// cycle or a corrupted parent pointer.
+const maxChainDepth = 1024
+
+// Dump serializes a suspended process into store under name. The process
+// must be in the Suspended state (the caller owns the freeze, as the
+// cluster scheduler does with SIGSTOP before invoking CRIU). On success
+// the soft-dirty bits are cleared so the next incremental dump captures
+// only subsequent writes.
+func (e *Engine) Dump(p *proc.Process, store storage.Store, name string, opts DumpOpts) (*ImageInfo, error) {
+	if p.State() != proc.Suspended {
+		return nil, fmt.Errorf("checkpoint: dump of process %q in state %v (must be suspended)", p.ID(), p.State())
+	}
+	return e.dump(p, store, name, opts)
+}
+
+// PreDump serializes a *running* process — CRIU's pre-copy phase: the
+// image captures the current pages and clears soft-dirty bits while the
+// process keeps executing, so the eventual freeze needs to dump only the
+// pages written after this point. The resulting image is a valid chain
+// link; the final frozen dump should name it as parent.
+func (e *Engine) PreDump(p *proc.Process, store storage.Store, name string, opts DumpOpts) (*ImageInfo, error) {
+	if p.State() != proc.Running {
+		return nil, fmt.Errorf("checkpoint: pre-dump of process %q in state %v (must be running)", p.ID(), p.State())
+	}
+	return e.dump(p, store, name, opts)
+}
+
+func (e *Engine) dump(p *proc.Process, store storage.Store, name string, opts DumpOpts) (*ImageInfo, error) {
+	if opts.Incremental && opts.Parent == "" {
+		return nil, fmt.Errorf("checkpoint: incremental dump of %q without parent image", p.ID())
+	}
+	if !opts.Incremental && opts.Parent != "" {
+		return nil, fmt.Errorf("checkpoint: full dump of %q must not set parent", p.ID())
+	}
+	mem := p.Memory()
+
+	var pages []int
+	if opts.Incremental {
+		pages = mem.DirtyPages()
+	} else {
+		pages = make([]int, mem.NumPages())
+		for i := range pages {
+			pages[i] = i
+		}
+	}
+
+	regs := p.Registers()
+	h := &Header{
+		ProcID:       p.ID(),
+		ProgramName:  p.Program().Name(),
+		Parent:       opts.Parent,
+		Incremental:  opts.Incremental,
+		PC:           regs.PC,
+		Regs:         regs.R,
+		Steps:        p.Steps(),
+		LogicalBytes: mem.LogicalBytes(),
+		RealPages:    uint32(mem.NumPages()),
+		PageSize:     proc.PageSize,
+		DumpedPages:  uint32(len(pages)),
+	}
+
+	w, err := store.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create image %q: %w", name, err)
+	}
+	cw := &crcWriter{w: w}
+	if err := encodeHeader(cw, h); err != nil {
+		return nil, fmt.Errorf("checkpoint: write header of %q: %w", name, err)
+	}
+	for _, idx := range pages {
+		if err := binary.Write(cw, binary.BigEndian, uint32(idx)); err != nil {
+			return nil, fmt.Errorf("checkpoint: write page index of %q: %w", name, err)
+		}
+		if _, err := cw.Write(mem.Page(idx)); err != nil {
+			return nil, fmt.Errorf("checkpoint: write page %d of %q: %w", idx, name, err)
+		}
+	}
+	if err := binary.Write(w, binary.BigEndian, cw.crc); err != nil {
+		return nil, fmt.Errorf("checkpoint: write crc of %q: %w", name, err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("checkpoint: close image %q: %w", name, err)
+	}
+
+	logical := mem.LogicalBytes()
+	if opts.Incremental {
+		logical = mem.LogicalDirtyBytes()
+	}
+	mem.ClearSoftDirty()
+
+	return &ImageInfo{
+		Name:              name,
+		ProcID:            h.ProcID,
+		ProgramName:       h.ProgramName,
+		Parent:            h.Parent,
+		Incremental:       h.Incremental,
+		Steps:             h.Steps,
+		DumpedPages:       len(pages),
+		StoredBytes:       cw.n + 4,
+		LogicalBytes:      logical,
+		TotalLogicalBytes: mem.LogicalBytes(),
+	}, nil
+}
+
+// readImage loads one image, verifying its CRC, and returns its header and
+// page records.
+func readImage(store storage.Store, name string) (*Header, map[int][]byte, error) {
+	r, err := store.Open(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: open image %q: %w", name, err)
+	}
+	defer r.Close()
+	cr := &crcReader{r: r}
+	h, err := decodeHeader(cr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: image %q: %w", name, err)
+	}
+	pages := make(map[int][]byte, h.DumpedPages)
+	for i := uint32(0); i < h.DumpedPages; i++ {
+		var idx uint32
+		if err := binary.Read(cr, binary.BigEndian, &idx); err != nil {
+			return nil, nil, fmt.Errorf("%w: image %q: truncated page index: %v", ErrCorrupt, name, err)
+		}
+		if idx >= h.RealPages {
+			return nil, nil, fmt.Errorf("%w: image %q: page index %d out of range", ErrCorrupt, name, idx)
+		}
+		data := make([]byte, h.PageSize)
+		if _, err := io.ReadFull(cr, data); err != nil {
+			return nil, nil, fmt.Errorf("%w: image %q: truncated page %d: %v", ErrCorrupt, name, idx, err)
+		}
+		pages[int(idx)] = data
+	}
+	sum := cr.crc
+	var want uint32
+	if err := binary.Read(r, binary.BigEndian, &want); err != nil {
+		return nil, nil, fmt.Errorf("%w: image %q: missing crc: %v", ErrCorrupt, name, err)
+	}
+	if sum != want {
+		return nil, nil, fmt.Errorf("%w: image %q: crc mismatch (got %08x, want %08x)", ErrCorrupt, name, sum, want)
+	}
+	return h, pages, nil
+}
+
+// ReadInfo inspects an image without restoring it.
+func ReadInfo(store storage.Store, name string) (*ImageInfo, error) {
+	h, pages, err := readImage(store, name)
+	if err != nil {
+		return nil, err
+	}
+	size, err := store.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	logical := h.LogicalBytes
+	if h.Incremental && h.RealPages > 0 {
+		logical = int64(float64(h.DumpedPages) / float64(h.RealPages) * float64(h.LogicalBytes))
+	}
+	return &ImageInfo{
+		Name:              name,
+		ProcID:            h.ProcID,
+		ProgramName:       h.ProgramName,
+		Parent:            h.Parent,
+		Incremental:       h.Incremental,
+		Steps:             h.Steps,
+		DumpedPages:       len(pages),
+		StoredBytes:       size,
+		LogicalBytes:      logical,
+		TotalLogicalBytes: h.LogicalBytes,
+	}, nil
+}
+
+// Chain returns the image names from the full base dump to name inclusive,
+// in application order.
+func Chain(store storage.Store, name string) ([]string, error) {
+	var rev []string
+	cur := name
+	for depth := 0; ; depth++ {
+		if depth >= maxChainDepth {
+			return nil, fmt.Errorf("%w: image chain from %q exceeds depth %d (cycle?)", ErrCorrupt, name, maxChainDepth)
+		}
+		h, _, err := readImage(store, cur)
+		if err != nil {
+			return nil, err
+		}
+		rev = append(rev, cur)
+		if h.Parent == "" {
+			break
+		}
+		cur = h.Parent
+	}
+	// Reverse to base-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Restore rebuilds a runnable process from the image chain ending at name.
+// The returned process is in the Running state with clean soft-dirty bits,
+// so a subsequent dump may be incremental against this image.
+func (e *Engine) Restore(store storage.Store, name string) (*proc.Process, *ImageInfo, error) {
+	chain, err := Chain(store, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		mem  *proc.Memory
+		tip  *Header
+		seen = make(map[int]bool)
+	)
+	for i, imgName := range chain {
+		h, pages, err := readImage(store, imgName)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			if h.Incremental {
+				return nil, nil, fmt.Errorf("%w: chain base %q is incremental", ErrCorrupt, imgName)
+			}
+			if h.PageSize != proc.PageSize {
+				return nil, nil, fmt.Errorf("checkpoint: image %q page size %d unsupported", imgName, h.PageSize)
+			}
+			mem, err = proc.NewMemory(int64(h.RealPages)*proc.PageSize, h.LogicalBytes)
+			if err != nil {
+				return nil, nil, fmt.Errorf("checkpoint: rebuild memory for %q: %w", imgName, err)
+			}
+		} else {
+			if h.ProcID != tip.ProcID {
+				return nil, nil, fmt.Errorf("%w: image %q is for process %q, chain is for %q", ErrCorrupt, imgName, h.ProcID, tip.ProcID)
+			}
+			if h.RealPages != tip.RealPages {
+				return nil, nil, fmt.Errorf("%w: image %q page count %d != base %d", ErrCorrupt, imgName, h.RealPages, tip.RealPages)
+			}
+		}
+		for idx, data := range pages {
+			if err := mem.SetPage(idx, data); err != nil {
+				return nil, nil, fmt.Errorf("checkpoint: apply page %d of %q: %w", idx, imgName, err)
+			}
+			seen[idx] = true
+		}
+		tip = h
+	}
+	if len(seen) < int(tip.RealPages) {
+		// The base dump is always full, so every page must have been seen.
+		return nil, nil, fmt.Errorf("%w: restored only %d of %d pages", ErrCorrupt, len(seen), tip.RealPages)
+	}
+	program, err := e.registry.New(tip.ProgramName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: restore %q: %w", name, err)
+	}
+	mem.ClearSoftDirty()
+	regs := proc.Registers{PC: tip.PC, R: tip.Regs}
+	p := proc.Rebuild(tip.ProcID, program, mem, regs, tip.Steps)
+	info, err := ReadInfo(store, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, info, nil
+}
+
+// Compact merges the incremental chain ending at name into a single full
+// image written to dst. Long chains make restores read every link;
+// compaction bounds that cost (the analogue of merging CRIU pre-dump
+// directories). The source chain is left in place; callers typically
+// RemoveChain it after a successful compact.
+func Compact(store storage.Store, name, dst string) (*ImageInfo, error) {
+	chain, err := Chain(store, name)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		tip    *Header
+		merged map[int][]byte
+	)
+	for i, imgName := range chain {
+		h, pages, err := readImage(store, imgName)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			merged = make(map[int][]byte, h.RealPages)
+		}
+		for idx, data := range pages {
+			merged[idx] = data
+		}
+		tip = h
+	}
+	if len(merged) != int(tip.RealPages) {
+		return nil, fmt.Errorf("%w: compact covers %d of %d pages", ErrCorrupt, len(merged), tip.RealPages)
+	}
+
+	out := &Header{
+		ProcID:       tip.ProcID,
+		ProgramName:  tip.ProgramName,
+		PC:           tip.PC,
+		Regs:         tip.Regs,
+		Steps:        tip.Steps,
+		LogicalBytes: tip.LogicalBytes,
+		RealPages:    tip.RealPages,
+		PageSize:     tip.PageSize,
+		DumpedPages:  tip.RealPages,
+	}
+	w, err := store.Create(dst)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create compact image %q: %w", dst, err)
+	}
+	cw := &crcWriter{w: w}
+	if err := encodeHeader(cw, out); err != nil {
+		return nil, fmt.Errorf("checkpoint: write compact header: %w", err)
+	}
+	for idx := 0; idx < int(out.RealPages); idx++ {
+		if err := binary.Write(cw, binary.BigEndian, uint32(idx)); err != nil {
+			return nil, err
+		}
+		if _, err := cw.Write(merged[idx]); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Write(w, binary.BigEndian, cw.crc); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("checkpoint: close compact image %q: %w", dst, err)
+	}
+	return &ImageInfo{
+		Name:              dst,
+		ProcID:            out.ProcID,
+		ProgramName:       out.ProgramName,
+		Steps:             out.Steps,
+		DumpedPages:       int(out.DumpedPages),
+		StoredBytes:       cw.n + 4,
+		LogicalBytes:      out.LogicalBytes,
+		TotalLogicalBytes: out.LogicalBytes,
+	}, nil
+}
+
+// RemoveChain deletes the image chain ending at name. Garbage collection
+// after a task finishes or is killed keeps the storage-overhead accounting
+// of Section 5.3.3 honest.
+func RemoveChain(store storage.Store, name string) error {
+	chain, err := Chain(store, name)
+	if err != nil {
+		return err
+	}
+	for _, img := range chain {
+		if err := store.Remove(img); err != nil {
+			return fmt.Errorf("checkpoint: remove image %q: %w", img, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"preemptsched/internal/proc"
+	"preemptsched/internal/storage"
+)
+
+// TestPreDumpChainTransparency exercises the CRIU pre-copy pattern: a
+// pre-dump taken while the process runs, more execution, then a frozen
+// delta dump chained on the pre-dump. The restored process must continue
+// exactly.
+func TestPreDumpChainTransparency(t *testing.T) {
+	e := newTestEngine(t)
+	store := storage.NewMemStore()
+
+	ref := newFillProc(t, 32, 60, 2)
+	want := runToCompletion(t, ref)
+
+	p := newFillProc(t, 32, 60, 2)
+	stepN(t, p, 20)
+
+	// Pre-dump while running: full image, dirty bits cleared, process
+	// keeps going.
+	pre, err := e.PreDump(p, store, "pc/pre", DumpOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != proc.Running {
+		t.Fatalf("pre-dump changed process state to %v", p.State())
+	}
+	if pre.DumpedPages != 32 {
+		t.Errorf("pre-dump pages = %d, want full 32", pre.DumpedPages)
+	}
+
+	// The process keeps executing during the (virtual) write window.
+	stepN(t, p, 5)
+
+	// Freeze and dump only the delta.
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := e.Dump(p, store, "pc/delta", DumpOpts{Incremental: true, Parent: "pc/pre"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.DumpedPages >= pre.DumpedPages/2 {
+		t.Errorf("delta dumped %d pages; expected far fewer than %d", delta.DumpedPages, pre.DumpedPages)
+	}
+
+	restored, info, err := e.Restore(store, "pc/delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Steps != 25 || restored.Steps() != 25 {
+		t.Errorf("restored at step %d, want 25", restored.Steps())
+	}
+	if got := runToCompletion(t, restored); got != want {
+		t.Errorf("pre-copy restore checksum %x != uninterrupted %x", got, want)
+	}
+}
+
+func TestPreDumpRequiresRunning(t *testing.T) {
+	e := newTestEngine(t)
+	store := storage.NewMemStore()
+	p := newFillProc(t, 4, 10, 1)
+	p.Suspend()
+	if _, err := e.PreDump(p, store, "x", DumpOpts{}); err == nil {
+		t.Error("pre-dump of suspended process accepted")
+	}
+	q := newFillProc(t, 4, 10, 1)
+	if _, err := e.Dump(q, store, "y", DumpOpts{}); err == nil {
+		t.Error("frozen dump of running process accepted")
+	}
+}
+
+func TestPreDumpIncrementalAgainstExistingChain(t *testing.T) {
+	e := newTestEngine(t)
+	store := storage.NewMemStore()
+	p := newFillProc(t, 16, 100, 1)
+	stepN(t, p, 4)
+	p.Suspend()
+	if _, err := e.Dump(p, store, "c/0", DumpOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	p.ResumeInPlace()
+	stepN(t, p, 3)
+	// Pre-dump chained on the existing image.
+	pre, err := e.PreDump(p, store, "c/1", DumpOpts{Incremental: true, Parent: "c/0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.DumpedPages >= 16 {
+		t.Errorf("incremental pre-dump wrote %d pages", pre.DumpedPages)
+	}
+	stepN(t, p, 2)
+	p.Suspend()
+	if _, err := e.Dump(p, store, "c/2", DumpOpts{Incremental: true, Parent: "c/1"}); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := e.Restore(store, "c/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Steps() != 9 {
+		t.Errorf("restored steps = %d, want 9", restored.Steps())
+	}
+}

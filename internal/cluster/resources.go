@@ -1,0 +1,81 @@
+// Package cluster defines the shared domain vocabulary of the repository:
+// resource vectors, machines, scheduling priorities, latency classes, and
+// the job/task descriptors exchanged between the trace layer, the
+// simulator, and the mini-YARN framework.
+//
+// The model follows Section 3.1 of the paper: a cluster of nodes, each with
+// a resource vector; jobs composed of tasks; tasks placed into containers
+// ("slots") by a scheduler that preempts lower-priority work under
+// contention.
+package cluster
+
+import "fmt"
+
+// Resources is a two-dimensional resource vector. CPU is measured in
+// millicores (1000 = one core) and memory in bytes, matching the
+// granularity YARN uses for container requests.
+type Resources struct {
+	CPUMillis int64
+	MemBytes  int64
+}
+
+// Cores is a convenience constructor for whole-core CPU values.
+func Cores(n float64) int64 { return int64(n * 1000) }
+
+// GiB converts gibibytes to bytes.
+func GiB(n float64) int64 { return int64(n * (1 << 30)) }
+
+// MiB converts mebibytes to bytes.
+func MiB(n float64) int64 { return int64(n * (1 << 20)) }
+
+// Add returns r + o componentwise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{CPUMillis: r.CPUMillis + o.CPUMillis, MemBytes: r.MemBytes + o.MemBytes}
+}
+
+// Sub returns r - o componentwise. Callers are responsible for not driving
+// tracked allocations negative; AddCapped-style clamping would hide
+// accounting bugs.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{CPUMillis: r.CPUMillis - o.CPUMillis, MemBytes: r.MemBytes - o.MemBytes}
+}
+
+// Scale multiplies both dimensions by f, rounding toward zero.
+func (r Resources) Scale(f float64) Resources {
+	return Resources{
+		CPUMillis: int64(float64(r.CPUMillis) * f),
+		MemBytes:  int64(float64(r.MemBytes) * f),
+	}
+}
+
+// Fits reports whether r fits within capacity c in every dimension.
+func (r Resources) Fits(c Resources) bool {
+	return r.CPUMillis <= c.CPUMillis && r.MemBytes <= c.MemBytes
+}
+
+// IsZero reports whether both dimensions are zero.
+func (r Resources) IsZero() bool { return r.CPUMillis == 0 && r.MemBytes == 0 }
+
+// Negative reports whether any dimension is below zero, which always
+// indicates an accounting bug in the caller.
+func (r Resources) Negative() bool { return r.CPUMillis < 0 || r.MemBytes < 0 }
+
+// DominantShare returns the maximum of the per-dimension shares of r within
+// capacity c, the quantity used by DRF-style fairness comparisons.
+func (r Resources) DominantShare(c Resources) float64 {
+	var s float64
+	if c.CPUMillis > 0 {
+		s = float64(r.CPUMillis) / float64(c.CPUMillis)
+	}
+	if c.MemBytes > 0 {
+		if m := float64(r.MemBytes) / float64(c.MemBytes); m > s {
+			s = m
+		}
+	}
+	return s
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("{cpu=%.2f cores, mem=%.2f GiB}",
+		float64(r.CPUMillis)/1000, float64(r.MemBytes)/float64(1<<30))
+}

@@ -1,0 +1,264 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"preemptsched/internal/storage"
+)
+
+// DefaultBlockSize is the block granularity files are split at. 8 MiB
+// keeps multi-megabyte checkpoint images multi-block (exercising the
+// pipeline) without the 128 MiB blocks of production HDFS, which would
+// make every test image single-block.
+const DefaultBlockSize = 8 << 20
+
+// Client is a DFS client bound to one cluster node. It implements
+// storage.Store, so the checkpoint engine can write images to the DFS
+// transparently.
+type Client struct {
+	transport Transport
+	// localID is the DataNode co-located with this client, preferred for
+	// first-replica placement (write locality) and reads.
+	localID   string
+	blockSize int
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithBlockSize overrides the block size.
+func WithBlockSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.blockSize = n
+		}
+	}
+}
+
+// WithLocalNode declares the DataNode co-located with the client.
+func WithLocalNode(id string) ClientOption {
+	return func(c *Client) { c.localID = id }
+}
+
+// NewClient creates a client using transport.
+func NewClient(transport Transport, opts ...ClientOption) *Client {
+	c := &Client{transport: transport, blockSize: DefaultBlockSize}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+var _ storage.Store = (*Client)(nil)
+
+// fileWriter buffers written data and flushes whole blocks through the
+// replica pipeline as they fill.
+type fileWriter struct {
+	client  *Client
+	nn      NameNodeAPI
+	path    string
+	buf     bytes.Buffer
+	size    int64
+	closed  bool
+	aborted error
+}
+
+// Create implements storage.Store. The file becomes visible at Close.
+func (c *Client) Create(name string) (io.WriteCloser, error) {
+	nn, err := c.transport.NameNode()
+	if err != nil {
+		return nil, &PathError{Op: "create", Path: name, Err: err}
+	}
+	stale, err := nn.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	// Best-effort reclamation of the blocks of a replaced file.
+	c.reclaim(stale)
+	return &fileWriter{client: c, nn: nn, path: name}, nil
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, &PathError{Op: "write", Path: w.path, Err: errors.New("file closed")}
+	}
+	if w.aborted != nil {
+		return 0, w.aborted
+	}
+	n, _ := w.buf.Write(p)
+	w.size += int64(n)
+	for w.buf.Len() >= w.client.blockSize {
+		if err := w.flushBlock(w.client.blockSize); err != nil {
+			w.aborted = err
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (w *fileWriter) flushBlock(n int) error {
+	data := w.buf.Next(n)
+	loc, err := w.nn.AddBlock(w.path, w.client.localID)
+	if err != nil {
+		return err
+	}
+	if len(loc.Replicas) == 0 {
+		return &PathError{Op: "write", Path: w.path, Err: errors.New("empty replica set")}
+	}
+	first, err := w.client.transport.DataNode(loc.Replicas[0])
+	if err != nil {
+		return &PathError{Op: "write", Path: w.path, Err: err}
+	}
+	if err := first.WriteBlock(loc.ID, data, loc.Replicas[1:]); err != nil {
+		return &PathError{Op: "write", Path: w.path, Err: err}
+	}
+	return nil
+}
+
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.aborted != nil {
+		return w.aborted
+	}
+	if w.buf.Len() > 0 {
+		if err := w.flushBlock(w.buf.Len()); err != nil {
+			return err
+		}
+	}
+	return w.nn.Complete(w.path, w.size)
+}
+
+// fileReader streams a file's blocks sequentially, falling back across
+// replicas when one is unreachable.
+type fileReader struct {
+	client *Client
+	info   FileInfo
+	next   int
+	cur    *bytes.Reader
+}
+
+// Open implements storage.Store.
+func (c *Client) Open(name string) (io.ReadCloser, error) {
+	info, err := c.stat(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fileReader{client: c, info: info}, nil
+}
+
+func (r *fileReader) Read(p []byte) (int, error) {
+	for r.cur == nil || r.cur.Len() == 0 {
+		if r.next >= len(r.info.Blocks) {
+			return 0, io.EOF
+		}
+		data, err := r.client.readBlock(r.info.Blocks[r.next])
+		if err != nil {
+			return 0, &PathError{Op: "read", Path: r.info.Path, Err: err}
+		}
+		r.cur = bytes.NewReader(data)
+		r.next++
+	}
+	return r.cur.Read(p)
+}
+
+func (r *fileReader) Close() error { return nil }
+
+// readBlock fetches a block, preferring the local replica and falling back
+// through the rest of the replica set.
+func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
+	order := make([]DataNodeInfo, 0, len(loc.Replicas))
+	for _, dn := range loc.Replicas {
+		if dn.ID == c.localID {
+			order = append([]DataNodeInfo{dn}, order...)
+		} else {
+			order = append(order, dn)
+		}
+	}
+	var lastErr error
+	for _, dn := range order {
+		api, err := c.transport.DataNode(dn)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := api.ReadBlock(loc.ID)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("block %d has no replicas", loc.ID)
+	}
+	return nil, fmt.Errorf("all replicas of block %d failed: %w", loc.ID, lastErr)
+}
+
+func (c *Client) stat(name string) (FileInfo, error) {
+	nn, err := c.transport.NameNode()
+	if err != nil {
+		return FileInfo{}, &PathError{Op: "stat", Path: name, Err: err}
+	}
+	info, err := nn.Stat(name)
+	if err != nil {
+		if IsNotFound(err) {
+			return FileInfo{}, &storage.NotExistError{Name: name}
+		}
+		return FileInfo{}, err
+	}
+	return info, nil
+}
+
+// Size implements storage.Store.
+func (c *Client) Size(name string) (int64, error) {
+	info, err := c.stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size, nil
+}
+
+// Remove implements storage.Store.
+func (c *Client) Remove(name string) error {
+	nn, err := c.transport.NameNode()
+	if err != nil {
+		return &PathError{Op: "remove", Path: name, Err: err}
+	}
+	info, err := nn.Delete(name)
+	if err != nil {
+		if IsNotFound(err) {
+			return &storage.NotExistError{Name: name}
+		}
+		return err
+	}
+	c.reclaim(info.Blocks)
+	return nil
+}
+
+// List implements storage.Store.
+func (c *Client) List(prefix string) ([]string, error) {
+	nn, err := c.transport.NameNode()
+	if err != nil {
+		return nil, &PathError{Op: "list", Path: prefix, Err: err}
+	}
+	return nn.List(prefix)
+}
+
+// reclaim deletes blocks from their replicas, best-effort: a dead replica
+// merely leaks its copy, it cannot fail the namespace operation.
+func (c *Client) reclaim(blocks []BlockLocation) {
+	for _, loc := range blocks {
+		for _, dn := range loc.Replicas {
+			api, err := c.transport.DataNode(dn)
+			if err != nil {
+				continue
+			}
+			_ = api.DeleteBlock(loc.ID)
+		}
+	}
+}

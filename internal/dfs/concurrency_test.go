@@ -1,0 +1,123 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClientsDistinctFiles hammers the in-process DFS with many
+// goroutines writing and reading distinct files, exercising the
+// NameNode's and DataNodes' locking under the race detector.
+func TestConcurrentClientsDistinctFiles(t *testing.T) {
+	c := testCluster(t, 4, 2)
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := c.ClientAt(w%4, WithBlockSize(512))
+			name := fmt.Sprintf("/c/%d", w)
+			data := randomData(2000 + w)
+			wr, err := client.Create(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := wr.Write(data); err != nil {
+				errs <- err
+				return
+			}
+			if err := wr.Close(); err != nil {
+				errs <- err
+				return
+			}
+			rd, err := client.Open(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got := make([]byte, len(data))
+			n := 0
+			for n < len(got) {
+				m, err := rd.Read(got[n:])
+				n += m
+				if err != nil {
+					break
+				}
+			}
+			if !bytes.Equal(got[:n], data) {
+				errs <- fmt.Errorf("worker %d: content mismatch", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	names, err := NewClient(c.Transport).List("/c/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != workers {
+		t.Errorf("listed %d files, want %d", len(names), workers)
+	}
+}
+
+// TestConcurrentReadersSharedFile verifies many readers of one file see
+// identical bytes while deletions of other files proceed.
+func TestConcurrentReadersSharedFile(t *testing.T) {
+	c := testCluster(t, 3, 3)
+	writer := c.ClientAt(0, WithBlockSize(256))
+	data := randomData(5000)
+	writeFile(t, writer, "/shared", data)
+	for i := 0; i < 8; i++ {
+		writeFile(t, writer, fmt.Sprintf("/junk/%d", i), randomData(100))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := c.ClientAt(w % 3)
+			got := readAllOrError(client, "/shared")
+			if got == nil || !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("reader %d mismatch", w)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := c.ClientAt(w % 3)
+			_ = client.Remove(fmt.Sprintf("/junk/%d", w))
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func readAllOrError(c *Client, name string) []byte {
+	r, err := c.Open(name)
+	if err != nil {
+		return nil
+	}
+	defer r.Close()
+	var out []byte
+	buf := make([]byte, 1024)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DataNode stores blocks and participates in write pipelines. It is safe
+// for concurrent use.
+type DataNode struct {
+	info      DataNodeInfo
+	transport Transport
+
+	mu     sync.RWMutex
+	blocks map[BlockID][]byte
+	down   bool
+}
+
+// NewDataNode creates a DataNode that reaches pipeline peers through
+// transport.
+func NewDataNode(info DataNodeInfo, transport Transport) *DataNode {
+	return &DataNode{info: info, transport: transport, blocks: make(map[BlockID][]byte)}
+}
+
+var _ DataNodeAPI = (*DataNode)(nil)
+
+// Info returns the node's identity.
+func (d *DataNode) Info() DataNodeInfo { return d.info }
+
+// SetDown simulates a crash (failure injection): a down node fails every
+// request until revived.
+func (d *DataNode) SetDown(down bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = down
+}
+
+func (d *DataNode) checkUp() error {
+	if d.down {
+		return fmt.Errorf("dfs: datanode %s is down", d.info.ID)
+	}
+	return nil
+}
+
+// WriteBlock implements DataNodeAPI: store locally, then forward to the
+// next pipeline stage. A pipeline failure after the local store leaves the
+// block under-replicated but readable, matching HDFS semantics.
+func (d *DataNode) WriteBlock(id BlockID, data []byte, pipeline []DataNodeInfo) error {
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.blocks[id] = append([]byte(nil), data...)
+	d.mu.Unlock()
+
+	if len(pipeline) == 0 {
+		return nil
+	}
+	next, err := d.transport.DataNode(pipeline[0])
+	if err != nil {
+		return fmt.Errorf("dfs: datanode %s: dial pipeline peer %s: %w", d.info.ID, pipeline[0].ID, err)
+	}
+	if err := next.WriteBlock(id, data, pipeline[1:]); err != nil {
+		return fmt.Errorf("dfs: datanode %s: forward block %d to %s: %w", d.info.ID, id, pipeline[0].ID, err)
+	}
+	return nil
+}
+
+// ReadBlock implements DataNodeAPI.
+func (d *DataNode) ReadBlock(id BlockID) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkUp(); err != nil {
+		return nil, err
+	}
+	data, ok := d.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("dfs: datanode %s: block %d %w", d.info.ID, id, errBlockMissing)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// DeleteBlock implements DataNodeAPI.
+func (d *DataNode) DeleteBlock(id BlockID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	delete(d.blocks, id)
+	return nil
+}
+
+// BlockCount returns the number of stored blocks.
+func (d *DataNode) BlockCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.blocks)
+}
+
+// StoredBytes returns the total bytes stored on this node.
+func (d *DataNode) StoredBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, b := range d.blocks {
+		n += int64(len(b))
+	}
+	return n
+}
+
+var errBlockMissing = errors.New("not stored here")

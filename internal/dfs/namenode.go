@@ -1,0 +1,228 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NameNode owns the file namespace and the block map. It is safe for
+// concurrent use.
+type NameNode struct {
+	mu          sync.Mutex
+	replication int
+	nextBlock   BlockID
+	nodes       map[string]DataNodeInfo // by ID
+	nodeOrder   []string                // sorted IDs for deterministic placement
+	files       map[string]*fileEntry
+	rrCursor    int
+}
+
+type fileEntry struct {
+	info FileInfo
+	open bool
+}
+
+// NewNameNode creates a NameNode that places each block on up to
+// replication replicas (clamped to the number of registered DataNodes;
+// HDFS default is 3).
+func NewNameNode(replication int) *NameNode {
+	if replication <= 0 {
+		replication = 3
+	}
+	return &NameNode{
+		replication: replication,
+		nodes:       make(map[string]DataNodeInfo),
+		files:       make(map[string]*fileEntry),
+		nextBlock:   1,
+	}
+}
+
+var _ NameNodeAPI = (*NameNode)(nil)
+
+// Register implements NameNodeAPI.
+func (n *NameNode) Register(dn DataNodeInfo) error {
+	if dn.ID == "" {
+		return errors.New("dfs: datanode with empty ID")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, known := n.nodes[dn.ID]; !known {
+		n.nodeOrder = append(n.nodeOrder, dn.ID)
+		sort.Strings(n.nodeOrder)
+	}
+	n.nodes[dn.ID] = dn
+	return nil
+}
+
+// Unregister removes a DataNode (crash or decommission). Blocks whose
+// only replicas lived there become unreadable; readers fall back across
+// remaining replicas.
+func (n *NameNode) Unregister(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, known := n.nodes[id]; !known {
+		return
+	}
+	delete(n.nodes, id)
+	for i, v := range n.nodeOrder {
+		if v == id {
+			n.nodeOrder = append(n.nodeOrder[:i], n.nodeOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// DataNodes returns the registered DataNodes sorted by ID.
+func (n *NameNode) DataNodes() []DataNodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]DataNodeInfo, 0, len(n.nodeOrder))
+	for _, id := range n.nodeOrder {
+		out = append(out, n.nodes[id])
+	}
+	return out
+}
+
+// Create implements NameNodeAPI.
+func (n *NameNode) Create(path string) ([]BlockLocation, error) {
+	if path == "" {
+		return nil, &PathError{Op: "create", Path: path, Err: errors.New("empty path")}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var stale []BlockLocation
+	if old, ok := n.files[path]; ok {
+		if old.open {
+			return nil, &PathError{Op: "create", Path: path, Err: errors.New(msgOpen)}
+		}
+		stale = old.info.Blocks
+	}
+	n.files[path] = &fileEntry{info: FileInfo{Path: path}, open: true}
+	return stale, nil
+}
+
+// AddBlock implements NameNodeAPI.
+func (n *NameNode) AddBlock(path, preferred string) (BlockLocation, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[path]
+	if !ok {
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: errors.New(msgNotFound)}
+	}
+	if !f.open {
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: errors.New("file is sealed")}
+	}
+	if len(n.nodeOrder) == 0 {
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: errors.New(msgNoNodes)}
+	}
+	loc := BlockLocation{ID: n.nextBlock, Replicas: n.placeReplicas(preferred)}
+	n.nextBlock++
+	f.info.Blocks = append(f.info.Blocks, loc)
+	return loc, nil
+}
+
+// placeReplicas chooses up to n.replication distinct DataNodes, putting the
+// preferred (client-local) node first when it exists — HDFS's
+// write-locality rule — and filling the rest round-robin for even spread.
+// Callers must hold n.mu.
+func (n *NameNode) placeReplicas(preferred string) []DataNodeInfo {
+	want := n.replication
+	if want > len(n.nodeOrder) {
+		want = len(n.nodeOrder)
+	}
+	replicas := make([]DataNodeInfo, 0, want)
+	used := make(map[string]bool, want)
+	if dn, ok := n.nodes[preferred]; ok {
+		replicas = append(replicas, dn)
+		used[preferred] = true
+	}
+	for len(replicas) < want {
+		id := n.nodeOrder[n.rrCursor%len(n.nodeOrder)]
+		n.rrCursor++
+		if used[id] {
+			continue
+		}
+		replicas = append(replicas, n.nodes[id])
+		used[id] = true
+	}
+	return replicas
+}
+
+// Complete implements NameNodeAPI.
+func (n *NameNode) Complete(path string, size int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[path]
+	if !ok {
+		return &PathError{Op: "complete", Path: path, Err: errors.New(msgNotFound)}
+	}
+	if !f.open {
+		return &PathError{Op: "complete", Path: path, Err: errors.New("file is sealed")}
+	}
+	if size < 0 {
+		return &PathError{Op: "complete", Path: path, Err: fmt.Errorf("negative size %d", size)}
+	}
+	f.info.Size = size
+	f.info.Complete = true
+	f.open = false
+	return nil
+}
+
+// Stat implements NameNodeAPI.
+func (n *NameNode) Stat(path string) (FileInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[path]
+	if !ok {
+		return FileInfo{}, &PathError{Op: "stat", Path: path, Err: errors.New(msgNotFound)}
+	}
+	if !f.info.Complete {
+		return FileInfo{}, &PathError{Op: "stat", Path: path, Err: errors.New(msgIncomplete)}
+	}
+	return cloneInfo(f.info), nil
+}
+
+// Delete implements NameNodeAPI.
+func (n *NameNode) Delete(path string) (FileInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[path]
+	if !ok {
+		return FileInfo{}, &PathError{Op: "delete", Path: path, Err: errors.New(msgNotFound)}
+	}
+	delete(n.files, path)
+	return cloneInfo(f.info), nil
+}
+
+// List implements NameNodeAPI.
+func (n *NameNode) List(prefix string) ([]string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for path, f := range n.files {
+		if f.info.Complete && strings.HasPrefix(path, prefix) {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func cloneInfo(info FileInfo) FileInfo {
+	out := info
+	out.Blocks = make([]BlockLocation, len(info.Blocks))
+	for i, b := range info.Blocks {
+		out.Blocks[i] = BlockLocation{ID: b.ID, Replicas: append([]DataNodeInfo(nil), b.Replicas...)}
+	}
+	return out
+}
+
+// IsNotFound reports whether err denotes a missing file. It matches by
+// message because errors that crossed the TCP transport arrive flattened
+// to strings.
+func IsNotFound(err error) bool {
+	return err != nil && strings.Contains(err.Error(), msgNotFound)
+}

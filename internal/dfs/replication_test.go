@@ -1,0 +1,131 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDecommissionReReplicates(t *testing.T) {
+	c := testCluster(t, 4, 2)
+	client := c.ClientAt(0, WithBlockSize(512))
+	data := randomData(3000)
+	writeFile(t, client, "/d", data)
+
+	// Every block currently has two replicas, the first on dn-0.
+	report, err := c.NameNode.Decommission("dn-0", c.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BlocksAffected == 0 {
+		t.Fatal("dn-0 held no replicas; weak test")
+	}
+	if report.Recovered != report.BlocksAffected || report.Lost != 0 || report.Degraded != 0 {
+		t.Fatalf("report = %+v, want all recovered", report)
+	}
+	// The replication factor is restored: every block again has 2
+	// replicas, none on dn-0.
+	info, err := c.NameNode.Stat("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range info.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas after recovery", b.ID, len(b.Replicas))
+		}
+		for _, r := range b.Replicas {
+			if r.ID == "dn-0" {
+				t.Errorf("block %d still lists the decommissioned node", b.ID)
+			}
+		}
+	}
+	// Kill the node for real and read through a fresh client: content
+	// must be intact from the re-replicated copies.
+	c.DataNodes[0].SetDown(true)
+	if got := readFile(t, c.ClientAt(1), "/d"); !bytes.Equal(got, data) {
+		t.Error("content mismatch after decommission")
+	}
+}
+
+func TestDecommissionReportsLostBlocks(t *testing.T) {
+	// Replication factor 1: removing the holder loses blocks.
+	c := testCluster(t, 2, 1)
+	client := c.ClientAt(0, WithBlockSize(256))
+	writeFile(t, client, "/single", randomData(600))
+	info, _ := c.NameNode.Stat("/single")
+	holder := info.Blocks[0].Replicas[0].ID
+
+	report, err := c.NameNode.Decommission(holder, c.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Lost != report.BlocksAffected || report.Lost == 0 {
+		t.Fatalf("report = %+v, want all lost", report)
+	}
+	// Reads must now fail rather than return wrong data.
+	r, err := client.Open("/single")
+	if err == nil {
+		buf := make([]byte, 16)
+		if _, err := r.Read(buf); err == nil {
+			t.Error("read of lost block succeeded")
+		}
+	}
+}
+
+func TestDecommissionDegradedWhenNoTarget(t *testing.T) {
+	// Two nodes, replication 2: every block is on both. Removing one
+	// leaves no eligible target, so blocks stay readable but degraded.
+	c := testCluster(t, 2, 2)
+	client := c.ClientAt(0, WithBlockSize(512))
+	data := randomData(1500)
+	writeFile(t, client, "/deg", data)
+	report, err := c.NameNode.Decommission("dn-1", c.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Degraded != report.BlocksAffected || report.Degraded == 0 {
+		t.Fatalf("report = %+v, want all degraded", report)
+	}
+	if got := readFile(t, c.ClientAt(0), "/deg"); !bytes.Equal(got, data) {
+		t.Error("degraded file unreadable")
+	}
+}
+
+func TestDecommissionOverTCP(t *testing.T) {
+	transport, datanodes := startTCPCluster(t, 3, 2)
+	client := NewClient(transport, WithBlockSize(256), WithLocalNode("dn-0"))
+	data := randomData(1200)
+	writeFile(t, client, "/tcp", data)
+
+	// The TCP test cluster's NameNode lives behind the listener; rebuild
+	// its handle: startTCPCluster keeps it internal, so decommission via a
+	// fresh NameNode is not possible — instead verify the copy path works
+	// over TCP by invoking copyBlock directly.
+	info, err := client.stat("/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := info.Blocks[0]
+	var target DataNodeInfo
+	held := map[string]bool{}
+	for _, r := range b.Replicas {
+		held[r.ID] = true
+	}
+	for _, dn := range datanodes {
+		if !held[dn.Info().ID] {
+			target = dn.Info()
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("no free target")
+	}
+	if err := copyBlock(transport, b.ID, b.Replicas[0], target); err != nil {
+		t.Fatal(err)
+	}
+	for _, dn := range datanodes {
+		if dn.Info().ID == target.ID {
+			if _, err := dn.ReadBlock(b.ID); err != nil {
+				t.Errorf("copied block missing on target: %v", err)
+			}
+		}
+	}
+}

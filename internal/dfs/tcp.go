@@ -1,0 +1,311 @@
+package dfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The TCP transport carries one gob-encoded request/response pair per
+// round trip over a persistent connection. It exists so the DFS substrate
+// is demonstrably a distributed system (cmd/dfs runs namenode and
+// datanodes as separate processes) rather than a map behind interfaces.
+
+// rpcRequest is the union of all request payloads; Method selects the
+// operation. A single fat struct keeps the gob stream self-describing
+// without per-method type registration.
+type rpcRequest struct {
+	Method    string
+	Path      string
+	Preferred string
+	Prefix    string
+	Size      int64
+	DN        DataNodeInfo
+	Block     BlockID
+	Data      []byte
+	Pipeline  []DataNodeInfo
+}
+
+// rpcResponse is the union of all response payloads. Err carries the
+// flattened error message; empty means success.
+type rpcResponse struct {
+	Err   string
+	Stale []BlockLocation
+	Loc   BlockLocation
+	Info  FileInfo
+	Names []string
+	Data  []byte
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Serve runs an RPC loop for either node role until the listener closes.
+// Pass exactly one non-nil API. It returns the first accept error
+// (net.ErrClosed after a clean shutdown).
+func Serve(l net.Listener, nn NameNodeAPI, dn DataNodeAPI) error {
+	if (nn == nil) == (dn == nil) {
+		return errors.New("dfs: Serve requires exactly one of namenode or datanode")
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			serveConn(conn, nn, dn)
+		}()
+	}
+}
+
+func serveConn(conn net.Conn, nn NameNodeAPI, dn DataNodeAPI) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		var resp rpcResponse
+		if nn != nil {
+			resp = dispatchNameNode(nn, &req)
+		} else {
+			resp = dispatchDataNode(dn, &req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func dispatchNameNode(nn NameNodeAPI, req *rpcRequest) rpcResponse {
+	switch req.Method {
+	case "Register":
+		return rpcResponse{Err: errString(nn.Register(req.DN))}
+	case "Create":
+		stale, err := nn.Create(req.Path)
+		return rpcResponse{Stale: stale, Err: errString(err)}
+	case "AddBlock":
+		loc, err := nn.AddBlock(req.Path, req.Preferred)
+		return rpcResponse{Loc: loc, Err: errString(err)}
+	case "Complete":
+		return rpcResponse{Err: errString(nn.Complete(req.Path, req.Size))}
+	case "Stat":
+		info, err := nn.Stat(req.Path)
+		return rpcResponse{Info: info, Err: errString(err)}
+	case "Delete":
+		info, err := nn.Delete(req.Path)
+		return rpcResponse{Info: info, Err: errString(err)}
+	case "List":
+		names, err := nn.List(req.Prefix)
+		return rpcResponse{Names: names, Err: errString(err)}
+	default:
+		return rpcResponse{Err: fmt.Sprintf("dfs: unknown namenode method %q", req.Method)}
+	}
+}
+
+func dispatchDataNode(dn DataNodeAPI, req *rpcRequest) rpcResponse {
+	switch req.Method {
+	case "WriteBlock":
+		return rpcResponse{Err: errString(dn.WriteBlock(req.Block, req.Data, req.Pipeline))}
+	case "ReadBlock":
+		data, err := dn.ReadBlock(req.Block)
+		return rpcResponse{Data: data, Err: errString(err)}
+	case "DeleteBlock":
+		return rpcResponse{Err: errString(dn.DeleteBlock(req.Block))}
+	default:
+		return rpcResponse{Err: fmt.Sprintf("dfs: unknown datanode method %q", req.Method)}
+	}
+}
+
+// tcpConn is one pooled connection with its codecs.
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// tcpPeer issues calls to one remote address, serializing requests over a
+// lazily dialed, reused connection and redialing after failures.
+type tcpPeer struct {
+	addr string
+	mu   sync.Mutex
+	c    *tcpConn
+}
+
+func (p *tcpPeer) call(req *rpcRequest) (*rpcResponse, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if p.c == nil {
+			conn, err := net.Dial("tcp", p.addr)
+			if err != nil {
+				return nil, fmt.Errorf("dfs: dial %s: %w", p.addr, err)
+			}
+			p.c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		}
+		var resp rpcResponse
+		if err := p.c.enc.Encode(req); err == nil {
+			if err = p.c.dec.Decode(&resp); err == nil {
+				if resp.Err != "" {
+					return nil, errors.New(resp.Err)
+				}
+				return &resp, nil
+			}
+			lastErr = err
+		} else {
+			lastErr = err
+		}
+		// Stale or broken connection: drop it and retry once with a fresh
+		// dial.
+		p.c.conn.Close()
+		p.c = nil
+	}
+	return nil, fmt.Errorf("dfs: rpc to %s: %w", p.addr, lastErr)
+}
+
+func (p *tcpPeer) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.c != nil {
+		p.c.conn.Close()
+		p.c = nil
+	}
+}
+
+// TCPTransport resolves NameNode and DataNode stubs over TCP.
+type TCPTransport struct {
+	namenodeAddr string
+	mu           sync.Mutex
+	peers        map[string]*tcpPeer
+}
+
+// NewTCPTransport returns a transport whose NameNode lives at
+// namenodeAddr.
+func NewTCPTransport(namenodeAddr string) *TCPTransport {
+	return &TCPTransport{namenodeAddr: namenodeAddr, peers: make(map[string]*tcpPeer)}
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+func (t *TCPTransport) peer(addr string) *tcpPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.peers[addr]
+	if !ok {
+		p = &tcpPeer{addr: addr}
+		t.peers[addr] = p
+	}
+	return p
+}
+
+// NameNode implements Transport.
+func (t *TCPTransport) NameNode() (NameNodeAPI, error) {
+	return &tcpNameNode{peer: t.peer(t.namenodeAddr)}, nil
+}
+
+// DataNode implements Transport.
+func (t *TCPTransport) DataNode(info DataNodeInfo) (DataNodeAPI, error) {
+	if info.Addr == "" {
+		return nil, fmt.Errorf("dfs: datanode %q has no address", info.ID)
+	}
+	return &tcpDataNode{peer: t.peer(info.Addr)}, nil
+}
+
+// Close drops all pooled connections.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.peers {
+		p.close()
+	}
+	t.peers = make(map[string]*tcpPeer)
+}
+
+type tcpNameNode struct{ peer *tcpPeer }
+
+var _ NameNodeAPI = (*tcpNameNode)(nil)
+
+func (n *tcpNameNode) Register(dn DataNodeInfo) error {
+	_, err := n.peer.call(&rpcRequest{Method: "Register", DN: dn})
+	return err
+}
+
+func (n *tcpNameNode) Create(path string) ([]BlockLocation, error) {
+	resp, err := n.peer.call(&rpcRequest{Method: "Create", Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stale, nil
+}
+
+func (n *tcpNameNode) AddBlock(path, preferred string) (BlockLocation, error) {
+	resp, err := n.peer.call(&rpcRequest{Method: "AddBlock", Path: path, Preferred: preferred})
+	if err != nil {
+		return BlockLocation{}, err
+	}
+	return resp.Loc, nil
+}
+
+func (n *tcpNameNode) Complete(path string, size int64) error {
+	_, err := n.peer.call(&rpcRequest{Method: "Complete", Path: path, Size: size})
+	return err
+}
+
+func (n *tcpNameNode) Stat(path string) (FileInfo, error) {
+	resp, err := n.peer.call(&rpcRequest{Method: "Stat", Path: path})
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return resp.Info, nil
+}
+
+func (n *tcpNameNode) Delete(path string) (FileInfo, error) {
+	resp, err := n.peer.call(&rpcRequest{Method: "Delete", Path: path})
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return resp.Info, nil
+}
+
+func (n *tcpNameNode) List(prefix string) ([]string, error) {
+	resp, err := n.peer.call(&rpcRequest{Method: "List", Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+type tcpDataNode struct{ peer *tcpPeer }
+
+var _ DataNodeAPI = (*tcpDataNode)(nil)
+
+func (d *tcpDataNode) WriteBlock(id BlockID, data []byte, pipeline []DataNodeInfo) error {
+	_, err := d.peer.call(&rpcRequest{Method: "WriteBlock", Block: id, Data: data, Pipeline: pipeline})
+	return err
+}
+
+func (d *tcpDataNode) ReadBlock(id BlockID) ([]byte, error) {
+	resp, err := d.peer.call(&rpcRequest{Method: "ReadBlock", Block: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+func (d *tcpDataNode) DeleteBlock(id BlockID) error {
+	_, err := d.peer.call(&rpcRequest{Method: "DeleteBlock", Block: id})
+	return err
+}

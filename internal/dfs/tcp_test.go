@@ -1,0 +1,155 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"preemptsched/internal/checkpoint"
+	"preemptsched/internal/proc"
+)
+
+// startTCPCluster boots a real namenode and n datanodes on localhost
+// listeners and returns a TCP transport pointed at them. Servers shut down
+// with the test.
+func startTCPCluster(t *testing.T, n, replication int) (*TCPTransport, []*DataNode) {
+	t.Helper()
+	nnListener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := NewNameNode(replication)
+	go Serve(nnListener, nn, nil)
+	t.Cleanup(func() { nnListener.Close() })
+
+	transport := NewTCPTransport(nnListener.Addr().String())
+	t.Cleanup(transport.Close)
+
+	var datanodes []*DataNode
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := DataNodeInfo{ID: fmt.Sprintf("dn-%d", i), Addr: l.Addr().String()}
+		dn := NewDataNode(info, transport)
+		go Serve(l, nil, dn)
+		t.Cleanup(func() { l.Close() })
+		api, err := transport.NameNode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := api.Register(info); err != nil {
+			t.Fatal(err)
+		}
+		datanodes = append(datanodes, dn)
+	}
+	return transport, datanodes
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	transport, _ := startTCPCluster(t, 3, 2)
+	client := NewClient(transport, WithBlockSize(512), WithLocalNode("dn-0"))
+
+	data := randomData(3000)
+	writeFile(t, client, "/tcp/file", data)
+	if got := readFile(t, client, "/tcp/file"); !bytes.Equal(got, data) {
+		t.Error("TCP round trip mismatch")
+	}
+	if n, err := client.Size("/tcp/file"); err != nil || n != 3000 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	names, err := client.List("/tcp/")
+	if err != nil || len(names) != 1 {
+		t.Errorf("List = %v, %v", names, err)
+	}
+	if err := client.Remove("/tcp/file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Open("/tcp/file"); err == nil {
+		t.Error("removed file still readable over TCP")
+	}
+}
+
+func TestTCPPipelineReplicates(t *testing.T) {
+	transport, datanodes := startTCPCluster(t, 3, 3)
+	client := NewClient(transport, WithBlockSize(256), WithLocalNode("dn-1"))
+	writeFile(t, client, "/rep", randomData(700))
+	// 3 blocks x 3 replicas: every datanode must hold all 3 blocks.
+	for _, dn := range datanodes {
+		if dn.BlockCount() != 3 {
+			t.Errorf("%s holds %d blocks, want 3", dn.Info().ID, dn.BlockCount())
+		}
+	}
+}
+
+func TestTCPReadFallback(t *testing.T) {
+	transport, datanodes := startTCPCluster(t, 3, 2)
+	client := NewClient(transport, WithBlockSize(128), WithLocalNode("dn-0"))
+	data := randomData(500)
+	writeFile(t, client, "/fb", data)
+	datanodes[0].SetDown(true)
+	if got := readFile(t, client, "/fb"); !bytes.Equal(got, data) {
+		t.Error("TCP fallback read mismatch")
+	}
+}
+
+func TestTCPErrorsCrossTheWire(t *testing.T) {
+	transport, _ := startTCPCluster(t, 1, 1)
+	client := NewClient(transport)
+	if _, err := client.Open("/absent"); err == nil {
+		t.Error("missing file opened over TCP")
+	}
+	nn, _ := transport.NameNode()
+	if _, err := nn.Stat("/absent"); !IsNotFound(err) {
+		t.Errorf("flattened error lost not-found identity: %v", err)
+	}
+}
+
+// The paper's remote-resume scenario over a real network: a process is
+// checkpointed from one node into the DFS and restored by a different
+// node.
+func TestTCPRemoteCheckpointRestore(t *testing.T) {
+	transport, _ := startTCPCluster(t, 3, 2)
+	reg := proc.NewRegistry()
+	reg.Register(proc.FillProgramName, func() proc.Program { return proc.FillProgram{} })
+	engine := checkpoint.NewEngine(reg)
+
+	// Node A runs and checkpoints the task.
+	nodeA := NewClient(transport, WithBlockSize(2048), WithLocalNode("dn-0"))
+	p, err := proc.New("task", proc.FillProgram{}, 16*proc.PageSize, 16*proc.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.ConfigureFill(p, 20, 2)
+	for i := 0; i < 7; i++ {
+		p.Step()
+	}
+	p.Suspend()
+	if _, err := engine.Dump(p, nodeA, "/ckpt/task", checkpoint.DumpOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node B restores it and finishes the run.
+	nodeB := NewClient(transport, WithBlockSize(2048), WithLocalNode("dn-2"))
+	restored, info, err := engine.Restore(nodeB, "/ckpt/task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Steps != 7 {
+		t.Errorf("restored at step %d, want 7", info.Steps)
+	}
+	for {
+		done, err := restored.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if restored.Steps() != 20 {
+		t.Errorf("finished at %d steps, want 20", restored.Steps())
+	}
+}

@@ -1,0 +1,103 @@
+// Package dfs implements a miniature distributed file system in the shape
+// of HDFS: a NameNode owning the namespace and block map, DataNodes
+// storing replicated blocks, a write pipeline that daisy-chains replicas,
+// and a client that implements storage.Store so the checkpoint engine can
+// dump images into the DFS exactly as the paper's CRIU+libhdfs extension
+// does (Section 3.2.2). Storing checkpoints in the DFS is what makes
+// remote resumption possible: any node can restore any task.
+//
+// Two transports are provided: an in-process transport used by the
+// event-driven cluster emulation, and a TCP transport with gob-encoded
+// frames used by cmd/dfs and the integration tests, which keeps the
+// substrate honestly distributed.
+package dfs
+
+import "fmt"
+
+// BlockID identifies a block cluster-wide. IDs are allocated by the
+// NameNode and never reused.
+type BlockID int64
+
+// DataNodeInfo identifies and addresses a DataNode.
+type DataNodeInfo struct {
+	// ID is the unique DataNode name (e.g. "dn-3").
+	ID string
+	// Addr is the transport address. For the in-process transport it
+	// equals ID; for TCP it is a host:port.
+	Addr string
+}
+
+// BlockLocation names a block and the replicas holding it, in pipeline
+// order.
+type BlockLocation struct {
+	ID       BlockID
+	Replicas []DataNodeInfo
+}
+
+// FileInfo describes a file in the namespace.
+type FileInfo struct {
+	Path     string
+	Size     int64
+	Complete bool
+	Blocks   []BlockLocation
+}
+
+// NameNodeAPI is the client-visible NameNode protocol.
+type NameNodeAPI interface {
+	// Register announces a DataNode. Re-registering an ID updates its
+	// address.
+	Register(dn DataNodeInfo) error
+	// Create starts a new file, truncating any existing entry. It returns
+	// the blocks of the replaced file (if any) so the caller can reclaim
+	// them from the DataNodes.
+	Create(path string) ([]BlockLocation, error)
+	// AddBlock allocates the next block of an open file and chooses its
+	// replica set, placing the first replica on preferred when possible.
+	AddBlock(path, preferred string) (BlockLocation, error)
+	// Complete seals a file, recording its total size.
+	Complete(path string, size int64) error
+	// Stat describes a file.
+	Stat(path string) (FileInfo, error)
+	// Delete removes a file from the namespace and returns its blocks for
+	// reclamation.
+	Delete(path string) (FileInfo, error)
+	// List returns the complete files whose path begins with prefix,
+	// sorted.
+	List(prefix string) ([]string, error)
+}
+
+// DataNodeAPI is the block-transfer protocol.
+type DataNodeAPI interface {
+	// WriteBlock stores a block and forwards it to the remaining pipeline.
+	WriteBlock(id BlockID, data []byte, pipeline []DataNodeInfo) error
+	// ReadBlock returns a block's contents.
+	ReadBlock(id BlockID) ([]byte, error)
+	// DeleteBlock removes a block. Deleting an absent block is not an
+	// error, so reclamation is idempotent.
+	DeleteBlock(id BlockID) error
+}
+
+// Transport resolves API stubs for cluster components.
+type Transport interface {
+	NameNode() (NameNodeAPI, error)
+	DataNode(dn DataNodeInfo) (DataNodeAPI, error)
+}
+
+// PathError decorates DFS errors with the path they concern.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return fmt.Sprintf("dfs: %s %q: %v", e.Op, e.Path, e.Err) }
+func (e *PathError) Unwrap() error { return e.Err }
+
+// Sentinel error strings used across transports. TCP marshalling flattens
+// errors to strings, so equality checks happen on these messages.
+const (
+	msgNotFound   = "file not found"
+	msgIncomplete = "file is not complete"
+	msgOpen       = "file already open for writing"
+	msgNoNodes    = "no datanodes registered"
+)

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"sync"
+
+	"preemptsched/internal/core"
+	"preemptsched/internal/sched"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/yarn"
+)
+
+// Several figures share underlying runs (Fig. 3a/3b/3c all need the same
+// four simulations; Fig. 8-12 reuse framework runs). Runs are pure
+// functions of (Options, policy, kind), so they are memoized here. The
+// caches are package-level by design: they hold immutable results keyed by
+// value-comparable inputs and are guarded by a mutex.
+type runKey struct {
+	opts   Options
+	policy core.Policy
+	kind   storage.Kind
+}
+
+var (
+	cacheMu   sync.Mutex
+	simCache  = make(map[runKey]*sched.Result)
+	yarnCache = make(map[runKey]*yarn.Result)
+)
+
+func cachedSimRun(o Options, policy core.Policy, kind storage.Kind) (*sched.Result, error) {
+	key := runKey{opts: o, policy: policy, kind: kind}
+	cacheMu.Lock()
+	if r, ok := simCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	r, err := simRunUncached(o, policy, kind)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	simCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+func cachedYarnRun(o Options, policy core.Policy, kind storage.Kind) (*yarn.Result, error) {
+	key := runKey{opts: o, policy: policy, kind: kind}
+	cacheMu.Lock()
+	if r, ok := yarnCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	r, err := yarnRunUncached(o, policy, kind)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	yarnCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}

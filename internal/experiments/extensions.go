@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strconv"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/metrics"
+	"preemptsched/internal/sched"
+	"preemptsched/internal/storage"
+)
+
+// The extension experiments have no paper counterpart (DESIGN.md §6);
+// they quantify the repository's additions on the same one-day workload
+// the Fig. 3/5 simulations use.
+
+// simRunWith runs the trace workload with an arbitrary config mutation
+// applied on top of the standard sizing.
+func simRunWith(o Options, policy core.Policy, kind storage.Kind, mutate func(*sched.Config)) (*sched.Result, error) {
+	jobs, err := o.simJobs()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sched.DefaultConfig(policy, kind)
+	o.simCluster(jobs, &cfg)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return sched.Run(cfg, jobs)
+}
+
+// ExtDisciplines compares priority, fair-share, and capacity scheduling
+// under adaptive checkpoint-based preemption, including Jain's fairness
+// index over per-tenant response times.
+func ExtDisciplines(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Ext — Scheduling disciplines (adaptive, SSD)",
+		"discipline", "resp_low_s", "resp_med_s", "resp_high_s", "fairness_index", "preemptions")
+	for _, d := range []sched.Discipline{sched.DisciplinePriority, sched.DisciplineFairShare, sched.DisciplineCapacity} {
+		r, err := simRunWith(o, core.PolicyAdaptive, storage.SSD, func(c *sched.Config) { c.Discipline = d })
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(d.String(),
+			r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandMiddle), r.MeanResponse(cluster.BandProduction),
+			r.FairnessIndex(), r.Preemptions)
+	}
+	return tb, nil
+}
+
+// ExtPreCopy compares stop-and-copy against pre-copy checkpointing per
+// storage medium.
+func ExtPreCopy(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Ext — Pre-copy checkpointing (basic policy)",
+		"storage", "mode", "resp_low_s", "overhead_core_h", "io_device_h")
+	for _, kind := range storageKinds {
+		stop, err := simRun(o, core.PolicyCheckpoint, kind)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := simRunWith(o, core.PolicyCheckpoint, kind, func(c *sched.Config) { c.PreCopy = true })
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(kind.String(), "stop-and-copy", stop.MeanResponse(cluster.BandFree), stop.OverheadCPUHours, stop.IOBusyHours)
+		tb.AddRow(kind.String(), "pre-copy", pre.MeanResponse(cluster.BandFree), pre.OverheadCPUHours, pre.IOBusyHours)
+	}
+	return tb, nil
+}
+
+// ExtNVRAM compares NVM-as-file-system (PMFS) with NVM-as-virtual-memory.
+func ExtNVRAM(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Ext — PMFS vs NVM-as-virtual-memory (basic policy)",
+		"mode", "resp_low_s", "resp_high_s", "io_device_h", "wasted_core_h")
+	pmfs, err := simRun(o, core.PolicyCheckpoint, storage.NVM)
+	if err != nil {
+		return nil, err
+	}
+	nvram, err := simRunWith(o, core.PolicyCheckpoint, storage.NVRAM, nil)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("PMFS", pmfs.MeanResponse(cluster.BandFree), pmfs.MeanResponse(cluster.BandProduction), pmfs.IOBusyHours, pmfs.WastedCPUHours)
+	tb.AddRow("NVRAM", nvram.MeanResponse(cluster.BandFree), nvram.MeanResponse(cluster.BandProduction), nvram.IOBusyHours, nvram.WastedCPUHours)
+	return tb, nil
+}
+
+// ExtEvictionThreshold compares unlimited kill-based preemption with the
+// Cavdar-style per-task eviction cap.
+func ExtEvictionThreshold(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Ext — Eviction threshold (kill policy, SSD)",
+		"max_evictions", "wasted_core_h", "resp_low_s", "resp_high_s", "preemptions")
+	for _, cap := range []int{0, 1, 2, 4} {
+		capv := cap
+		r, err := simRunWith(o, core.PolicyKill, storage.SSD, func(c *sched.Config) { c.MaxEvictionsPerTask = capv })
+		if err != nil {
+			return nil, err
+		}
+		label := "unlimited"
+		if capv > 0 {
+			label = strconv.Itoa(capv)
+		}
+		tb.AddRow(label, r.WastedCPUHours, r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandProduction), r.Preemptions)
+	}
+	return tb, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"preemptsched/internal/checkpoint"
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/metrics"
+	"preemptsched/internal/proc"
+	"preemptsched/internal/storage"
+)
+
+// dfsWriteFactor models the overhead HDFS adds over the raw device for
+// checkpoint writes (replication pipeline, protocol): Fig. 2b shows
+// dumps through HDFS taking moderately longer than the local file system.
+const dfsWriteFactor = 1.35
+
+// dfsTransferTime is the network leg of a DFS read/write.
+func dfsTransferTime(size int64) time.Duration {
+	return time.Duration(float64(size) / core.DefaultNetBandwidth * float64(time.Second))
+}
+
+// microDumpRestore performs a real dump+restore of a FillProgram process
+// with the given logical size and returns the image info, verifying the
+// engine round-trips at this size.
+func microDumpRestore(logical int64) (*checkpoint.ImageInfo, error) {
+	reg := proc.NewRegistry()
+	reg.Register(proc.FillProgramName, func() proc.Program { return proc.FillProgram{} })
+	eng := checkpoint.NewEngine(reg)
+	store := storage.NewMemStore()
+
+	real := int64(64 * proc.PageSize)
+	if logical < real {
+		logical = real
+	}
+	p, err := proc.New("micro", proc.FillProgram{}, real, logical)
+	if err != nil {
+		return nil, err
+	}
+	proc.ConfigureFill(p, 1000, 2)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Step(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Suspend(); err != nil {
+		return nil, err
+	}
+	info, err := eng.Dump(p, store, "img", checkpoint.DumpOpts{})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.Restore(store, "img"); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// fig2Sizes is the paper's x-axis: checkpoint sizes in GB.
+var fig2Sizes = []float64{0, 1.0, 2.5, 5.0, 7.5, 10.0}
+
+// Fig2a regenerates total dump+restore time against checkpoint size on the
+// local file system for HDD, SSD and NVM. Each point performs a real
+// (logically scaled) dump+restore; the reported duration is the
+// calibrated device model's.
+func Fig2a(Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Fig 2a — Suspend+restore time vs size, local FS (seconds)",
+		"size_gb", "HDD", "SSD", "NVM")
+	devices := []*storage.Device{
+		storage.NewDevice(storage.HDD),
+		storage.NewDevice(storage.SSD),
+		storage.NewDevice(storage.NVM),
+	}
+	for _, gb := range fig2Sizes {
+		size := cluster.GiB(gb)
+		if _, err := microDumpRestore(size); err != nil {
+			return nil, fmt.Errorf("experiments: fig2a at %v GB: %w", gb, err)
+		}
+		row := []any{gb}
+		for _, dev := range devices {
+			total := dev.WriteTime(size) + dev.ReadTime(size)
+			row = append(row, total.Seconds())
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// Fig2b regenerates the same sweep through the DFS: every byte also pays
+// the network leg and the replication-pipeline factor.
+func Fig2b(Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Fig 2b — Suspend+restore time vs size, DFS (seconds)",
+		"size_gb", "HDD", "SSD", "PMFS")
+	devices := []*storage.Device{
+		storage.NewDevice(storage.HDD),
+		storage.NewDevice(storage.SSD),
+		storage.NewDevice(storage.NVM),
+	}
+	for _, gb := range fig2Sizes {
+		size := cluster.GiB(gb)
+		row := []any{gb}
+		for _, dev := range devices {
+			dump := time.Duration(dfsWriteFactor*float64(dev.WriteTime(size))) + dfsTransferTime(size)
+			restore := dev.ReadTime(size) + dfsTransferTime(size)
+			row = append(row, (dump + restore).Seconds())
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// Table3 regenerates the incremental-checkpointing benefit: a 5 GB
+// process is dumped, ~10% of its memory is modified, and it is dumped
+// again incrementally. Both dumps are performed for real; times come from
+// the device models applied to each dump's logical size.
+func Table3(Options) (*metrics.Table, error) {
+	reg := proc.NewRegistry()
+	reg.Register(proc.FillProgramName, func() proc.Program { return proc.FillProgram{} })
+	eng := checkpoint.NewEngine(reg)
+	store := storage.NewMemStore()
+
+	const logical = int64(5) << 30
+	const realPages = 200
+	p, err := proc.New("t3", proc.FillProgram{}, realPages*proc.PageSize, logical)
+	if err != nil {
+		return nil, err
+	}
+	// Each step touches one data page; after the full dump, 20 steps dirty
+	// ~10% of the 200 pages.
+	proc.ConfigureFill(p, 1_000_000, 1)
+	if err := p.Suspend(); err != nil {
+		return nil, err
+	}
+	full, err := eng.Dump(p, store, "t3/0", checkpoint.DumpOpts{})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ResumeInPlace(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 19; i++ {
+		if _, err := p.Step(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Suspend(); err != nil {
+		return nil, err
+	}
+	incr, err := eng.Dump(p, store, "t3/1", checkpoint.DumpOpts{Incremental: true, Parent: "t3/0"})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.Restore(store, "t3/1"); err != nil {
+		return nil, fmt.Errorf("experiments: table3 chain restore: %w", err)
+	}
+
+	paper := map[storage.Kind][2]float64{
+		storage.HDD: {169.18, 15.34},
+		storage.SSD: {43.73, 4.08},
+		storage.NVM: {2.92, 0.28},
+	}
+	tb := metrics.NewTable("Table 3 — Incremental checkpointing (seconds)",
+		"storage", "first_checkpoint", "second_checkpoint", "paper_first", "paper_second")
+	for _, kind := range []storage.Kind{storage.HDD, storage.SSD, storage.NVM} {
+		dev := storage.NewDevice(kind)
+		first := dev.WriteTime(full.LogicalBytes).Seconds()
+		second := dev.WriteTime(incr.LogicalBytes).Seconds()
+		tb.AddRow(kind.String(), first, second, paper[kind][0], paper[kind][1])
+	}
+	return tb, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"preemptsched/internal/metrics"
+)
+
+// RunAll executes every experiment and writes the rendered tables to w.
+// It is the engine behind cmd/experiments and the source of
+// EXPERIMENTS.md's measured columns.
+func RunAll(o Options, w io.Writer) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	emit := func(tb *metrics.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		_, werr := fmt.Fprintln(w, tb.String())
+		return werr
+	}
+
+	fmt.Fprintln(w, "# Section 2 — Google-trace analysis (calibrated synthetic trace)")
+	if err := emit(Fig1a(o)); err != nil {
+		return fmt.Errorf("fig1a: %w", err)
+	}
+	if err := emit(Fig1b(o)); err != nil {
+		return fmt.Errorf("fig1b: %w", err)
+	}
+	if err := emit(Fig1c(o)); err != nil {
+		return fmt.Errorf("fig1c: %w", err)
+	}
+	if err := emit(Table1(o)); err != nil {
+		return fmt.Errorf("table1: %w", err)
+	}
+	if err := emit(Table2(o)); err != nil {
+		return fmt.Errorf("table2: %w", err)
+	}
+
+	fmt.Fprintln(w, "# Section 3.3.1 — Checkpoint microbenchmarks")
+	if err := emit(Fig2a(o)); err != nil {
+		return fmt.Errorf("fig2a: %w", err)
+	}
+	if err := emit(Fig2b(o)); err != nil {
+		return fmt.Errorf("fig2b: %w", err)
+	}
+
+	fmt.Fprintln(w, "# Section 3.3.2 — Trace-driven simulation")
+	if err := emit(Fig3a(o)); err != nil {
+		return fmt.Errorf("fig3a: %w", err)
+	}
+	if err := emit(Fig3b(o)); err != nil {
+		return fmt.Errorf("fig3b: %w", err)
+	}
+	if err := emit(Fig3c(o)); err != nil {
+		return fmt.Errorf("fig3c: %w", err)
+	}
+
+	fmt.Fprintln(w, "# Section 3.3.3 / 4.2.2 — Sensitivity analysis")
+	h4, l4, e4, err := Fig4(o)
+	if err != nil {
+		return fmt.Errorf("fig4: %w", err)
+	}
+	for _, tb := range []*metrics.Table{h4, l4, e4} {
+		fmt.Fprintln(w, tb.String())
+	}
+	h6, l6, e6, err := Fig6(o)
+	if err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	for _, tb := range []*metrics.Table{h6, l6, e6} {
+		fmt.Fprintln(w, tb.String())
+	}
+
+	fmt.Fprintln(w, "# Section 4 — Adaptive policies")
+	if err := emit(Table3(o)); err != nil {
+		return fmt.Errorf("table3: %w", err)
+	}
+	if err := emit(Fig5(o)); err != nil {
+		return fmt.Errorf("fig5: %w", err)
+	}
+
+	fmt.Fprintln(w, "# Section 5.3 — Framework experiments")
+	if err := emit(Fig8a(o)); err != nil {
+		return fmt.Errorf("fig8a: %w", err)
+	}
+	if err := emit(Fig8b(o)); err != nil {
+		return fmt.Errorf("fig8b: %w", err)
+	}
+	if err := emit(Fig8c(o)); err != nil {
+		return fmt.Errorf("fig8c: %w", err)
+	}
+	if err := emit(Fig9(o)); err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	if err := emit(Fig10(o)); err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	f11, err := Fig11(o)
+	if err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	for _, tb := range f11 {
+		fmt.Fprintln(w, tb.String())
+	}
+	cpuT, ioT, err := Fig12(o)
+	if err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	fmt.Fprintln(w, cpuT.String())
+	fmt.Fprintln(w, ioT.String())
+
+	fmt.Fprintln(w, "# Extensions (no paper counterpart; DESIGN.md §6)")
+	if err := emit(ExtDisciplines(o)); err != nil {
+		return fmt.Errorf("ext disciplines: %w", err)
+	}
+	if err := emit(ExtPreCopy(o)); err != nil {
+		return fmt.Errorf("ext precopy: %w", err)
+	}
+	if err := emit(ExtNVRAM(o)); err != nil {
+		return fmt.Errorf("ext nvram: %w", err)
+	}
+	if err := emit(ExtEvictionThreshold(o)); err != nil {
+		return fmt.Errorf("ext eviction threshold: %w", err)
+	}
+
+	fmt.Fprintln(w, "# Raw summaries")
+	if err := emit(SimSummary(o)); err != nil {
+		return fmt.Errorf("sim summary: %w", err)
+	}
+	if err := emit(YarnSummary(o)); err != nil {
+		return fmt.Errorf("yarn summary: %w", err)
+	}
+	return nil
+}

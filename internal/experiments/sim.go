@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/metrics"
+	"preemptsched/internal/sched"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/workload"
+)
+
+// simRun executes (or returns the memoized result of) the one-day trace
+// simulation under one policy/storage.
+func simRun(o Options, policy core.Policy, kind storage.Kind) (*sched.Result, error) {
+	return cachedSimRun(o, policy, kind)
+}
+
+func simRunUncached(o Options, policy core.Policy, kind storage.Kind) (*sched.Result, error) {
+	jobs, err := o.simJobs()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sched.DefaultConfig(policy, kind)
+	o.simCluster(jobs, &cfg)
+	return sched.Run(cfg, jobs)
+}
+
+// storageKinds is the paper's device sweep order.
+var storageKinds = []storage.Kind{storage.HDD, storage.SSD, storage.NVM}
+
+// Fig3a regenerates wasted CPU capacity under kill vs checkpoint-based
+// preemption on each storage medium.
+func Fig3a(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Fig 3a — Resource wastage (trace-driven sim)",
+		"policy", "wasted_core_hours", "waste_pct_of_usage")
+	kill, err := simRun(o, core.PolicyKill, storage.SSD)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("Kill", kill.WastedCPUHours, 100*kill.WasteFraction())
+	for _, kind := range storageKinds {
+		r, err := simRun(o, core.PolicyCheckpoint, kind)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("Chk-"+kind.String(), r.WastedCPUHours, 100*r.WasteFraction())
+	}
+	return tb, nil
+}
+
+// Fig3b regenerates total energy consumption for the same four policies.
+func Fig3b(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Fig 3b — Energy consumption (trace-driven sim)",
+		"policy", "energy_kwh")
+	kill, err := simRun(o, core.PolicyKill, storage.SSD)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("Kill", kill.EnergyKWh)
+	for _, kind := range storageKinds {
+		r, err := simRun(o, core.PolicyCheckpoint, kind)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("Chk-"+kind.String(), r.EnergyKWh)
+	}
+	return tb, nil
+}
+
+// Fig3c regenerates per-band job response times normalized to the
+// kill-based policy.
+func Fig3c(o Options) (*metrics.Table, error) {
+	kill, err := simRun(o, core.PolicyKill, storage.SSD)
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("Fig 3c — Normalized response time vs kill (trace-driven sim)",
+		"policy", "low_priority", "medium_priority", "high_priority")
+	tb.AddRow("Kill", 1.0, 1.0, 1.0)
+	for _, kind := range storageKinds {
+		r, err := simRun(o, core.PolicyCheckpoint, kind)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("Chk-"+kind.String(),
+			norm(r.MeanResponse(cluster.BandFree), kill.MeanResponse(cluster.BandFree)),
+			norm(r.MeanResponse(cluster.BandMiddle), kill.MeanResponse(cluster.BandMiddle)),
+			norm(r.MeanResponse(cluster.BandProduction), kill.MeanResponse(cluster.BandProduction)))
+	}
+	return tb, nil
+}
+
+func norm(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}
+
+// sensitivityBandwidths is the paper's 1-5 GB/s sweep.
+var sensitivityBandwidths = []float64{1e9, 2e9, 3e9, 4e9, 5e9}
+
+// sensitivityRun executes the two-job k-means scenario of Section 3.3.3 on
+// a single-slot machine with the given policy and checkpoint bandwidth.
+func sensitivityRun(policy core.Policy, bw float64) (*sched.Result, error) {
+	jobs := workload.SensitivityScenario(time.Minute, 30*time.Second, cluster.GiB(5))
+	cfg := sched.DefaultConfig(policy, storage.SSD)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(8)}
+	cfg.CustomBandwidth = bw
+	return sched.Run(cfg, jobs)
+}
+
+// figSensitivity produces the three panels of Fig. 4 (policies wait, kill,
+// checkpoint) or Fig. 6 (plus adaptive): normalized high- and low-priority
+// response times and energy across checkpoint bandwidths.
+func figSensitivity(includeAdaptive bool) (high, low, energyT *metrics.Table, err error) {
+	policies := []core.Policy{core.PolicyWait, core.PolicyKill, core.PolicyCheckpoint}
+	figure := "Fig 4"
+	if includeAdaptive {
+		policies = append(policies, core.PolicyAdaptive)
+		figure = "Fig 6"
+	}
+	cols := []string{"bandwidth_gbs"}
+	for _, p := range policies {
+		cols = append(cols, p.String())
+	}
+	high = metrics.NewTable(figure+"a — High-priority normalized response vs bandwidth", cols...)
+	low = metrics.NewTable(figure+"b — Low-priority normalized response vs bandwidth", cols...)
+	energyT = metrics.NewTable(figure+"c — Normalized energy vs bandwidth", cols...)
+
+	for _, bw := range sensitivityBandwidths {
+		kill, err := sensitivityRun(core.PolicyKill, bw)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		wait, err := sensitivityRun(core.PolicyWait, bw)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		baseHigh := kill.MeanResponse(cluster.BandProduction)
+		baseLow := kill.MeanResponse(cluster.BandFree)
+		baseEnergy := wait.EnergyKWh
+
+		rowH := []any{bw / 1e9}
+		rowL := []any{bw / 1e9}
+		rowE := []any{bw / 1e9}
+		for _, p := range policies {
+			r, err := sensitivityRun(p, bw)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rowH = append(rowH, norm(r.MeanResponse(cluster.BandProduction), baseHigh))
+			rowL = append(rowL, norm(r.MeanResponse(cluster.BandFree), baseLow))
+			rowE = append(rowE, norm(r.EnergyKWh, baseEnergy))
+		}
+		high.AddRow(rowH...)
+		low.AddRow(rowL...)
+		energyT.AddRow(rowE...)
+	}
+	return high, low, energyT, nil
+}
+
+// Fig4 regenerates the wait/kill/checkpoint sensitivity sweep.
+func Fig4(Options) (highT, lowT, energyT *metrics.Table, err error) {
+	return figSensitivity(false)
+}
+
+// Fig6 regenerates the sweep including the adaptive policy.
+func Fig6(Options) (highT, lowT, energyT *metrics.Table, err error) {
+	return figSensitivity(true)
+}
+
+// Fig5 regenerates the adaptive-vs-basic comparison in the trace-driven
+// simulator: per-band response times of the adaptive policy normalized to
+// basic checkpoint-based preemption, one panel per storage medium.
+func Fig5(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Fig 5 — Adaptive vs basic checkpointing (sim), response normalized to basic",
+		"storage", "policy", "low_priority", "medium_priority", "high_priority")
+	for _, kind := range storageKinds {
+		basic, err := simRun(o, core.PolicyCheckpoint, kind)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := simRun(o, core.PolicyAdaptive, kind)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(kind.String(), "basic", 1.0, 1.0, 1.0)
+		tb.AddRow(kind.String(), "adaptive",
+			norm(adaptive.MeanResponse(cluster.BandFree), basic.MeanResponse(cluster.BandFree)),
+			norm(adaptive.MeanResponse(cluster.BandMiddle), basic.MeanResponse(cluster.BandMiddle)),
+			norm(adaptive.MeanResponse(cluster.BandProduction), basic.MeanResponse(cluster.BandProduction)))
+	}
+	return tb, nil
+}
+
+// SimSummary reports the absolute per-policy outcomes backing Figures 3
+// and 5, for EXPERIMENTS.md.
+func SimSummary(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Trace-driven simulation summary",
+		"policy", "storage", "wasted_core_hours", "energy_kwh",
+		"resp_low_s", "resp_med_s", "resp_high_s", "preemptions", "kills", "checkpoints", "restores")
+	add := func(policy core.Policy, kind storage.Kind) error {
+		r, err := simRun(o, policy, kind)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(policy.String(), kind.String(), r.WastedCPUHours, r.EnergyKWh,
+			r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandMiddle), r.MeanResponse(cluster.BandProduction),
+			r.Preemptions, r.Kills, r.Checkpoints, r.Restores)
+		return nil
+	}
+	if err := add(core.PolicyKill, storage.SSD); err != nil {
+		return nil, err
+	}
+	for _, kind := range storageKinds {
+		if err := add(core.PolicyCheckpoint, kind); err != nil {
+			return nil, err
+		}
+		if err := add(core.PolicyAdaptive, kind); err != nil {
+			return nil, err
+		}
+	}
+	return tb, nil
+}

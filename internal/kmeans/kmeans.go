@@ -1,0 +1,157 @@
+// Package kmeans implements Lloyd's k-means algorithm, the workload the
+// paper runs inside YARN containers for its sensitivity and cluster
+// experiments (Sections 3.3.3 and 5.3, citing mlpack's k-means).
+//
+// The plain library API operates on float64 slices. KMeansProgram adapts
+// the same computation to a checkpointable virtual process: every piece of
+// mutable state (points, centroids, iteration counter) lives in process
+// memory, so the checkpoint engine can suspend a half-finished clustering
+// run and resume it — possibly on another node — without the program's
+// cooperation.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"preemptsched/internal/sim"
+)
+
+// Result holds the output of a clustering run.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int
+	Iterations int
+	// Inertia is the sum of squared distances of points to their centroid.
+	Inertia float64
+}
+
+// Config parameterizes a run.
+type Config struct {
+	K        int
+	MaxIters int
+	// Tol stops early when no centroid moves more than Tol (squared
+	// distance). Zero means run all MaxIters.
+	Tol float64
+}
+
+// Run clusters points with Lloyd's algorithm. Initial centroids are the
+// first k distinct points, which keeps the function deterministic.
+func Run(points [][]float64, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: k=%d must be positive", cfg.K)
+	}
+	if len(points) < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d points for k=%d", len(points), cfg.K)
+	}
+	if cfg.MaxIters <= 0 {
+		return nil, fmt.Errorf("kmeans: MaxIters=%d must be positive", cfg.MaxIters)
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+	centroids := make([][]float64, cfg.K)
+	for i := range centroids {
+		centroids[i] = append([]float64(nil), points[i]...)
+	}
+	assign := make([]int, len(points))
+	res := &Result{Centroids: centroids, Assignment: assign}
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		res.Iterations = iter + 1
+		moved := Iterate(points, centroids, assign)
+		if cfg.Tol > 0 && moved <= cfg.Tol {
+			break
+		}
+	}
+	res.Inertia = Inertia(points, centroids, assign)
+	return res, nil
+}
+
+// Iterate performs one Lloyd iteration in place: assign each point to its
+// nearest centroid, then recompute centroids as cluster means. It returns
+// the largest squared distance any centroid moved.
+func Iterate(points, centroids [][]float64, assign []int) float64 {
+	k := len(centroids)
+	dims := len(centroids[0])
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dims)
+	}
+	counts := make([]int, k)
+	for i, p := range points {
+		best, bestD := 0, math.MaxFloat64
+		for c := range centroids {
+			d := SquaredDistance(p, centroids[c])
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		counts[best]++
+		for d := range p {
+			sums[best][d] += p[d]
+		}
+	}
+	var maxMove float64
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue // keep an empty cluster's centroid in place
+		}
+		var move float64
+		for d := range centroids[c] {
+			next := sums[c][d] / float64(counts[c])
+			diff := next - centroids[c][d]
+			move += diff * diff
+			centroids[c][d] = next
+		}
+		if move > maxMove {
+			maxMove = move
+		}
+	}
+	return maxMove
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+func SquaredDistance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Inertia returns the total within-cluster sum of squared distances.
+func Inertia(points, centroids [][]float64, assign []int) float64 {
+	var s float64
+	for i, p := range points {
+		s += SquaredDistance(p, centroids[assign[i]])
+	}
+	return s
+}
+
+// GeneratePoints draws n points of the given dimensionality from k
+// well-separated Gaussian blobs, producing a dataset where clustering has a
+// meaningful answer. It is deterministic for a given RNG.
+func GeneratePoints(rng *sim.RNG, n, dims, k int) [][]float64 {
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for d := range centers[c] {
+			centers[c][d] = rng.Bounded(-50, 50)
+		}
+	}
+	points := make([][]float64, n)
+	for i := range points {
+		c := centers[i%k]
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = c[d] + rng.NormFloat64()*2
+		}
+		points[i] = p
+	}
+	return points
+}

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if got, want := s.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := s.Sum(); got != 40 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Stddev() != 0 || s.N() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+// Property: merging two summaries equals summarizing the concatenation.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var sa, sb, all Summary
+		for _, x := range a {
+			sa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			sb.Add(x)
+			all.Add(x)
+		}
+		sa.Merge(sb)
+		if sa.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		close := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-6*(1+math.Abs(x)+math.Abs(y))
+		}
+		return close(sa.Mean(), all.Mean()) && close(sa.Variance(), all.Variance()) &&
+			sa.Min() == all.Min() && sa.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.25, 25.75}, {0.99, 99.01},
+	}
+	for _, tt := range tests {
+		if got := d.Quantile(tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if d.Median() != d.Quantile(0.5) {
+		t.Error("Median != Quantile(0.5)")
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 || d.CDF(4) != nil || d.FractionBelow(3) != 0 {
+		t.Error("empty dist should report zeros/nil")
+	}
+}
+
+func TestDistCDFMonotone(t *testing.T) {
+	var d Dist
+	for _, x := range []float64{5, 1, 9, 3, 3, 7} {
+		d.Add(x)
+	}
+	pts := d.CDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("CDF len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+			t.Fatalf("CDF not monotone at %d: %+v", i, pts)
+		}
+	}
+	if pts[len(pts)-1].X != 9 || pts[len(pts)-1].F != 1 {
+		t.Errorf("CDF should end at (max, 1): %+v", pts[len(pts)-1])
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var d Dist
+	for _, x := range []float64{1, 2, 2, 3, 10} {
+		d.Add(x)
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {10, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := d.FractionBelow(tt.x); got != tt.want {
+			t.Errorf("FractionBelow(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestDistQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, qa, qb float64) bool {
+		var d Dist
+		n := 0
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				d.Add(x)
+				n++
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := d.Quantile(qa), d.Quantile(qb)
+		return va <= vb && va >= d.Quantile(0) && vb <= d.Quantile(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 100} {
+		h.Add(x)
+	}
+	want := []int64{3, 1, 1, 0, 3}
+	for i, w := range want {
+		if h.Counts()[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, h.Counts()[i], w, h.Counts())
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.BucketLow(2) != 4 {
+		t.Errorf("BucketLow(2) = %v", h.BucketLow(2))
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345.678)
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "1.5") {
+		t.Errorf("missing cells:\n%s", s)
+	}
+	if !strings.Contains(s, "12346") {
+		t.Errorf("large float not rounded to integer form:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Errorf("bad CSV header: %q", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("CSV line count = %d, want 3", lines)
+	}
+}

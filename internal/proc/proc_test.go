@@ -1,0 +1,301 @@
+package proc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMemoryValidation(t *testing.T) {
+	tests := []struct {
+		name          string
+		real, logical int64
+		wantErr       bool
+	}{
+		{"ok equal", PageSize, PageSize, false},
+		{"ok scaled", PageSize, 1 << 30, false},
+		{"zero real", 0, 100, true},
+		{"negative real", -1, 100, true},
+		{"logical below real", 2 * PageSize, PageSize, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewMemory(tt.real, tt.logical)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMemoryRoundsUpToPages(t *testing.T) {
+	m, err := NewMemory(PageSize+1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", m.NumPages())
+	}
+	if m.RealBytes() != 2*PageSize {
+		t.Errorf("RealBytes = %d", m.RealBytes())
+	}
+	if m.LogicalBytes() != 1<<20 {
+		t.Errorf("LogicalBytes = %d", m.LogicalBytes())
+	}
+}
+
+func TestMemoryReadWriteSpanningPages(t *testing.T) {
+	m, _ := NewMemory(3*PageSize, 3*PageSize)
+	m.ClearSoftDirty()
+	data := make([]byte, PageSize+100)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	off := int64(PageSize - 50)
+	if err := m.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read back differs")
+	}
+	// Pages 0, 1, 2 were all touched by the spanning write.
+	if got := m.DirtyCount(); got != 3 {
+		t.Errorf("DirtyCount = %d, want 3 (dirty: %v)", got, m.DirtyPages())
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m, _ := NewMemory(PageSize, PageSize)
+	if err := m.ReadAt(make([]byte, 10), int64(PageSize)-5); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := m.WriteAt(make([]byte, 1), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := m.SetPage(1, make([]byte, PageSize)); err == nil {
+		t.Error("SetPage out of range accepted")
+	}
+	if err := m.SetPage(0, make([]byte, 10)); err == nil {
+		t.Error("short page accepted")
+	}
+}
+
+func TestSoftDirtyLifecycle(t *testing.T) {
+	m, _ := NewMemory(4*PageSize, 4*PageSize)
+	// Fresh memory starts fully dirty so the first dump is full.
+	if m.DirtyCount() != 4 {
+		t.Fatalf("fresh memory dirty count = %d, want 4", m.DirtyCount())
+	}
+	m.ClearSoftDirty()
+	if m.DirtyCount() != 0 {
+		t.Fatal("ClearSoftDirty left dirty pages")
+	}
+	m.WriteU64(2*PageSize+8, 42)
+	if pages := m.DirtyPages(); len(pages) != 1 || pages[0] != 2 {
+		t.Errorf("DirtyPages = %v, want [2]", pages)
+	}
+	// SetPage (restore path) must NOT mark dirty.
+	m.SetPage(0, make([]byte, PageSize))
+	if m.DirtyCount() != 1 {
+		t.Error("SetPage marked page dirty")
+	}
+	m.MarkAllDirty()
+	if m.DirtyCount() != 4 {
+		t.Error("MarkAllDirty incomplete")
+	}
+}
+
+func TestLogicalDirtyBytes(t *testing.T) {
+	m, _ := NewMemory(10*PageSize, 100*PageSize)
+	m.ClearSoftDirty()
+	m.WriteU64(0, 1)
+	// 1 of 10 real pages dirty => 10% of logical footprint.
+	if got := m.LogicalDirtyBytes(); got != 10*PageSize {
+		t.Errorf("LogicalDirtyBytes = %d, want %d", got, 10*PageSize)
+	}
+}
+
+// Property: WriteAt/ReadAt round-trip arbitrary in-range payloads.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m, _ := NewMemory(8*PageSize, 8*PageSize)
+	f := func(data []byte, offRaw uint32) bool {
+		if len(data) == 0 || len(data) > 4*PageSize {
+			return true
+		}
+		off := int64(offRaw) % (m.RealBytes() - int64(len(data)))
+		if off < 0 {
+			off = 0
+		}
+		if err := m.WriteAt(data, off); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := m.ReadAt(got, off); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU64F64Helpers(t *testing.T) {
+	m, _ := NewMemory(PageSize, PageSize)
+	if err := m.WriteU64(16, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadU64(16); v != 0xDEADBEEF {
+		t.Errorf("ReadU64 = %x", v)
+	}
+	if err := m.WriteF64(24, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadF64(24); v != 3.25 {
+		t.Errorf("ReadF64 = %v", v)
+	}
+}
+
+func TestProcessLifecycle(t *testing.T) {
+	p, err := New("p1", FillProgram{}, 4*PageSize, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ConfigureFill(p, 3, 1)
+	if p.State() != Running {
+		t.Fatalf("state = %v", p.State())
+	}
+	done, err := p.Step()
+	if err != nil || done {
+		t.Fatalf("step 1: done=%v err=%v", done, err)
+	}
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Step(); err == nil {
+		t.Error("stepping a suspended process succeeded")
+	}
+	if err := p.ResumeInPlace(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		done, err = p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done || p.State() != Exited {
+		t.Errorf("after final step: done=%v state=%v", done, p.State())
+	}
+	if p.Steps() != 3 || p.Registers().PC != 3 {
+		t.Errorf("steps=%d pc=%d", p.Steps(), p.Registers().PC)
+	}
+}
+
+func TestProcessStateErrors(t *testing.T) {
+	p, _ := New("p", FillProgram{}, 2*PageSize, 2*PageSize)
+	if err := p.ResumeInPlace(); err == nil {
+		t.Error("resume of running process succeeded")
+	}
+	p.Kill()
+	if p.State() != Killed {
+		t.Errorf("state = %v", p.State())
+	}
+	if err := p.Suspend(); err == nil {
+		t.Error("suspend of killed process succeeded")
+	}
+	// Kill after exit is a no-op.
+	q, _ := New("q", FillProgram{}, 2*PageSize, 2*PageSize)
+	ConfigureFill(q, 1, 1)
+	q.Step()
+	q.Kill()
+	if q.State() != Exited {
+		t.Errorf("kill after exit changed state to %v", q.State())
+	}
+}
+
+func TestNewProcessValidation(t *testing.T) {
+	if _, err := New("p", nil, PageSize, PageSize); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := New("p", FillProgram{}, 0, 0); err == nil {
+		t.Error("zero memory accepted")
+	}
+	// FillProgram requires >= 2 pages.
+	if _, err := New("p", FillProgram{}, PageSize, PageSize); err == nil {
+		t.Error("1-page memfill accepted")
+	}
+}
+
+func TestFillProgramDeterminism(t *testing.T) {
+	run := func() uint64 {
+		p, err := New("p", FillProgram{}, 8*PageSize, 8*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ConfigureFill(p, 10, 3)
+		for {
+			done, err := p.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		sum, err := FillChecksum(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Errorf("checksums: %x vs %x", a, b)
+	}
+}
+
+func TestFillProgramDirtySpread(t *testing.T) {
+	p, _ := New("p", FillProgram{}, 11*PageSize, 11*PageSize)
+	ConfigureFill(p, 100, 1)
+	p.Memory().ClearSoftDirty()
+	p.Step()
+	// One data page + the header page.
+	if got := p.Memory().DirtyCount(); got != 2 {
+		t.Errorf("dirty after one step = %d, want 2", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(FillProgramName, func() Program { return FillProgram{} })
+	prog, err := r.New(FillProgramName)
+	if err != nil || prog.Name() != FillProgramName {
+		t.Fatalf("New: %v %v", prog, err)
+	}
+	if _, err := r.New("missing"); err == nil {
+		t.Error("missing program resolved")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != FillProgramName {
+		t.Errorf("Names = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Register(FillProgramName, func() Program { return FillProgram{} })
+}
+
+func TestRebuild(t *testing.T) {
+	mem, _ := NewMemory(2*PageSize, 2*PageSize)
+	regs := Registers{PC: 5}
+	regs.R[0] = 10
+	p := Rebuild("restored", FillProgram{}, mem, regs, 5)
+	if p.State() != Running || p.Steps() != 5 || p.Registers().PC != 5 || p.Registers().R[0] != 10 {
+		t.Errorf("rebuild state: %v steps=%d", p.State(), p.Steps())
+	}
+}

@@ -1,0 +1,284 @@
+// Package sched implements the paper's trace-driven cluster scheduling
+// simulator (Section 3.3.2): a cluster of nodes executing prioritized jobs
+// under one of four preemption policies (wait, kill, basic checkpoint,
+// adaptive), with checkpoint and restore costs charged to per-node storage
+// devices, restore placement per Algorithm 2, per-node sequential
+// checkpoint queues, and energy metered from node utilization.
+//
+// The simulator runs on the deterministic discrete-event engine; a given
+// (config, job list) pair always produces identical results.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/energy"
+	"preemptsched/internal/storage"
+)
+
+// Discipline selects how the scheduler arbitrates contention — which
+// queued task goes first and which running tasks are legitimate preemption
+// victims. The paper's system model (Section 3.1) names all three;
+// priority scheduling is what its experiments use.
+type Discipline int
+
+const (
+	// DisciplinePriority orders by task priority; higher priorities
+	// preempt strictly lower ones.
+	DisciplinePriority Discipline = iota + 1
+	// DisciplineFairShare balances dominant resource shares across users:
+	// under-served users schedule first and may preempt tasks of users
+	// running beyond their equal share.
+	DisciplineFairShare
+	// DisciplineCapacity guarantees each priority band a capacity
+	// fraction; a band below its guarantee may reclaim resources from
+	// bands above theirs.
+	DisciplineCapacity
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case DisciplinePriority:
+		return "priority"
+	case DisciplineFairShare:
+		return "fair-share"
+	case DisciplineCapacity:
+		return "capacity"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// DefaultCapacityGuarantees is the per-band capacity split used by
+// DisciplineCapacity when Config.CapacityGuarantees is unset: low-priority
+// batch gets the largest guaranteed pool, production the smallest —
+// production bursts above their guarantee are what preemption reclaims.
+var DefaultCapacityGuarantees = [cluster.NumBands]float64{0.45, 0.35, 0.20}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Nodes is the machine count; NodeCapacity the per-machine resources.
+	Nodes        int
+	NodeCapacity cluster.Resources
+	// Policy selects the preemption policy under test.
+	Policy core.Policy
+	// Discipline selects the contention arbitration rule. Zero means
+	// DisciplinePriority.
+	Discipline Discipline
+	// CapacityGuarantees sets per-band guaranteed capacity fractions for
+	// DisciplineCapacity; zero value takes DefaultCapacityGuarantees.
+	CapacityGuarantees [cluster.NumBands]float64
+	// MaxEvictionsPerTask caps how many times one task may be preempted
+	// (the eviction-threshold policy of Cavdar et al.); 0 means no cap.
+	MaxEvictionsPerTask int
+	// DisableIncremental forces every checkpoint to be a full dump
+	// (ablation of the incremental-checkpointing optimization).
+	DisableIncremental bool
+	// NaiveVictimSelection disables cost-aware eviction under the
+	// adaptive policy (ablation): victims are picked by priority and age
+	// only.
+	NaiveVictimSelection bool
+	// DisableRestorePlacement disables Algorithm 2 (ablation): restores
+	// take the first node with capacity regardless of image locality.
+	DisableRestorePlacement bool
+	// PreCopy enables pre-copy checkpointing (CRIU pre-dump): the bulk of
+	// a victim's state is dumped while it keeps running, and only the
+	// pages dirtied during that window are written during the freeze.
+	// This shortens the victim's non-progress window at the cost of a
+	// slightly later resource handover.
+	PreCopy bool
+	// StorageKind selects the per-node checkpoint device. Ignored when
+	// CustomBandwidth is positive, in which case every node gets a
+	// symmetric device of that many bytes/second (the paper's sensitivity
+	// sweeps).
+	StorageKind     storage.Kind
+	CustomBandwidth float64
+	// NetBandwidth is the bytes/second available for shipping images to
+	// remote restore targets. Defaults to core.DefaultNetBandwidth.
+	NetBandwidth float64
+	// DirtyFloor is the minimum fraction of a task's footprint considered
+	// dirty right after a restore; dirtiness then grows linearly with run
+	// time. Table 3's experiment modifies 10% between dumps; 0.12 is the
+	// default.
+	DirtyFloor float64
+	// EnergyModel maps node utilization to watts.
+	EnergyModel energy.Model
+	// ScanLimit bounds how many queued tasks each scheduling pass
+	// examines; it trades head-of-line fidelity for simulation speed.
+	ScanLimit int
+}
+
+// DefaultConfig returns a mid-size cluster on the given storage with the
+// given policy.
+func DefaultConfig(policy core.Policy, kind storage.Kind) Config {
+	return Config{
+		Nodes:        64,
+		NodeCapacity: cluster.Resources{CPUMillis: cluster.Cores(16), MemBytes: cluster.GiB(64)},
+		Policy:       policy,
+		StorageKind:  kind,
+		NetBandwidth: core.DefaultNetBandwidth,
+		DirtyFloor:   0.12,
+		EnergyModel:  energy.DefaultModel(),
+		ScanLimit:    64,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sched: Nodes=%d must be positive", c.Nodes)
+	}
+	if c.NodeCapacity.CPUMillis <= 0 || c.NodeCapacity.MemBytes <= 0 {
+		return fmt.Errorf("sched: non-positive node capacity %v", c.NodeCapacity)
+	}
+	switch c.Policy {
+	case core.PolicyWait, core.PolicyKill, core.PolicyCheckpoint, core.PolicyAdaptive:
+	default:
+		return fmt.Errorf("sched: invalid policy %v", c.Policy)
+	}
+	switch c.Discipline {
+	case 0, DisciplinePriority, DisciplineFairShare, DisciplineCapacity:
+	default:
+		return fmt.Errorf("sched: invalid discipline %v", c.Discipline)
+	}
+	if c.MaxEvictionsPerTask < 0 {
+		return fmt.Errorf("sched: negative eviction cap")
+	}
+	if c.CustomBandwidth < 0 {
+		return fmt.Errorf("sched: negative custom bandwidth")
+	}
+	if c.DirtyFloor < 0 || c.DirtyFloor > 1 {
+		return fmt.Errorf("sched: DirtyFloor=%v outside [0,1]", c.DirtyFloor)
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued optional fields.
+func (c Config) withDefaults() Config {
+	if c.NetBandwidth == 0 {
+		c.NetBandwidth = core.DefaultNetBandwidth
+	}
+	if c.Discipline == 0 {
+		c.Discipline = DisciplinePriority
+	}
+	if c.CapacityGuarantees == ([cluster.NumBands]float64{}) {
+		c.CapacityGuarantees = DefaultCapacityGuarantees
+	}
+	if c.DirtyFloor == 0 {
+		c.DirtyFloor = 0.12
+	}
+	if c.EnergyModel == (energy.Model{}) {
+		c.EnergyModel = energy.DefaultModel()
+	}
+	if c.ScanLimit == 0 {
+		c.ScanLimit = 64
+	}
+	return c
+}
+
+// Result aggregates a simulation run's outcomes; its fields are the
+// quantities the paper's figures report.
+type Result struct {
+	Policy   core.Policy
+	Storage  string
+	Makespan time.Duration
+
+	// WastedCPUHours is core-hours consumed without producing retained
+	// progress: killed partial runs plus checkpoint/restore overhead.
+	WastedCPUHours float64
+	// UsefulCPUHours is core-hours of retained compute.
+	UsefulCPUHours float64
+	// OverheadCPUHours is the checkpoint/restore share of waste (Fig. 12a).
+	OverheadCPUHours float64
+	// EnergyKWh is total cluster energy (Fig. 3b / 8b).
+	EnergyKWh float64
+
+	// JobResponseSec holds per-band job response times in seconds
+	// (queueing + execution, Fig. 3c / 8c) plus an all-jobs distribution
+	// for CDFs (Fig. 9 / 11).
+	JobResponseSec    map[cluster.Band]*Dist
+	JobResponseAllSec *Dist
+	// JobResponseByUser holds per-tenant response times, the input to
+	// fairness comparisons across scheduling disciplines.
+	JobResponseByUser map[string]*Dist
+
+	Preemptions            int
+	Kills                  int
+	Checkpoints            int
+	IncrementalCheckpoints int
+	// PreCopies counts checkpoints taken with the pre-copy optimization.
+	PreCopies      int
+	Restores       int
+	RemoteRestores int
+	TasksCompleted int
+
+	// IOBusyHours is device-hours spent on checkpoint I/O (Fig. 12b).
+	IOBusyHours float64
+	// PeakImageBytes is the high-water mark of stored checkpoint state
+	// (Section 5.3.3 storage overhead).
+	PeakImageBytes int64
+}
+
+// WasteFraction returns waste over total consumed CPU.
+func (r *Result) WasteFraction() float64 {
+	total := r.WastedCPUHours + r.UsefulCPUHours
+	if total == 0 {
+		return 0
+	}
+	return r.WastedCPUHours / total
+}
+
+// CPUOverheadFraction is checkpoint/restore core-hours over all consumed
+// core-hours (Fig. 12a's y-axis).
+func (r *Result) CPUOverheadFraction() float64 {
+	total := r.WastedCPUHours + r.UsefulCPUHours
+	if total == 0 {
+		return 0
+	}
+	return r.OverheadCPUHours / total
+}
+
+// IOOverheadFraction is checkpoint-device busy time over total
+// device-time (Fig. 12b's y-axis).
+func (r *Result) IOOverheadFraction(nodes int) float64 {
+	if r.Makespan <= 0 || nodes <= 0 {
+		return 0
+	}
+	return r.IOBusyHours / (r.Makespan.Hours() * float64(nodes))
+}
+
+// MeanResponse returns the mean job response time for a band, in seconds.
+func (r *Result) MeanResponse(b cluster.Band) float64 {
+	d := r.JobResponseSec[b]
+	if d == nil {
+		return 0
+	}
+	return d.Mean()
+}
+
+// FairnessIndex returns Jain's fairness index over per-user mean response
+// times (1 = perfectly equal, 1/n = maximally skewed). It compares how
+// evenly the scheduling disciplines treat tenants.
+func (r *Result) FairnessIndex() float64 {
+	var xs []float64
+	for _, d := range r.JobResponseByUser {
+		if d.N() > 0 {
+			xs = append(xs, d.Mean())
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

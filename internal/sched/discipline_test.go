@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/trace"
+)
+
+// userJob builds a single-task job for a tenant.
+func userJob(id cluster.JobID, user string, prio cluster.Priority, submit, dur time.Duration, cpuCores float64) cluster.JobSpec {
+	return cluster.JobSpec{
+		ID: id, Priority: prio, User: user, Submit: submit,
+		Tasks: []cluster.TaskSpec{{
+			ID:           cluster.TaskID{Job: id},
+			Priority:     prio,
+			User:         user,
+			Demand:       cluster.Resources{CPUMillis: cluster.Cores(cpuCores), MemBytes: cluster.GiB(2)},
+			MemFootprint: cluster.GiB(1),
+			Duration:     dur,
+			Submit:       submit,
+		}},
+	}
+}
+
+func TestFairSharepreemptsOverServedUser(t *testing.T) {
+	// User A fills the whole 4-core node with 4 tasks; user B arrives
+	// later at the same priority. Priority scheduling would make B wait;
+	// fair share must preempt A down toward a 50/50 split.
+	var jobs []cluster.JobSpec
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, userJob(cluster.JobID(i), "alice", 5, 0, 10*time.Minute, 1))
+	}
+	jobs = append(jobs, userJob(10, "bob", 5, time.Minute, 2*time.Minute, 1))
+
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(4), MemBytes: cluster.GiB(32)}
+
+	// Under priority scheduling nothing is preemptable (equal priority).
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions != 0 {
+		t.Fatalf("priority discipline preempted equals: %d", r.Preemptions)
+	}
+
+	cfg.Discipline = DisciplineFairShare
+	r, err = Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions == 0 {
+		t.Fatal("fair share did not preempt the over-served user")
+	}
+	if r.TasksCompleted != 5 {
+		t.Errorf("completed %d tasks", r.TasksCompleted)
+	}
+	// Bob's job should finish long before Alice's 10-minute tasks would
+	// have drained a priority-run queue (waits ~10min, total ~12min).
+	bobResp := r.JobResponseSec[cluster.BandMiddle]
+	if bobResp.N() != 5 {
+		t.Fatalf("response samples = %d", bobResp.N())
+	}
+	// Bob's is the fastest-finishing job: ~2 minutes of work plus one
+	// checkpoint round trip, far below the 9+ minutes a wait would cost.
+	if min := bobResp.Quantile(0); min > 300 {
+		t.Errorf("fastest job response %v s; fair share should run bob promptly", min)
+	}
+}
+
+func TestFairShareDoesNotPreemptUnderServedUser(t *testing.T) {
+	// Bob holds one core of four; Alice requests her first task. Bob is
+	// not above his equal share, so nothing may be preempted even though
+	// alice is below hers; she takes free capacity instead.
+	jobs := []cluster.JobSpec{
+		userJob(0, "bob", 5, 0, 5*time.Minute, 1),
+		userJob(1, "alice", 5, time.Minute, time.Minute, 1),
+	}
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(4), MemBytes: cluster.GiB(32)}
+	cfg.Discipline = DisciplineFairShare
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions != 0 {
+		t.Errorf("preempted a user within his share: %d", r.Preemptions)
+	}
+}
+
+func TestCapacityDisciplineReclaimsGuarantee(t *testing.T) {
+	// Low-priority batch overruns the cluster; production arrives and is
+	// entitled to its guaranteed 20% despite equal... lower priority would
+	// also work, but capacity reclaims by band guarantee, not priority.
+	var jobs []cluster.JobSpec
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, userJob(cluster.JobID(i), "batch", 0, 0, 10*time.Minute, 1))
+	}
+	jobs = append(jobs, userJob(10, "prod", 10, time.Minute, time.Minute, 1))
+
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(4), MemBytes: cluster.GiB(32)}
+	cfg.Discipline = DisciplineCapacity
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions == 0 {
+		t.Fatal("capacity discipline did not reclaim the production guarantee")
+	}
+	if r.TasksCompleted != 5 {
+		t.Errorf("completed %d tasks", r.TasksCompleted)
+	}
+}
+
+func TestCapacityDisciplineRespectsGuarantee(t *testing.T) {
+	// Batch uses only 25% (its guarantee is 45%): production demanding
+	// more than free capacity cannot evict it.
+	jobs := []cluster.JobSpec{
+		userJob(0, "batch", 0, 0, 5*time.Minute, 1),
+		userJob(1, "prod", 10, time.Minute, time.Minute, 4),
+	}
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(4), MemBytes: cluster.GiB(32)}
+	cfg.Discipline = DisciplineCapacity
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions != 0 {
+		t.Errorf("evicted a band inside its guarantee: %d preemptions", r.Preemptions)
+	}
+}
+
+func TestEvictionThresholdCapsPreemptions(t *testing.T) {
+	// One low job, repeatedly preemptable by a stream of high jobs. With
+	// MaxEvictionsPerTask=1 it may be evicted once; later high arrivals
+	// must wait instead.
+	low := userJob(0, "", 0, 0, 4*time.Minute, 1)
+	var jobs []cluster.JobSpec
+	jobs = append(jobs, low)
+	for i := 1; i <= 4; i++ {
+		jobs = append(jobs, userJob(cluster.JobID(i), "", 10, time.Duration(i)*time.Minute, 30*time.Second, 1))
+	}
+	cfg := DefaultConfig(core.PolicyKill, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(8)}
+
+	uncapped, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncapped.Preemptions < 2 {
+		t.Fatalf("scenario too mild: %d preemptions uncapped", uncapped.Preemptions)
+	}
+	cfg.MaxEvictionsPerTask = 1
+	capped, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Preemptions != 1 {
+		t.Errorf("capped run preempted %d times, want 1", capped.Preemptions)
+	}
+	if capped.TasksCompleted != 5 {
+		t.Errorf("completed %d tasks", capped.TasksCompleted)
+	}
+}
+
+func TestDisableIncrementalAblation(t *testing.T) {
+	jobs := []cluster.JobSpec{
+		userJob(0, "", 0, 0, 5*time.Minute, 1),
+		userJob(1, "", 10, time.Minute, 30*time.Second, 1),
+		userJob(2, "", 10, 3*time.Minute, 30*time.Second, 1),
+	}
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(8)}
+	base, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.IncrementalCheckpoints == 0 {
+		t.Fatal("baseline produced no incremental checkpoints")
+	}
+	cfg.DisableIncremental = true
+	ablated, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.IncrementalCheckpoints != 0 {
+		t.Errorf("ablated run still took %d incremental dumps", ablated.IncrementalCheckpoints)
+	}
+	if ablated.IOBusyHours <= base.IOBusyHours {
+		t.Errorf("full dumps should cost more I/O: %v <= %v", ablated.IOBusyHours, base.IOBusyHours)
+	}
+}
+
+func TestNaiveVictimSelectionAblation(t *testing.T) {
+	jobs, err := trace.GenerateJobs(trace.JobsConfig{Seed: 9, Jobs: 80, MeanTasksPerJob: 4, Span: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(core.PolicyAdaptive, storage.HDD)
+	cfg.Nodes = 5
+	smart, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NaiveVictimSelection = true
+	naive, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.TasksCompleted != naive.TasksCompleted {
+		t.Errorf("completion mismatch: %d vs %d", smart.TasksCompleted, naive.TasksCompleted)
+	}
+	// Both must finish; the ablation exists so benches can quantify the
+	// cost difference, so just ensure the flag changes *something* when
+	// preemption happened at all.
+	if smart.Preemptions == 0 {
+		t.Skip("no contention; ablation not exercised")
+	}
+}
+
+func TestNVRAMLocalRestoreIsFree(t *testing.T) {
+	jobs := []cluster.JobSpec{
+		userJob(0, "", 0, 0, 5*time.Minute, 1),
+		userJob(1, "", 10, time.Minute, 30*time.Second, 1),
+	}
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 1
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(8)}
+	nvm, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StorageKind = storage.NVRAM
+	nvram, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvram.Restores == 0 || nvram.RemoteRestores != 0 {
+		t.Fatalf("scenario should produce one local restore: %+v", nvram)
+	}
+	// NVRAM's serialization-free path must beat the NVM file system on
+	// low-priority response.
+	if nvram.MeanResponse(cluster.BandFree) >= nvm.MeanResponse(cluster.BandFree) {
+		t.Errorf("NVRAM low response %.2f not below NVM %.2f",
+			nvram.MeanResponse(cluster.BandFree), nvm.MeanResponse(cluster.BandFree))
+	}
+}
+
+func TestDisableRestorePlacementAblation(t *testing.T) {
+	// Same scenario as the remote-restore test: with Algorithm 2 disabled
+	// the run must still complete.
+	mkTask := func(job cluster.JobID, prio cluster.Priority, submit, dur time.Duration) cluster.JobSpec {
+		return userJob(job, "", prio, submit, dur, 1)
+	}
+	jobs := []cluster.JobSpec{
+		mkTask(0, 0, 0, 2*time.Minute),
+		mkTask(1, 0, 0, 10*time.Minute),
+		mkTask(2, 10, 30*time.Second, 10*time.Minute),
+	}
+	cfg := DefaultConfig(core.PolicyAdaptive, storage.NVM)
+	cfg.Nodes = 2
+	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(8)}
+	cfg.DisableRestorePlacement = true
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TasksCompleted != 3 {
+		t.Errorf("completed %d of 3", r.TasksCompleted)
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	for d, want := range map[Discipline]string{
+		DisciplinePriority: "priority", DisciplineFairShare: "fair-share", DisciplineCapacity: "capacity",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q", int(d), d.String())
+		}
+	}
+	if got := fmt.Sprint(Discipline(9)); got != "Discipline(9)" {
+		t.Errorf("unknown discipline prints %q", got)
+	}
+}
+
+func TestConfigValidatesDiscipline(t *testing.T) {
+	cfg := DefaultConfig(core.PolicyKill, storage.SSD)
+	cfg.Discipline = 99
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid discipline accepted")
+	}
+	cfg = DefaultConfig(core.PolicyKill, storage.SSD)
+	cfg.MaxEvictionsPerTask = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative eviction cap accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/trace"
+)
+
+func TestPreCopyBanksWindowProgress(t *testing.T) {
+	// 1 GB/s device, 5 GiB image: the pre-copy window is ~5.4 s during
+	// which the victim keeps computing. Its response time must improve by
+	// roughly that window relative to stop-and-copy.
+	cfg := oneCoreConfig(core.PolicyCheckpoint, storage.SSD)
+	cfg.CustomBandwidth = 1e9
+	stop, err := Run(cfg, twoJobScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PreCopy = true
+	pre, err := Run(cfg, twoJobScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.PreCopies != 1 || pre.Checkpoints != 1 {
+		t.Fatalf("precopies=%d checkpoints=%d", pre.PreCopies, pre.Checkpoints)
+	}
+	lowStop := stop.MeanResponse(cluster.BandFree)
+	lowPre := pre.MeanResponse(cluster.BandFree)
+	if lowPre >= lowStop {
+		t.Errorf("pre-copy low response %.1f not better than stop-and-copy %.1f", lowPre, lowStop)
+	}
+	// The victim banks the ~5.4 s window; expected gain is a few seconds.
+	if gain := lowStop - lowPre; gain < 2 || gain > 12 {
+		t.Errorf("gain %.1fs implausible for a ~5.4s window", gain)
+	}
+	// Overhead (frozen time) shrinks.
+	if pre.OverheadCPUHours >= stop.OverheadCPUHours {
+		t.Errorf("pre-copy overhead %.5f not below stop-and-copy %.5f", pre.OverheadCPUHours, stop.OverheadCPUHours)
+	}
+}
+
+func TestPreCopyVictimCompletesDuringWindow(t *testing.T) {
+	// HDD: the 5 GiB pre-copy window (~170s) exceeds the victim's 30s of
+	// remaining work; it completes mid-window and no restore happens.
+	cfg := oneCoreConfig(core.PolicyCheckpoint, storage.HDD)
+	cfg.PreCopy = true
+	r, err := Run(cfg, twoJobScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreCopies != 1 {
+		t.Fatalf("precopies = %d", r.PreCopies)
+	}
+	if r.TasksCompleted != 2 {
+		t.Errorf("completed %d of 2", r.TasksCompleted)
+	}
+	if r.Restores != 0 {
+		t.Errorf("restores = %d, want 0 (victim finished on its own)", r.Restores)
+	}
+}
+
+func TestPreCopyConservationAndDeterminism(t *testing.T) {
+	jobs, err := trace.GenerateJobs(trace.JobsConfig{Seed: 17, Jobs: 80, MeanTasksPerJob: 4, Span: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := range jobs {
+		for j := range jobs[i].Tasks {
+			ts := &jobs[i].Tasks[j]
+			want += float64(ts.Demand.CPUMillis) / 1000 * ts.Duration.Hours()
+		}
+	}
+	cfg := DefaultConfig(core.PolicyAdaptive, storage.SSD)
+	cfg.Nodes = 6
+	cfg.PreCopy = true
+	a, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.UsefulCPUHours - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("useful = %v, want %v", a.UsefulCPUHours, want)
+	}
+	b, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.PreCopies != b.PreCopies || a.WastedCPUHours != b.WastedCPUHours {
+		t.Error("pre-copy runs not deterministic")
+	}
+}

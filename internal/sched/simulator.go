@@ -1,0 +1,910 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/energy"
+	"preemptsched/internal/metrics"
+	"preemptsched/internal/sim"
+	"preemptsched/internal/storage"
+)
+
+// Dist re-exports metrics.Dist for Result consumers.
+type Dist = metrics.Dist
+
+// taskPhase is a task's runtime state.
+type taskPhase int
+
+const (
+	phaseQueued taskPhase = iota + 1
+	phaseRunning
+	phaseCheckpointing // frozen, dump in flight; resources still held
+	phaseRestoring     // resources held on target, image read in flight
+	phaseDone
+)
+
+// taskRT is the mutable runtime record of one task.
+type taskRT struct {
+	spec *cluster.TaskSpec
+	job  *jobRT
+
+	phase taskPhase
+	// remaining is the compute time still owed. It shrinks when progress
+	// is banked: at completion, or at checkpoint time.
+	remaining time.Duration
+	// attemptStart is when the current attempt began useful execution.
+	attemptStart sim.Time
+	node         *node
+
+	hasCheckpoint bool
+	// ckptNode is where the image chain's blocks are local.
+	ckptNode *node
+	// imageBytes is the logical size of the stored image chain.
+	imageBytes int64
+
+	// queuedAt is when the task (re)entered the pending queue.
+	queuedAt sim.Time
+	seq      uint64
+	// index is the heap position while queued.
+	index int
+	// completion is the pending completion timer while running.
+	completion *sim.Timer
+	// evictions counts preemptions suffered, for the eviction-threshold
+	// policy.
+	evictions int
+	// preCopying marks a running task whose state is being pre-dumped; it
+	// is not eligible as a further preemption victim until frozen.
+	preCopying bool
+	// reservedOn is the node holding a capacity reservation for this
+	// waiting task while its preemption victims drain their checkpoint
+	// dumps. It prevents backfilling work from stealing the vacated
+	// resources and prevents issuing a second round of preemptions for
+	// the same waiter.
+	reservedOn *node
+}
+
+// unsavedProgress is the compute a kill right now would lose.
+func (t *taskRT) unsavedProgress(now sim.Time) time.Duration {
+	if t.phase != phaseRunning {
+		return 0
+	}
+	return time.Duration(now - t.attemptStart)
+}
+
+// dirtyBytes models soft-dirty growth: right after a restore roughly the
+// floor fraction is dirty, growing linearly with execution toward the full
+// footprint.
+func (t *taskRT) dirtyBytes(now sim.Time, floor float64) int64 {
+	frac := floor + (1-floor)*float64(t.unsavedProgress(now))/float64(t.spec.Duration)
+	if frac > 1 {
+		frac = 1
+	}
+	return int64(frac * float64(t.spec.MemFootprint))
+}
+
+func (t *taskRT) candidate(now sim.Time, floor float64) core.Candidate {
+	return core.Candidate{
+		Task:            t.spec.ID,
+		Priority:        t.spec.Priority,
+		Demand:          t.spec.Demand,
+		UnsavedProgress: t.unsavedProgress(now),
+		FootprintBytes:  t.spec.MemFootprint,
+		DirtyBytes:      t.dirtyBytes(now, floor),
+		HasCheckpoint:   t.hasCheckpoint,
+	}
+}
+
+// jobRT tracks job-level aggregation.
+type jobRT struct {
+	spec      *cluster.JobSpec
+	remaining int
+	finish    sim.Time
+}
+
+// node is one simulated machine.
+type node struct {
+	id       cluster.NodeID
+	cap      cluster.Resources
+	used     cluster.Resources
+	reserved cluster.Resources
+	device   *storage.Device
+	running  map[cluster.TaskID]*taskRT
+
+	meter      *energy.Meter
+	lastChange sim.Time
+}
+
+func (n *node) free() cluster.Resources { return n.cap.Sub(n.used) }
+
+// availableFor is the capacity task t may claim on n: free capacity minus
+// outstanding preemption reservations, except that t's own reservation on
+// this node counts as available to t.
+func (n *node) availableFor(t *taskRT) cluster.Resources {
+	avail := n.free().Sub(n.reserved)
+	if t.reservedOn == n {
+		avail = avail.Add(t.spec.Demand)
+	}
+	free := n.free()
+	if avail.CPUMillis > free.CPUMillis {
+		avail.CPUMillis = free.CPUMillis
+	}
+	if avail.MemBytes > free.MemBytes {
+		avail.MemBytes = free.MemBytes
+	}
+	if avail.CPUMillis < 0 {
+		avail.CPUMillis = 0
+	}
+	if avail.MemBytes < 0 {
+		avail.MemBytes = 0
+	}
+	return avail
+}
+
+// settleEnergy integrates power since the last allocation change.
+func (n *node) settleEnergy(now sim.Time) {
+	if now > n.lastChange {
+		util := float64(n.used.CPUMillis) / float64(n.cap.CPUMillis)
+		n.meter.Accumulate(util, time.Duration(now-n.lastChange))
+		n.lastChange = now
+	}
+}
+
+func (n *node) alloc(now sim.Time, r cluster.Resources) {
+	n.settleEnergy(now)
+	n.used = n.used.Add(r)
+	if n.used.Negative() || !n.used.Fits(n.cap) {
+		panic(fmt.Sprintf("sched: node %d over-allocated: used %v cap %v", n.id, n.used, n.cap))
+	}
+}
+
+func (n *node) release(now sim.Time, r cluster.Resources) {
+	n.settleEnergy(now)
+	n.used = n.used.Sub(r)
+	if n.used.Negative() {
+		panic(fmt.Sprintf("sched: node %d released into negative: %v", n.id, n.used))
+	}
+}
+
+// pendingQueue orders tasks by (priority desc, queue entry asc, seq).
+type pendingQueue []*taskRT
+
+func (q pendingQueue) Len() int { return len(q) }
+func (q pendingQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	if q[i].queuedAt != q[j].queuedAt {
+		return q[i].queuedAt < q[j].queuedAt
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pendingQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *pendingQueue) Push(x any) {
+	t := x.(*taskRT)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+func (q *pendingQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
+
+// Simulator executes one run.
+type Simulator struct {
+	cfg    Config
+	engine *sim.Engine
+	nodes  []*node
+	queue  pendingQueue
+	jobs   []*jobRT
+	seq    uint64
+
+	res             *Result
+	totalImageBytes int64
+	// rescheduled guards against redundant trySchedule passes at one
+	// instant.
+	schedulePending bool
+	// runningByPrio counts phaseRunning tasks per priority so preemption
+	// feasibility is an O(12) check instead of a cluster scan.
+	runningByPrio [int(cluster.MaxPriority) + 1]int
+	// userUsage and bandUsage track allocated resources per tenant and
+	// per priority band for the fair-share and capacity disciplines.
+	userUsage map[string]cluster.Resources
+	bandUsage [cluster.NumBands]cluster.Resources
+	totalCap  cluster.Resources
+}
+
+// userOf returns the accounting tenant of a task; anonymous jobs are their
+// own tenant.
+func userOf(t *taskRT) string {
+	if t.spec.User != "" {
+		return t.spec.User
+	}
+	return fmt.Sprintf("job-%d", t.spec.ID.Job)
+}
+
+// account books an allocation (+1) or release (-1) of t's demand against
+// its user and band.
+func (s *Simulator) account(t *taskRT, sign int) {
+	user := userOf(t)
+	band := cluster.BandOf(t.spec.Priority)
+	if sign > 0 {
+		s.userUsage[user] = s.userUsage[user].Add(t.spec.Demand)
+		s.bandUsage[band] = s.bandUsage[band].Add(t.spec.Demand)
+		return
+	}
+	s.userUsage[user] = s.userUsage[user].Sub(t.spec.Demand)
+	if s.userUsage[user].IsZero() {
+		delete(s.userUsage, user)
+	}
+	s.bandUsage[band] = s.bandUsage[band].Sub(t.spec.Demand)
+}
+
+// shareOf is a user's dominant share of cluster capacity.
+func (s *Simulator) shareOf(user string) float64 {
+	return s.userUsage[user].DominantShare(s.totalCap)
+}
+
+// bandShare is a band's dominant share of cluster capacity.
+func (s *Simulator) bandShare(b cluster.Band) float64 {
+	return s.bandUsage[b].DominantShare(s.totalCap)
+}
+
+// equalShare is the per-user fair share target: capacity divided across
+// users with live allocations plus the prospective user.
+func (s *Simulator) equalShare(prospective string) float64 {
+	n := len(s.userUsage)
+	if _, live := s.userUsage[prospective]; !live {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return 1 / float64(n)
+}
+
+// canPreempt applies the active discipline's victim-eligibility rule: may
+// waiting task t evict running task v?
+//
+// The fair-share and capacity rules are deliberately hysteretic: a
+// transfer must not invert the relation that justified it, otherwise two
+// users (or bands) on either side of the threshold could kill each other's
+// tasks in an endless same-instant cycle. Fair share therefore requires
+// the victim's user to remain at or above the claimant's share after the
+// transfer, and capacity requires the victim's band to remain at or above
+// its guarantee after the loss.
+func (s *Simulator) canPreempt(t, v *taskRT) bool {
+	if s.cfg.MaxEvictionsPerTask > 0 && v.evictions >= s.cfg.MaxEvictionsPerTask {
+		return false
+	}
+	switch s.cfg.Discipline {
+	case DisciplineFairShare:
+		vs := s.shareOf(userOf(v))
+		ts := s.shareOf(userOf(t))
+		cv := v.spec.Demand.DominantShare(s.totalCap)
+		ct := t.spec.Demand.DominantShare(s.totalCap)
+		return vs > s.equalShare(userOf(t)) && vs-cv >= ts+ct
+	case DisciplineCapacity:
+		tb := cluster.BandOf(t.spec.Priority)
+		vb := cluster.BandOf(v.spec.Priority)
+		if tb == vb {
+			return false
+		}
+		cv := v.spec.Demand.DominantShare(s.totalCap)
+		return s.bandShare(tb) < s.cfg.CapacityGuarantees[tb] &&
+			s.bandShare(vb)-cv >= s.cfg.CapacityGuarantees[vb]
+	default:
+		return v.spec.Priority < t.spec.Priority
+	}
+}
+
+// anyRunningBelow reports whether some task with priority strictly below p
+// is currently running.
+func (s *Simulator) anyRunningBelow(p cluster.Priority) bool {
+	for i := cluster.Priority(0); i < p; i++ {
+		if s.runningByPrio[i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run simulates jobs under cfg and returns aggregated results.
+func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Simulator{
+		cfg:       cfg,
+		engine:    sim.NewEngine(),
+		userUsage: make(map[string]cluster.Resources),
+		totalCap:  cfg.NodeCapacity.Scale(float64(cfg.Nodes)),
+	}
+
+	storageName := cfg.StorageKind.String()
+	if cfg.CustomBandwidth > 0 {
+		storageName = fmt.Sprintf("%.1fGB/s", cfg.CustomBandwidth/1e9)
+	}
+	s.res = &Result{
+		Policy:            cfg.Policy,
+		Storage:           storageName,
+		JobResponseSec:    make(map[cluster.Band]*Dist),
+		JobResponseAllSec: &Dist{},
+		JobResponseByUser: make(map[string]*Dist),
+	}
+	for b := 0; b < cluster.NumBands; b++ {
+		s.res.JobResponseSec[cluster.Band(b)] = &Dist{}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		var dev *storage.Device
+		if cfg.CustomBandwidth > 0 {
+			dev = storage.NewCustomDevice(cfg.CustomBandwidth, 0)
+		} else {
+			dev = storage.NewDevice(cfg.StorageKind)
+		}
+		s.nodes = append(s.nodes, &node{
+			id:      cluster.NodeID(i),
+			cap:     cfg.NodeCapacity,
+			device:  dev,
+			running: make(map[cluster.TaskID]*taskRT),
+			meter:   energy.NewMeter(cfg.EnergyModel),
+		})
+	}
+
+	for i := range jobs {
+		spec := &jobs[i]
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+		j := &jobRT{spec: spec, remaining: len(spec.Tasks)}
+		s.jobs = append(s.jobs, j)
+		for k := range spec.Tasks {
+			ts := &spec.Tasks[k]
+			if !ts.Demand.Fits(cfg.NodeCapacity) {
+				return nil, fmt.Errorf("sched: task %v demand %v exceeds node capacity %v", ts.ID, ts.Demand, cfg.NodeCapacity)
+			}
+			t := &taskRT{spec: ts, job: j, remaining: ts.Duration, index: -1}
+			s.engine.ScheduleAt(ts.Submit, func(now sim.Time) {
+				s.enqueue(t, now)
+				s.requestSchedule(now)
+			})
+		}
+	}
+
+	end := s.engine.Run()
+	s.res.Makespan = time.Duration(end)
+	for _, n := range s.nodes {
+		n.settleEnergy(end)
+		s.res.EnergyKWh += n.meter.KWh()
+		s.res.IOBusyHours += n.device.BusyTime().Hours()
+	}
+	return s.res, nil
+}
+
+func (s *Simulator) enqueue(t *taskRT, now sim.Time) {
+	t.phase = phaseQueued
+	t.queuedAt = now
+	t.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, t)
+}
+
+// requestSchedule coalesces multiple schedule triggers at one instant into
+// a single pass.
+func (s *Simulator) requestSchedule(now sim.Time) {
+	if s.schedulePending {
+		return
+	}
+	s.schedulePending = true
+	s.engine.ScheduleAt(now, func(t sim.Time) {
+		s.schedulePending = false
+		s.trySchedule(t)
+	})
+}
+
+// popBatch removes up to ScanLimit tasks from the pending queue and
+// orders them by the active discipline: heap (priority) order as popped,
+// most-underserved user first for fair share, largest band deficit first
+// for capacity.
+func (s *Simulator) popBatch() []*taskRT {
+	limit := s.cfg.ScanLimit
+	batch := make([]*taskRT, 0, limit)
+	for len(s.queue) > 0 && len(batch) < limit {
+		batch = append(batch, heap.Pop(&s.queue).(*taskRT))
+	}
+	switch s.cfg.Discipline {
+	case DisciplineFairShare:
+		sort.SliceStable(batch, func(i, j int) bool {
+			si, sj := s.shareOf(userOf(batch[i])), s.shareOf(userOf(batch[j]))
+			return si < sj
+		})
+	case DisciplineCapacity:
+		deficit := func(t *taskRT) float64 {
+			b := cluster.BandOf(t.spec.Priority)
+			return s.cfg.CapacityGuarantees[b] - s.bandShare(b)
+		}
+		sort.SliceStable(batch, func(i, j int) bool {
+			return deficit(batch[i]) > deficit(batch[j])
+		})
+	}
+	return batch
+}
+
+// trySchedule walks the pending queue in discipline order, placing what
+// fits and preempting for what does not (policy permitting).
+func (s *Simulator) trySchedule(now sim.Time) {
+	var (
+		skipped []*taskRT
+		// failed holds demands that could not be placed this pass; any
+		// later task dominating one of them cannot place either, so its
+		// node scan is skipped. Capped small: membership tests must stay
+		// cheaper than the scans they avoid.
+		failed []cluster.Resources
+	)
+	dominated := func(d cluster.Resources) bool {
+		for _, f := range failed {
+			if f.CPUMillis <= d.CPUMillis && f.MemBytes <= d.MemBytes {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range s.popBatch() {
+		placed := false
+		if !dominated(t.spec.Demand) {
+			placed = s.place(t, now)
+			if !placed && len(failed) < 8 {
+				failed = append(failed, t.spec.Demand)
+			}
+		}
+		if placed {
+			// Placement may have consumed capacity a previously failed
+			// demand was measured against, but a successful placement
+			// never invalidates a negative result, so `failed` stands.
+			continue
+		}
+		// A task with a standing reservation is already waiting for its
+		// victims' dumps to drain; do not preempt more work for it. Under
+		// priority scheduling the priority histogram rejects hopeless
+		// preemption attempts without scanning nodes.
+		feasible := s.cfg.Discipline != DisciplinePriority || s.anyRunningBelow(t.spec.Priority)
+		if t.reservedOn == nil && s.cfg.Policy != core.PolicyWait &&
+			feasible && s.preemptFor(t, now) {
+			// Kill-based vacating frees resources synchronously; retry at
+			// once so backfilling tasks cannot steal them.
+			if s.place(t, now) {
+				continue
+			}
+		}
+		skipped = append(skipped, t)
+	}
+	for _, t := range skipped {
+		heap.Push(&s.queue, t)
+	}
+}
+
+// reserve parks t's demand on n until t is placed.
+func (s *Simulator) reserve(t *taskRT, n *node) {
+	t.reservedOn = n
+	n.reserved = n.reserved.Add(t.spec.Demand)
+}
+
+// unreserve drops t's reservation, if any.
+func (s *Simulator) unreserve(t *taskRT) {
+	if t.reservedOn == nil {
+		return
+	}
+	t.reservedOn.reserved = t.reservedOn.reserved.Sub(t.spec.Demand)
+	if t.reservedOn.reserved.Negative() {
+		t.reservedOn.reserved = cluster.Resources{}
+	}
+	t.reservedOn = nil
+}
+
+// place starts t on a node with free capacity, restoring from its
+// checkpoint when one exists. It reports whether placement happened.
+func (s *Simulator) place(t *taskRT, now sim.Time) bool {
+	target := s.pickNode(t, now)
+	if target == nil {
+		return false
+	}
+	s.unreserve(t)
+	target.alloc(now, t.spec.Demand)
+	s.account(t, +1)
+	target.running[t.spec.ID] = t
+	t.node = target
+
+	if t.hasCheckpoint {
+		s.startRestore(t, target, now)
+		return true
+	}
+	s.startRun(t, now)
+	return true
+}
+
+// pickNode chooses a node with capacity for t. Checkpointed tasks prefer
+// their image's home node when Algorithm 2 says local is cheaper
+// (adaptive policy only).
+func (s *Simulator) pickNode(t *taskRT, now sim.Time) *node {
+	var firstFit *node
+	for _, n := range s.nodes {
+		if t.spec.Demand.Fits(n.availableFor(t)) {
+			firstFit = n
+			break
+		}
+	}
+	if firstFit == nil || !t.hasCheckpoint || s.cfg.Policy != core.PolicyAdaptive ||
+		s.cfg.DisableRestorePlacement {
+		return firstFit
+	}
+	local := t.ckptNode
+	if local == nil || !t.spec.Demand.Fits(local.availableFor(t)) {
+		return firstFit
+	}
+	if firstFit == local {
+		return local
+	}
+	rc := core.RestoreCosts{
+		FootprintBytes: t.spec.MemFootprint,
+		LocalDev:       local.device,
+		RemoteDev:      firstFit.device,
+		NetBandwidth:   s.cfg.NetBandwidth,
+	}
+	if core.DecideRestore(rc, now) == core.RestoreLocal {
+		return local
+	}
+	return firstFit
+}
+
+// startRun begins (or resumes) useful execution at now.
+func (s *Simulator) startRun(t *taskRT, now sim.Time) {
+	t.phase = phaseRunning
+	s.runningByPrio[t.spec.Priority]++
+	t.attemptStart = now
+	remaining := t.remaining
+	t.completion = s.engine.Schedule(remaining, func(end sim.Time) {
+		s.finishTask(t, end)
+	})
+}
+
+// startRestore charges the image read (plus network for remote) before the
+// task resumes execution.
+func (s *Simulator) startRestore(t *taskRT, target *node, now sim.Time) {
+	t.phase = phaseRestoring
+	remote := target != t.ckptNode
+	var transfer time.Duration
+	if remote {
+		transfer = time.Duration(float64(t.spec.MemFootprint) / s.cfg.NetBandwidth * float64(time.Second))
+		s.res.RemoteRestores++
+	}
+	s.res.Restores++
+	var done sim.Time
+	if !remote && target.device.Kind() == storage.NVRAM {
+		// Byte-addressable local resume: pages are remapped from
+		// persistent memory, not read back through a file system.
+		_, done = target.device.Reserve(now, target.device.ReadTime(0))
+	} else {
+		_, done = target.device.ReserveRead(now+transfer, t.spec.MemFootprint)
+	}
+	overhead := time.Duration(done - now)
+	s.chargeOverhead(t, overhead)
+	s.engine.ScheduleAt(done, func(at sim.Time) {
+		s.startRun(t, at)
+	})
+}
+
+// finishTask completes t, releasing resources and recording metrics.
+func (s *Simulator) finishTask(t *taskRT, now sim.Time) {
+	cores := float64(t.spec.Demand.CPUMillis) / 1000
+	s.res.UsefulCPUHours += cores * t.spec.Duration.Hours()
+	s.runningByPrio[t.spec.Priority]--
+	t.phase = phaseDone
+	t.completion = nil
+	s.removeImages(t)
+	t.node.release(now, t.spec.Demand)
+	s.account(t, -1)
+	delete(t.node.running, t.spec.ID)
+	t.node = nil
+	s.res.TasksCompleted++
+
+	t.job.remaining--
+	if t.job.remaining == 0 {
+		t.job.finish = now
+		resp := time.Duration(now - t.job.spec.Submit).Seconds()
+		s.res.JobResponseSec[t.job.spec.Band()].Add(resp)
+		s.res.JobResponseAllSec.Add(resp)
+		user := userOf(t)
+		if s.res.JobResponseByUser[user] == nil {
+			s.res.JobResponseByUser[user] = &Dist{}
+		}
+		s.res.JobResponseByUser[user].Add(resp)
+	}
+	s.requestSchedule(now)
+}
+
+// chargeOverhead books checkpoint/restore time as wasted, overhead CPU.
+func (s *Simulator) chargeOverhead(t *taskRT, d time.Duration) {
+	cores := float64(t.spec.Demand.CPUMillis) / 1000
+	s.res.WastedCPUHours += cores * d.Hours()
+	s.res.OverheadCPUHours += cores * d.Hours()
+}
+
+// preemptFor vacates lower-priority work for t. It reports whether any
+// preemption was initiated.
+func (s *Simulator) preemptFor(t *taskRT, now sim.Time) bool {
+	target, victims := s.chooseVictims(t, now)
+	if target == nil {
+		return false
+	}
+	s.reserve(t, target)
+	for _, v := range victims {
+		s.preemptTask(v, now)
+	}
+	s.res.Preemptions += len(victims)
+	return true
+}
+
+// chooseVictims finds a node where evicting discipline-eligible tasks
+// makes room for t, returning the victim set. Under the adaptive policy
+// the node and victims minimize checkpoint cost (cost-aware eviction);
+// otherwise the first eligible node and a naive priority-ordered victim
+// set are used, mirroring stock YARN.
+func (s *Simulator) chooseVictims(t *taskRT, now sim.Time) (*node, []*taskRT) {
+	adaptive := s.cfg.Policy == core.PolicyAdaptive && !s.cfg.NaiveVictimSelection
+	var (
+		bestNode *node
+		bestSet  []*taskRT
+		bestCost time.Duration
+	)
+	for _, n := range s.nodes {
+		cands := s.preemptableOn(n, t, now)
+		if len(cands) == 0 {
+			continue
+		}
+		need := t.spec.Demand.Sub(n.availableFor(t))
+		if need.CPUMillis < 0 {
+			need.CPUMillis = 0
+		}
+		if need.MemBytes < 0 {
+			need.MemBytes = 0
+		}
+		set, cost, ok := s.selectOn(n, cands, need, now, adaptive)
+		if !ok {
+			continue
+		}
+		if !adaptive {
+			return n, set
+		}
+		if bestNode == nil || cost < bestCost {
+			bestNode, bestSet, bestCost = n, set, cost
+		}
+	}
+	return bestNode, bestSet
+}
+
+// preemptableOn lists running tasks on n that t may evict under the
+// active discipline, in deterministic task-ID order.
+func (s *Simulator) preemptableOn(n *node, t *taskRT, now sim.Time) []*taskRT {
+	var out []*taskRT
+	for _, v := range n.running {
+		if v.phase == phaseRunning && !v.preCopying && s.canPreempt(t, v) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].spec.ID, out[j].spec.ID
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
+		return a.Index < b.Index
+	})
+	return out
+}
+
+// selectOn picks victims on one node covering need. Adaptive mode uses
+// cost-aware selection (core.SelectVictims); baseline mode takes the
+// lowest-priority tasks in order.
+func (s *Simulator) selectOn(n *node, cands []*taskRT, need cluster.Resources, now sim.Time, adaptive bool) ([]*taskRT, time.Duration, bool) {
+	byID := make(map[cluster.TaskID]*taskRT, len(cands))
+	coreCands := make([]core.Candidate, len(cands))
+	for i, v := range cands {
+		byID[v.spec.ID] = v
+		coreCands[i] = s.candidateFor(v, now)
+	}
+	if adaptive {
+		sel, ok := core.SelectVictims(coreCands, need, now, func(core.Candidate) *storage.Device { return n.device })
+		if !ok {
+			return nil, 0, false
+		}
+		var cost time.Duration
+		set := make([]*taskRT, len(sel))
+		for i, c := range sel {
+			set[i] = byID[c.Task]
+			cost += core.CheckpointOverhead(c, n.device, now)
+		}
+		return set, cost, true
+	}
+	// Baseline: lowest priority first, insertion order within priority.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].spec.Priority < cands[j].spec.Priority
+	})
+	var (
+		freed cluster.Resources
+		set   []*taskRT
+	)
+	for _, v := range cands {
+		if need.Fits(freed) {
+			break
+		}
+		set = append(set, v)
+		freed = freed.Add(v.spec.Demand)
+	}
+	if !need.Fits(freed) {
+		return nil, 0, false
+	}
+	return set, 0, true
+}
+
+// candidateFor builds the Algorithm 1 input for a victim, honoring the
+// incremental-checkpointing ablation flag.
+func (s *Simulator) candidateFor(v *taskRT, now sim.Time) core.Candidate {
+	c := v.candidate(now, s.cfg.DirtyFloor)
+	if s.cfg.DisableIncremental {
+		c.HasCheckpoint = false
+	}
+	return c
+}
+
+// preemptTask applies Algorithm 1 to one victim.
+func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
+	n := v.node
+	v.evictions++
+	cand := s.candidateFor(v, now)
+	action := core.DecidePreemption(s.cfg.Policy, cand, n.device, now)
+
+	if !action.IsCheckpoint() {
+		// Kill: unsaved progress is lost; resources free immediately.
+		s.engine.Cancel(v.completion)
+		v.completion = nil
+		s.runningByPrio[v.spec.Priority]--
+		cores := float64(v.spec.Demand.CPUMillis) / 1000
+		s.res.Kills++
+		s.res.WastedCPUHours += cores * v.unsavedProgress(now).Hours()
+		n.release(now, v.spec.Demand)
+		s.account(v, -1)
+		delete(n.running, v.spec.ID)
+		v.node = nil
+		s.enqueue(v, now)
+		s.requestSchedule(now)
+		return
+	}
+
+	s.res.Checkpoints++
+	if action == core.ActionCheckpointIncremental {
+		s.res.IncrementalCheckpoints++
+	}
+	if s.cfg.PreCopy {
+		s.startPreCopy(v, cand, now)
+		return
+	}
+
+	// Stop-and-copy checkpoint: freeze now, bank progress, hold resources
+	// until the dump drains through the node's sequential checkpoint
+	// queue.
+	s.engine.Cancel(v.completion)
+	v.completion = nil
+	s.runningByPrio[v.spec.Priority]--
+	progress := v.unsavedProgress(now)
+	v.phase = phaseCheckpointing
+	v.remaining -= progress
+	if v.remaining < 0 {
+		v.remaining = 0
+	}
+	dumpBytes := cand.DumpBytes()
+	_, done := n.device.ReserveWrite(now, dumpBytes)
+	s.chargeOverhead(v, time.Duration(done-now))
+	s.trackImage(v, action, dumpBytes)
+	s.engine.ScheduleAt(done, func(at sim.Time) {
+		s.vacate(v, n, at)
+	})
+}
+
+// vacate finalizes a checkpointed victim: its image is durable, its
+// resources return to the node, and it re-enters the pending queue.
+func (s *Simulator) vacate(v *taskRT, n *node, at sim.Time) {
+	v.hasCheckpoint = true
+	v.ckptNode = n
+	n.release(at, v.spec.Demand)
+	s.account(v, -1)
+	delete(n.running, v.spec.ID)
+	v.node = nil
+	s.enqueue(v, at)
+	s.requestSchedule(at)
+}
+
+// startPreCopy implements pre-copy checkpointing: the bulk dump is written
+// while the victim keeps running (its progress during the window is
+// useful, not waste); at the end of the window the victim freezes and only
+// the pages dirtied meanwhile are dumped.
+func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
+	n := v.node
+	s.res.PreCopies++
+	v.preCopying = true
+	preBytes := cand.DumpBytes()
+	_, preDone := n.device.ReserveWrite(now, preBytes)
+	preAction := core.ActionCheckpointFull
+	if cand.HasCheckpoint {
+		preAction = core.ActionCheckpointIncremental
+	}
+	s.trackImage(v, preAction, preBytes)
+
+	s.engine.ScheduleAt(preDone, func(at sim.Time) {
+		if v.phase != phaseRunning || !v.preCopying {
+			// The victim completed during the pre-copy window; its
+			// resources are already free and its images reclaimed.
+			return
+		}
+		v.preCopying = false
+		s.engine.Cancel(v.completion)
+		v.completion = nil
+		s.runningByPrio[v.spec.Priority]--
+		// All progress up to the freeze is banked — including the
+		// pre-copy window, which is the whole point.
+		progress := v.unsavedProgress(at)
+		v.phase = phaseCheckpointing
+		v.remaining -= progress
+		if v.remaining < 0 {
+			v.remaining = 0
+		}
+		// The freeze dumps only pages written during the window.
+		window := time.Duration(at - now)
+		frac := float64(window) / float64(v.spec.Duration)
+		if frac > 1 {
+			frac = 1
+		}
+		delta := int64(frac * float64(v.spec.MemFootprint))
+		_, done := n.device.ReserveWrite(at, delta)
+		s.chargeOverhead(v, time.Duration(done-at))
+		s.trackImage(v, core.ActionCheckpointIncremental, delta)
+		s.engine.ScheduleAt(done, func(end sim.Time) {
+			s.vacate(v, n, end)
+		})
+	})
+}
+
+// trackImage maintains the storage-overhead high-water mark.
+func (s *Simulator) trackImage(v *taskRT, action core.PreemptAction, dumpBytes int64) {
+	if action == core.ActionCheckpointFull {
+		s.totalImageBytes -= v.imageBytes
+		v.imageBytes = dumpBytes
+		s.totalImageBytes += dumpBytes
+	} else {
+		v.imageBytes += dumpBytes
+		s.totalImageBytes += dumpBytes
+	}
+	if s.totalImageBytes > s.res.PeakImageBytes {
+		s.res.PeakImageBytes = s.totalImageBytes
+	}
+}
+
+func (s *Simulator) removeImages(v *taskRT) {
+	s.totalImageBytes -= v.imageBytes
+	v.imageBytes = 0
+	v.hasCheckpoint = false
+	v.ckptNode = nil
+}

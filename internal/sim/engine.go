@@ -1,0 +1,192 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an ordered queue of future
+// events. Events scheduled for the same instant fire in scheduling order,
+// which keeps runs byte-for-byte reproducible for a given seed and
+// workload. All simulator layers (trace-driven scheduler, mini-YARN
+// framework, storage devices) share one engine so that cross-component
+// causality is globally ordered.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual instant, expressed as an offset from the start of the
+// simulation. It deliberately reuses time.Duration so that arithmetic with
+// modelled latencies needs no conversions.
+type Time = time.Duration
+
+// Handler is a callback invoked when an event fires. The engine passes the
+// current virtual time, which equals the time the event was scheduled for.
+type Handler func(now Time)
+
+// Timer is a handle to a scheduled event. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      Handler
+	index   int // position in the heap, -1 once removed
+	stopped bool
+}
+
+// At reports the virtual instant the timer is scheduled for.
+func (t *Timer) At() Time { return t.at }
+
+// Stopped reports whether the timer was cancelled or has fired.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// Engine is a discrete-event executor. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far. It is useful for
+// progress accounting and for asserting that simulations terminate.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events that are scheduled and not cancelled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPast is returned by ScheduleAt when the requested instant is earlier
+// than the current virtual time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt registers fn to run at virtual instant at. It panics if at is
+// before the current time: scheduling into the past is always a logic error
+// in a discrete-event program, and continuing would silently reorder
+// causality.
+func (e *Engine) ScheduleAt(at Time, fn Handler) *Timer {
+	if at < e.now {
+		panic(fmt.Errorf("%w: now=%v requested=%v", ErrPast, e.now, at))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, t)
+	return t
+}
+
+// Schedule registers fn to run after delay d (>= 0) from the current time.
+func (e *Engine) Schedule(d time.Duration, fn Handler) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// Cancel removes a pending timer. It is safe to call for timers that have
+// already fired or been cancelled.
+func (e *Engine) Cancel(t *Timer) {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.index >= 0 {
+		heap.Remove(&e.queue, t.index)
+	}
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		t := heap.Pop(&e.queue).(*Timer)
+		if t.stopped {
+			continue
+		}
+		t.stopped = true
+		e.now = t.at
+		e.fired++
+		t.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty. It returns the final virtual
+// time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Time(math.MaxInt64))
+}
+
+// RunUntil fires events with timestamps <= deadline and then advances the
+// clock to the earlier of deadline and the time of the last fired event. It
+// returns the final virtual time. Events scheduled beyond the deadline stay
+// queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly from an event handler")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.stopped {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline != Time(math.MaxInt64) && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// eventQueue is a binary min-heap ordered by (time, sequence).
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

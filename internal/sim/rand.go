@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with an explicit seed so that every stochastic input
+// to a simulation is reproducible. All modules draw randomness through an
+// RNG handed to them at construction; nothing reads global rand state.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic source seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed the RNG was constructed with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Fork derives an independent child stream. Deriving children rather than
+// sharing one stream keeps module A's draw count from perturbing module B.
+func (r *RNG) Fork(label int64) *RNG {
+	return NewRNG(r.seed*1000003 + label*7919 + 12345)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// LogNormal returns a log-normally distributed value where the underlying
+// normal distribution has the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Bounded returns a value drawn uniformly from [lo, hi).
+func (r *RNG) Bounded(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Pareto returns a bounded Pareto-distributed value with shape alpha and
+// scale xm, truncated at maxV. Heavy-tailed task durations in cluster traces
+// are conventionally modelled this way.
+func (r *RNG) Pareto(xm, alpha, maxV float64) float64 {
+	v := xm / math.Pow(r.Float64(), 1/alpha)
+	if v > maxV {
+		return maxV
+	}
+	return v
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"time"
+
+	"preemptsched/internal/cluster"
+)
+
+// BandStats aggregates scheduling outcomes for one priority band (one row
+// of the paper's Table 1).
+type BandStats struct {
+	Band      cluster.Band
+	Tasks     int
+	Preempted int
+}
+
+// Rate returns the fraction of tasks preempted at least once.
+func (b BandStats) Rate() float64 {
+	if b.Tasks == 0 {
+		return 0
+	}
+	return float64(b.Preempted) / float64(b.Tasks)
+}
+
+// LatencyStats aggregates outcomes for one latency class (Table 2).
+type LatencyStats struct {
+	Class     cluster.LatencyClass
+	Tasks     int
+	Preempted int
+}
+
+// Rate returns the fraction of tasks preempted at least once.
+func (l LatencyStats) Rate() float64 {
+	if l.Tasks == 0 {
+		return 0
+	}
+	return float64(l.Preempted) / float64(l.Tasks)
+}
+
+// Analysis holds every Section 2 statistic recomputed from an event
+// stream.
+type Analysis struct {
+	Tasks          int
+	PreemptedTasks int
+	// Bands is indexed by cluster.Band (Table 1).
+	Bands [cluster.NumBands]BandStats
+	// Latencies is indexed by latency class (Table 2).
+	Latencies [cluster.NumLatencyClasses]LatencyStats
+	// PreemptionsByPriority counts evictions per raw priority (Fig. 1b).
+	PreemptionsByPriority [int(cluster.MaxPriority) + 1]int
+	// EvictionFrequency[k] is the number of distinct tasks evicted exactly
+	// k+1 times; the final bucket counts >= len (Fig. 1c, buckets 1..>=10).
+	EvictionFrequency [10]int
+	// Timeline is the per-day preemption rate per band (Fig. 1a).
+	Timeline []TimelinePoint
+	// WastedCPUHours is the CPU time consumed by attempts that ended in
+	// eviction, assuming kill-based preemption.
+	WastedCPUHours float64
+	// UsefulCPUHours is the CPU time of attempts that ran to completion.
+	UsefulCPUHours float64
+}
+
+// TimelinePoint is one day of the Fig. 1a preemption-rate timeline.
+type TimelinePoint struct {
+	Day int
+	// Rate is the per-band fraction of tasks scheduled that day that were
+	// later evicted at least once.
+	Rate [cluster.NumBands]float64
+}
+
+// OverallRate returns the fraction of all tasks preempted at least once
+// (the paper's headline 12.4%).
+func (a *Analysis) OverallRate() float64 {
+	if a.Tasks == 0 {
+		return 0
+	}
+	return float64(a.PreemptedTasks) / float64(a.Tasks)
+}
+
+// WasteFraction returns wasted CPU as a fraction of all consumed CPU (the
+// paper's "up to 35% of total usage").
+func (a *Analysis) WasteFraction() float64 {
+	total := a.WastedCPUHours + a.UsefulCPUHours
+	if total == 0 {
+		return 0
+	}
+	return a.WastedCPUHours / total
+}
+
+// RepeatRate returns, among preempted tasks, the fraction evicted more
+// than once (the paper's 43.5%).
+func (a *Analysis) RepeatRate() float64 {
+	if a.PreemptedTasks == 0 {
+		return 0
+	}
+	repeat := 0
+	for k := 1; k < len(a.EvictionFrequency); k++ {
+		repeat += a.EvictionFrequency[k]
+	}
+	return float64(repeat) / float64(a.PreemptedTasks)
+}
+
+// TenPlusRate returns, among preempted tasks, the fraction evicted ten or
+// more times (the paper's 17%).
+func (a *Analysis) TenPlusRate() float64 {
+	if a.PreemptedTasks == 0 {
+		return 0
+	}
+	return float64(a.EvictionFrequency[9]) / float64(a.PreemptedTasks)
+}
+
+// Analyze recomputes the paper's Section 2 statistics from an event
+// stream. Events may be in any order; per-task sequences are reassembled
+// internally.
+func Analyze(events []Event) *Analysis {
+	a := &Analysis{}
+	perTask := ByTask(events)
+	a.Tasks = len(perTask)
+
+	days := map[int]*struct {
+		scheduled [cluster.NumBands]int
+		preempted [cluster.NumBands]int
+	}{}
+	maxDay := 0
+
+	for _, seq := range perTask {
+		band := cluster.BandOf(seq[0].Priority)
+		latency := seq[0].Latency
+		cpuCores := float64(seq[0].CPU) / 1000
+
+		a.Bands[band].Band = band
+		a.Bands[band].Tasks++
+		a.Latencies[latency].Class = latency
+		a.Latencies[latency].Tasks++
+
+		evictions := 0
+		var lastSchedule time.Duration
+		haveSchedule := false
+		firstDay := -1
+		for _, e := range seq {
+			switch e.Type {
+			case Schedule:
+				lastSchedule = e.Time
+				haveSchedule = true
+				if firstDay < 0 {
+					firstDay = int(e.Time / (24 * time.Hour))
+				}
+			case Evict:
+				evictions++
+				a.PreemptionsByPriority[e.Priority]++
+				if haveSchedule {
+					a.WastedCPUHours += cpuCores * (e.Time - lastSchedule).Hours()
+				}
+			case Finish:
+				if haveSchedule {
+					a.UsefulCPUHours += cpuCores * (e.Time - lastSchedule).Hours()
+				}
+			}
+		}
+
+		if firstDay >= 0 {
+			if firstDay > maxDay {
+				maxDay = firstDay
+			}
+			d := days[firstDay]
+			if d == nil {
+				d = &struct {
+					scheduled [cluster.NumBands]int
+					preempted [cluster.NumBands]int
+				}{}
+				days[firstDay] = d
+			}
+			d.scheduled[band]++
+			if evictions > 0 {
+				d.preempted[band]++
+			}
+		}
+
+		if evictions > 0 {
+			a.PreemptedTasks++
+			a.Bands[band].Preempted++
+			a.Latencies[latency].Preempted++
+			bucket := evictions - 1
+			if bucket >= len(a.EvictionFrequency) {
+				bucket = len(a.EvictionFrequency) - 1
+			}
+			a.EvictionFrequency[bucket]++
+		}
+	}
+
+	for day := 0; day <= maxDay; day++ {
+		pt := TimelinePoint{Day: day}
+		if d := days[day]; d != nil {
+			for b := 0; b < cluster.NumBands; b++ {
+				if d.scheduled[b] > 0 {
+					pt.Rate[b] = float64(d.preempted[b]) / float64(d.scheduled[b])
+				}
+			}
+		}
+		a.Timeline = append(a.Timeline, pt)
+	}
+	return a
+}

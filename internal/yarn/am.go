@@ -1,0 +1,497 @@
+package yarn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"preemptsched/internal/checkpoint"
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/kmeans"
+	"preemptsched/internal/mapreduce"
+	"preemptsched/internal/proc"
+	"preemptsched/internal/sim"
+)
+
+// taskState is a task's lifecycle within the framework.
+type taskState int
+
+const (
+	statePending taskState = iota + 1
+	stateRunning
+	stateCheckpointing
+	stateRestoring
+	stateDone
+)
+
+// taskRun is one task's runtime record, owned by its AM.
+type taskRun struct {
+	spec *cluster.TaskSpec
+	am   *AppMaster
+	seq  uint64
+
+	state taskState
+	node  *NodeManager
+	// banked is compute already saved by checkpoints, quantized to whole
+	// program steps so virtual progress and real process state agree.
+	banked       time.Duration
+	attemptStart sim.Time
+	completion   *sim.Timer
+
+	process    *proc.Process
+	totalSteps uint64
+
+	hasImage   bool
+	imageName  string
+	imageSeq   int
+	imageNode  int
+	imageBytes int64
+	// chainLen is the number of images in the current chain.
+	chainLen int
+	// preCopying marks a running task whose pages are being pre-dumped;
+	// it is not eligible for further preemption until frozen.
+	preCopying bool
+}
+
+// remaining is the compute time still owed.
+func (t *taskRun) remaining() time.Duration { return t.spec.Duration - t.banked }
+
+// progressFrac is the fraction of total compute done at virtual time now.
+func (t *taskRun) progressFrac(now sim.Time) float64 {
+	done := t.banked
+	if t.state == stateRunning {
+		done += time.Duration(now - t.attemptStart)
+	}
+	f := float64(done) / float64(t.spec.Duration)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+func (t *taskRun) unsavedProgress(now sim.Time) time.Duration {
+	if t.state != stateRunning {
+		return 0
+	}
+	return time.Duration(now - t.attemptStart)
+}
+
+// candidate builds the Algorithm 1 input for this task. DirtyBytes comes
+// from the live process's real soft-dirty page count when an image exists.
+func (t *taskRun) candidate(now sim.Time) core.Candidate {
+	dirty := t.spec.MemFootprint
+	if t.hasImage && t.process != nil {
+		dirty = t.process.Memory().LogicalDirtyBytes()
+	}
+	return core.Candidate{
+		Task:            t.spec.ID,
+		Priority:        t.spec.Priority,
+		Demand:          t.spec.Demand,
+		UnsavedProgress: t.unsavedProgress(now),
+		FootprintBytes:  t.spec.MemFootprint,
+		DirtyBytes:      dirty,
+		HasCheckpoint:   t.hasImage,
+	}
+}
+
+// advanceTo steps the real process until its step counter reaches target.
+func (t *taskRun) advanceTo(target uint64) error {
+	if target > t.totalSteps {
+		target = t.totalSteps
+	}
+	for t.process.Steps() < target {
+		if _, err := t.process.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppMaster manages one job's tasks: it requests containers, runs the
+// per-container programs, and — as the paper's Preemption Manager — decides
+// per ContainerPreemptEvent whether to checkpoint or kill (Algorithm 1),
+// performs dumps/restores through the DFS, and re-requests containers for
+// preempted tasks.
+type AppMaster struct {
+	c     *Cluster
+	job   *cluster.JobSpec
+	tasks []*taskRun
+	left  int
+}
+
+func newAppMaster(c *Cluster, job *cluster.JobSpec) *AppMaster {
+	am := &AppMaster{c: c, job: job, left: len(job.Tasks)}
+	for i := range job.Tasks {
+		spec := &job.Tasks[i]
+		am.tasks = append(am.tasks, &taskRun{
+			spec:       spec,
+			am:         am,
+			seq:        c.nextTaskSeq(),
+			state:      statePending,
+			totalSteps: c.programSteps(),
+			imageNode:  -1,
+		})
+	}
+	return am
+}
+
+// submit requests one container per task (Fig. 7 step 1).
+func (am *AppMaster) submit(now sim.Time) {
+	for _, t := range am.tasks {
+		am.c.rm.RequestContainer(t, -1, now)
+	}
+}
+
+// newProcess builds the task's real program instance.
+func (am *AppMaster) newProcess(t *taskRun) (*proc.Process, error) {
+	cfg := am.c.cfg
+	seed := int64(t.spec.ID.Job)*1_000_003 + int64(t.spec.ID.Index)
+	switch cfg.Program {
+	case "wordcount":
+		return mapreduce.NewProcessScaled(
+			t.spec.ID.String(),
+			cfg.WordCountInput, cfg.WordCountChunk, seed,
+			t.spec.MemFootprint,
+		)
+	default:
+		return kmeans.NewProcessScaled(
+			t.spec.ID.String(),
+			cfg.KMeansPoints, cfg.KMeansDims, cfg.KMeansK,
+			uint64(cfg.KMeansIters), seed,
+			t.spec.MemFootprint,
+		)
+	}
+}
+
+// onAllocated receives a granted container (Fig. 7 step 6): fresh tasks
+// start executing; checkpointed tasks restore first (locally or remotely).
+func (am *AppMaster) onAllocated(t *taskRun, n *NodeManager, now sim.Time) {
+	t.node = n
+	if !t.hasImage {
+		p, err := am.newProcess(t)
+		if err != nil {
+			panic(fmt.Sprintf("yarn: create process for %v: %v", t.spec.ID, err))
+		}
+		t.process = p
+		am.startRun(t, now)
+		return
+	}
+
+	// Restore path: charge network transfer when the image is remote,
+	// then the device read, then rebuild the real process.
+	t.state = stateRestoring
+	remote := n.id != t.imageNode
+	var transfer time.Duration
+	if remote {
+		transfer = time.Duration(float64(t.spec.MemFootprint) / am.c.cfg.NetBandwidth * float64(time.Second))
+		am.c.res.RemoteRestores++
+	}
+	am.c.res.Restores++
+	_, done := n.device.ReserveRead(now+transfer, t.spec.MemFootprint)
+	am.c.chargeOverhead(t, time.Duration(done-now))
+	am.c.engine.ScheduleAt(done, func(at sim.Time) {
+		p, _, err := am.c.ckpt.Restore(n.dfsCli, t.imageName)
+		if err != nil {
+			// A corrupt or unreadable image cannot be resumed; the CRC
+			// caught it before wrong state could run. Fall back to a
+			// restart from scratch, as a kill-based scheduler would.
+			am.c.res.RestoreFailures++
+			am.discardImages(t, n)
+			am.c.res.WastedCPUHours += coresOf(t) * t.banked.Hours()
+			t.banked = 0
+			fresh, perr := am.newProcess(t)
+			if perr != nil {
+				panic(fmt.Sprintf("yarn: recreate process for %v: %v", t.spec.ID, perr))
+			}
+			t.process = fresh
+			am.startRun(t, at)
+			return
+		}
+		t.process = p
+		am.startRun(t, at)
+	})
+}
+
+// discardImages drops a task's checkpoint chain, best effort: corrupt
+// chains may be partially unreadable.
+func (am *AppMaster) discardImages(t *taskRun, n *NodeManager) {
+	if !t.hasImage {
+		return
+	}
+	if err := checkpoint.RemoveChain(n.dfsCli, t.imageName); err != nil {
+		// Chain walking requires readable images; remove at least the tip.
+		_ = n.dfsCli.Remove(t.imageName)
+	}
+	am.c.addImageBytes(-t.imageBytes)
+	t.imageBytes = 0
+	t.hasImage = false
+	t.imageName = ""
+	t.imageNode = -1
+	t.chainLen = 0
+}
+
+func (am *AppMaster) startRun(t *taskRun, now sim.Time) {
+	t.state = stateRunning
+	t.attemptStart = now
+	t.completion = am.c.engine.Schedule(t.remaining(), func(end sim.Time) {
+		am.onComplete(t, end)
+	})
+}
+
+// onPreempt is the Preemption Manager servicing a ContainerPreemptEvent
+// (Fig. 7 steps 2-4).
+func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
+	if t.state != stateRunning {
+		return
+	}
+	n := t.node
+
+	// Advance the real process to the preemption point before anything
+	// else, so both the dirty-page estimate and any dump reflect the
+	// actual progress.
+	target := uint64(t.progressFrac(now) * float64(t.totalSteps))
+	if err := t.advanceTo(target); err != nil {
+		panic(fmt.Sprintf("yarn: advance %v: %v", t.spec.ID, err))
+	}
+
+	action := core.DecidePreemption(am.c.cfg.Policy, t.candidate(now), n.device, now)
+
+	if action.IsCheckpoint() && am.c.cfg.PreCopy {
+		am.startPreCopyCheckpoint(t, n, now)
+		return
+	}
+	am.c.engine.Cancel(t.completion)
+	t.completion = nil
+
+	if !action.IsCheckpoint() {
+		// Kill: progress since the last checkpoint is lost; the slot frees
+		// immediately.
+		am.c.res.Kills++
+		am.c.res.WastedCPUHours += coresOf(t) * t.unsavedProgress(now).Hours()
+		t.process.Kill()
+		t.process = nil
+		n.releaseSlot(now, t)
+		t.node = nil
+		t.state = statePending
+		pref := -1
+		if t.hasImage {
+			pref = t.imageNode
+		}
+		am.c.rm.RequestContainer(t, pref, now)
+		am.c.rm.schedulePass(now)
+		return
+	}
+
+	// Checkpoint: bank progress quantized to the step boundary actually
+	// captured, freeze, dump for real into the DFS, and release the slot
+	// when the dump drains through the node's checkpoint queue.
+	am.c.res.Checkpoints++
+	t.state = stateCheckpointing
+	t.banked = time.Duration(float64(t.spec.Duration) * float64(t.process.Steps()) / float64(t.totalSteps))
+
+	if err := t.process.Suspend(); err != nil {
+		panic(fmt.Sprintf("yarn: suspend %v: %v", t.spec.ID, err))
+	}
+	var opts checkpoint.DumpOpts
+	if t.hasImage {
+		opts = checkpoint.DumpOpts{Incremental: true, Parent: t.imageName}
+		am.c.res.IncrementalCheckpoints++
+	}
+	name := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
+	t.imageSeq++
+	info, err := am.c.ckpt.Dump(t.process, n.dfsCli, name, opts)
+	if err != nil {
+		panic(fmt.Sprintf("yarn: dump %v: %v", t.spec.ID, err))
+	}
+	am.c.maybeCorrupt(n.dfsCli, name)
+	t.process = nil // the frozen process lives on only as the image
+
+	if opts.Incremental {
+		t.imageBytes += info.LogicalBytes
+		am.c.addImageBytes(info.LogicalBytes)
+		t.chainLen++
+	} else {
+		am.c.addImageBytes(info.LogicalBytes - t.imageBytes)
+		t.imageBytes = info.LogicalBytes
+		t.chainLen = 1
+	}
+	am.c.sampleDFSUsage()
+
+	_, done := n.device.ReserveWrite(now, info.LogicalBytes)
+	am.c.chargeOverhead(t, time.Duration(done-now))
+	am.c.engine.ScheduleAt(done, func(at sim.Time) {
+		t.hasImage = true
+		t.imageName = name
+		t.imageNode = n.id
+		n.releaseSlot(at, t)
+		t.node = nil
+		t.state = statePending
+		am.maybeCompact(t, n, at)
+		am.c.rm.RequestContainer(t, n.id, at)
+	})
+}
+
+// maybeCompact merges a long incremental chain into one full image,
+// bounding restore-time chain walks. It runs after the slot is released,
+// so only device time (not container time) is consumed.
+func (am *AppMaster) maybeCompact(t *taskRun, n *NodeManager, now sim.Time) {
+	k := am.c.cfg.CompactChainAfter
+	if k <= 0 || !t.hasImage || t.chainLen <= k {
+		return
+	}
+	dst := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
+	t.imageSeq++
+	info, err := checkpoint.Compact(n.dfsCli, t.imageName, dst)
+	if err != nil {
+		// Best effort: an uncompactable chain still restores link by link.
+		return
+	}
+	old := t.imageName
+	t.imageName = dst
+	am.c.addImageBytes(info.LogicalBytes - t.imageBytes)
+	t.imageBytes = info.LogicalBytes
+	t.chainLen = 1
+	am.c.res.Compactions++
+	if err := checkpoint.RemoveChain(n.dfsCli, old); err != nil {
+		panic(fmt.Sprintf("yarn: remove pre-compact chain of %v: %v", t.spec.ID, err))
+	}
+	n.device.ReserveWrite(now, info.LogicalBytes)
+	am.c.sampleDFSUsage()
+}
+
+// startPreCopyCheckpoint services a ContainerPreemptEvent with the
+// pre-copy optimization: the victim's pages are dumped for real while it
+// keeps executing; at the end of the write window it freezes and dumps
+// only the pages its continued execution dirtied.
+func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.Time) {
+	am.c.res.Checkpoints++
+	am.c.res.PreCopies++
+	var opts checkpoint.DumpOpts
+	if t.hasImage {
+		opts = checkpoint.DumpOpts{Incremental: true, Parent: t.imageName}
+		am.c.res.IncrementalCheckpoints++
+	}
+	preName := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
+	t.imageSeq++
+	info, err := am.c.ckpt.PreDump(t.process, n.dfsCli, preName, opts)
+	if err != nil {
+		panic(fmt.Sprintf("yarn: pre-dump %v: %v", t.spec.ID, err))
+	}
+	am.c.maybeCorrupt(n.dfsCli, preName)
+	if opts.Incremental {
+		t.imageBytes += info.LogicalBytes
+		am.c.addImageBytes(info.LogicalBytes)
+		t.chainLen++
+	} else {
+		am.c.addImageBytes(info.LogicalBytes - t.imageBytes)
+		t.imageBytes = info.LogicalBytes
+		t.chainLen = 1
+	}
+	t.hasImage = true
+	t.imageName = preName
+	t.imageNode = n.id
+	t.preCopying = true
+	am.c.sampleDFSUsage()
+
+	_, preDone := n.device.ReserveWrite(now, info.LogicalBytes)
+	am.c.engine.ScheduleAt(preDone, func(at sim.Time) {
+		if t.state != stateRunning || !t.preCopying {
+			// Completed during the window; images were (or will be)
+			// reclaimed by onComplete.
+			return
+		}
+		t.preCopying = false
+		am.c.engine.Cancel(t.completion)
+		t.completion = nil
+
+		// Freeze at the current virtual progress; the steps executed
+		// since the pre-dump are exactly the real dirty delta.
+		target := uint64(t.progressFrac(at) * float64(t.totalSteps))
+		if err := t.advanceTo(target); err != nil {
+			panic(fmt.Sprintf("yarn: advance %v during pre-copy: %v", t.spec.ID, err))
+		}
+		t.state = stateCheckpointing
+		t.banked = time.Duration(float64(t.spec.Duration) * float64(t.process.Steps()) / float64(t.totalSteps))
+		if err := t.process.Suspend(); err != nil {
+			panic(fmt.Sprintf("yarn: suspend %v after pre-copy: %v", t.spec.ID, err))
+		}
+		deltaName := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
+		t.imageSeq++
+		dinfo, err := am.c.ckpt.Dump(t.process, n.dfsCli, deltaName, checkpoint.DumpOpts{Incremental: true, Parent: preName})
+		if err != nil {
+			panic(fmt.Sprintf("yarn: delta dump %v: %v", t.spec.ID, err))
+		}
+		am.c.maybeCorrupt(n.dfsCli, deltaName)
+		t.process = nil
+		t.imageBytes += dinfo.LogicalBytes
+		am.c.addImageBytes(dinfo.LogicalBytes)
+		t.imageName = deltaName
+		t.chainLen++
+		am.c.sampleDFSUsage()
+
+		_, done := n.device.ReserveWrite(at, dinfo.LogicalBytes)
+		am.c.chargeOverhead(t, time.Duration(done-at))
+		am.c.engine.ScheduleAt(done, func(end sim.Time) {
+			n.releaseSlot(end, t)
+			t.node = nil
+			t.state = statePending
+			am.maybeCompact(t, n, end)
+			am.c.rm.RequestContainer(t, n.id, end)
+		})
+	})
+}
+
+// onComplete finishes a task: the real program runs to its final step and
+// the result is checksummed, proving transparency end to end.
+func (am *AppMaster) onComplete(t *taskRun, now sim.Time) {
+	if err := t.advanceTo(t.totalSteps); err != nil {
+		panic(fmt.Sprintf("yarn: finish %v: %v", t.spec.ID, err))
+	}
+	if t.process.State() != proc.Exited {
+		panic(fmt.Sprintf("yarn: task %v finished at %d/%d steps but process is %v",
+			t.spec.ID, t.process.Steps(), t.totalSteps, t.process.State()))
+	}
+	am.c.res.TaskChecksums[t.spec.ID] = checksumProcess(t.process)
+	am.c.res.UsefulCPUHours += coresOf(t) * t.spec.Duration.Hours()
+	am.c.res.TasksCompleted++
+
+	t.state = stateDone
+	t.completion = nil
+	n := t.node
+	n.releaseSlot(now, t)
+	t.node = nil
+	if t.hasImage {
+		if err := checkpoint.RemoveChain(n.dfsCli, t.imageName); err != nil {
+			panic(fmt.Sprintf("yarn: remove images of %v: %v", t.spec.ID, err))
+		}
+		am.c.addImageBytes(-t.imageBytes)
+		t.imageBytes = 0
+		t.hasImage = false
+		t.chainLen = 0
+	}
+	t.process = nil
+
+	am.left--
+	if am.left == 0 {
+		am.c.res.JobsCompleted++
+		resp := time.Duration(now - am.job.Submit).Seconds()
+		am.c.res.JobResponseSec[am.job.Band()].Add(resp)
+		am.c.res.JobResponseAllSec.Add(resp)
+	}
+	am.c.rm.schedulePass(now)
+}
+
+func coresOf(t *taskRun) float64 {
+	return float64(t.spec.Demand.CPUMillis) / 1000
+}
+
+// checksumProcess hashes the full real memory of a finished process.
+func checksumProcess(p *proc.Process) uint64 {
+	h := fnv.New64a()
+	mem := p.Memory()
+	for i := 0; i < mem.NumPages(); i++ {
+		h.Write(mem.Page(i))
+	}
+	return h.Sum64()
+}

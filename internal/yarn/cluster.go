@@ -1,0 +1,181 @@
+package yarn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"preemptsched/internal/checkpoint"
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/dfs"
+	"preemptsched/internal/kmeans"
+	"preemptsched/internal/mapreduce"
+	"preemptsched/internal/metrics"
+	"preemptsched/internal/proc"
+	"preemptsched/internal/sim"
+	"preemptsched/internal/storage"
+)
+
+// Cluster assembles the framework: the event engine, the RM, the NMs with
+// their devices, the in-process DFS the checkpoints live in, and the
+// checkpoint engine.
+type Cluster struct {
+	cfg    Config
+	engine *sim.Engine
+	rm     *ResourceManager
+	nodes  []*NodeManager
+	dfsc   *dfs.Cluster
+	ckpt   *checkpoint.Engine
+
+	res     *Result
+	taskSeq uint64
+
+	imageBytes int64
+	dumps      int
+}
+
+// maybeCorrupt implements the failure-injection knob: flips one byte of
+// the freshly written image when this is the configured Nth dump.
+func (c *Cluster) maybeCorrupt(cli *dfs.Client, name string) {
+	c.dumps++
+	if c.cfg.CorruptNthDump == 0 || c.dumps != c.cfg.CorruptNthDump {
+		return
+	}
+	r, err := cli.Open(name)
+	if err != nil {
+		return
+	}
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || len(data) == 0 {
+		return
+	}
+	data[len(data)/2] ^= 0xFF
+	w, err := cli.Create(name)
+	if err != nil {
+		return
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return
+	}
+	_ = w.Close()
+}
+
+// Run executes jobs on a freshly assembled framework under cfg and returns
+// the aggregated result.
+func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	c := &Cluster{cfg: cfg, engine: sim.NewEngine()}
+
+	storageName := cfg.StorageKind.String()
+	if cfg.CustomBandwidth > 0 {
+		storageName = fmt.Sprintf("%.1fGB/s", cfg.CustomBandwidth/1e9)
+	}
+	c.res = &Result{
+		Policy:            cfg.Policy,
+		Storage:           storageName,
+		JobResponseSec:    make(map[cluster.Band]*metrics.Dist),
+		JobResponseAllSec: &metrics.Dist{},
+		TaskChecksums:     make(map[cluster.TaskID]uint64),
+	}
+	for b := 0; b < cluster.NumBands; b++ {
+		c.res.JobResponseSec[cluster.Band(b)] = &metrics.Dist{}
+	}
+
+	repl := cfg.Replication
+	if repl > cfg.Nodes {
+		repl = cfg.Nodes
+	}
+	dfsc, err := dfs.NewCluster(cfg.Nodes, repl)
+	if err != nil {
+		return nil, fmt.Errorf("yarn: build dfs: %w", err)
+	}
+	c.dfsc = dfsc
+
+	registry := proc.NewRegistry()
+	kmeans.RegisterWith(registry)
+	mapreduce.RegisterWith(registry)
+	c.ckpt = checkpoint.NewEngine(registry)
+
+	for i := 0; i < cfg.Nodes; i++ {
+		var dev *storage.Device
+		if cfg.CustomBandwidth > 0 {
+			dev = storage.NewCustomDevice(cfg.CustomBandwidth, 0)
+		} else {
+			dev = storage.NewDevice(cfg.StorageKind)
+		}
+		c.nodes = append(c.nodes, newNodeManager(i, cfg, dev, dfsc.ClientAt(i)))
+	}
+	c.rm = newResourceManager(c)
+
+	totalTasks := 0
+	for i := range jobs {
+		spec := &jobs[i]
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("yarn: %w", err)
+		}
+		totalTasks += len(spec.Tasks)
+		am := newAppMaster(c, spec)
+		c.engine.ScheduleAt(spec.Submit, func(now sim.Time) {
+			am.submit(now)
+		})
+	}
+
+	end := c.engine.Run()
+	c.res.Makespan = time.Duration(end)
+	for _, n := range c.nodes {
+		n.settleEnergy(end)
+		c.res.EnergyKWh += n.meter.KWh()
+		c.res.IOBusyHours += n.device.BusyTime().Hours()
+	}
+	if c.res.TasksCompleted != totalTasks {
+		return nil, fmt.Errorf("yarn: run ended with %d of %d tasks complete", c.res.TasksCompleted, totalTasks)
+	}
+	return c.res, nil
+}
+
+func (c *Cluster) nextTaskSeq() uint64 {
+	c.taskSeq++
+	return c.taskSeq
+}
+
+// programSteps is the exact Step count of the configured per-task
+// program, which maps virtual progress to real execution.
+func (c *Cluster) programSteps() uint64 {
+	switch c.cfg.Program {
+	case "wordcount":
+		return mapreduce.TotalSteps(c.cfg.WordCountInput, c.cfg.WordCountChunk)
+	default:
+		return uint64(c.cfg.KMeansIters)
+	}
+}
+
+// chargeOverhead books checkpoint/restore time against a task's cores.
+func (c *Cluster) chargeOverhead(t *taskRun, d time.Duration) {
+	c.res.WastedCPUHours += coresOf(t) * d.Hours()
+	c.res.OverheadCPUHours += coresOf(t) * d.Hours()
+}
+
+// addImageBytes tracks the logical checkpoint footprint high-water mark.
+func (c *Cluster) addImageBytes(delta int64) {
+	c.imageBytes += delta
+	if c.imageBytes > c.res.PeakImageBytes {
+		c.res.PeakImageBytes = c.imageBytes
+	}
+}
+
+// sampleDFSUsage records the real bytes resident in the DFS.
+func (c *Cluster) sampleDFSUsage() {
+	var total int64
+	for _, dn := range c.dfsc.DataNodes {
+		total += dn.StoredBytes()
+	}
+	if total > c.res.DFSStoredBytes {
+		c.res.DFSStoredBytes = total
+	}
+}

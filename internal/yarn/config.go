@@ -1,0 +1,224 @@
+// Package yarn implements a miniature resource-management framework in the
+// architecture of Hadoop YARN (Section 5 of the paper): a ResourceManager
+// arbitrating fixed-size containers across NodeManagers, one
+// ApplicationMaster per job in the style of DistributedShell, and a
+// Preemption Manager inside the AM that services ContainerPreemptEvents by
+// checkpointing or killing containers.
+//
+// Unlike the trace-driven simulator (internal/sched), tasks here are real
+// virtual processes (k-means by default): preemption takes actual CRIU-style
+// dumps of process pages into the distributed file system, restores rebuild
+// runnable processes — on the image's home node or remotely per
+// Algorithm 2 — and completed tasks yield verifiable results. Only
+// durations come from the calibrated device models; every state transition
+// moves real bytes.
+package yarn
+
+import (
+	"fmt"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/energy"
+	"preemptsched/internal/metrics"
+	"preemptsched/internal/storage"
+)
+
+// Config parameterizes a framework run. The defaults mirror the paper's
+// testbed: 8 nodes, 24 containers each, 1 core + 2 GB per container.
+type Config struct {
+	// Nodes is the NodeManager count.
+	Nodes int
+	// ContainersPerNode is the slot count per node.
+	ContainersPerNode int
+	// Policy selects the preemption policy.
+	Policy core.Policy
+	// StorageKind picks each node's checkpoint device; CustomBandwidth
+	// (bytes/s), when positive, overrides it with a symmetric device.
+	StorageKind     storage.Kind
+	CustomBandwidth float64
+	// NetBandwidth is the modelled network rate for remote image
+	// transfers.
+	NetBandwidth float64
+	// Replication is the DFS replication factor.
+	Replication int
+	// EnergyModel maps slot utilization to node watts.
+	EnergyModel energy.Model
+
+	// Program selects the real application each container runs:
+	// "kmeans" (default, the paper's workload) or "wordcount" (the
+	// MapReduce-style job of the paper's future work). Either way the
+	// checkpointable footprint comes from each task's spec
+	// (MemFootprint), scaled logically over the real pages.
+	Program string
+
+	// KMeans problem shape per task (Program == "kmeans").
+	KMeansPoints int
+	KMeansDims   int
+	KMeansK      int
+	KMeansIters  int
+
+	// WordCount job shape per task (Program == "wordcount").
+	WordCountInput int
+	WordCountChunk int
+
+	// PreCopy enables pre-copy checkpointing: a ContainerPreemptEvent
+	// first pre-dumps the victim's pages while it keeps running, then
+	// freezes it and dumps only the pages it dirtied during the window.
+	PreCopy bool
+	// CompactChainAfter, when positive, merges a task's incremental image
+	// chain into a single full image once it exceeds this many links.
+	// Compaction runs in the background (device time, no task freeze) and
+	// bounds restore-time chain walks.
+	CompactChainAfter int
+
+	// CorruptNthDump is a failure-injection knob: the Nth checkpoint dump
+	// of the run has one byte flipped in its stored image. The CRC check
+	// catches it at restore time and the AM falls back to restarting the
+	// task from scratch. 0 disables injection.
+	CorruptNthDump int
+}
+
+// DefaultConfig returns the paper's cluster shape for the given policy and
+// storage.
+func DefaultConfig(policy core.Policy, kind storage.Kind) Config {
+	return Config{
+		Nodes:             8,
+		ContainersPerNode: 24,
+		Policy:            policy,
+		StorageKind:       kind,
+		NetBandwidth:      core.DefaultNetBandwidth,
+		Replication:       3,
+		EnergyModel:       energy.DefaultModel(),
+		Program:           "kmeans",
+		KMeansPoints:      240,
+		KMeansDims:        4,
+		KMeansK:           4,
+		KMeansIters:       10,
+		WordCountInput:    8192,
+		WordCountChunk:    512,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 || c.ContainersPerNode <= 0 {
+		return fmt.Errorf("yarn: need positive Nodes and ContainersPerNode, got %d/%d", c.Nodes, c.ContainersPerNode)
+	}
+	switch c.Policy {
+	case core.PolicyWait, core.PolicyKill, core.PolicyCheckpoint, core.PolicyAdaptive:
+	default:
+		return fmt.Errorf("yarn: invalid policy %v", c.Policy)
+	}
+	if c.CustomBandwidth < 0 {
+		return fmt.Errorf("yarn: negative custom bandwidth")
+	}
+	if c.Replication <= 0 {
+		return fmt.Errorf("yarn: replication %d must be positive", c.Replication)
+	}
+	switch c.Program {
+	case "", "kmeans":
+		if c.KMeansPoints < c.KMeansK || c.KMeansK <= 0 || c.KMeansDims <= 0 || c.KMeansIters <= 0 {
+			return fmt.Errorf("yarn: bad k-means shape %d/%d/%d/%d", c.KMeansPoints, c.KMeansDims, c.KMeansK, c.KMeansIters)
+		}
+	case "wordcount":
+		if c.WordCountInput <= 0 || c.WordCountChunk <= 0 {
+			return fmt.Errorf("yarn: bad word-count shape %d/%d", c.WordCountInput, c.WordCountChunk)
+		}
+	default:
+		return fmt.Errorf("yarn: unknown program %q (want kmeans|wordcount)", c.Program)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.NetBandwidth == 0 {
+		c.NetBandwidth = core.DefaultNetBandwidth
+	}
+	if c.EnergyModel == (energy.Model{}) {
+		c.EnergyModel = energy.DefaultModel()
+	}
+	if c.Program == "" {
+		c.Program = "kmeans"
+	}
+	return c
+}
+
+// Result aggregates one framework run; fields mirror the quantities of the
+// paper's Figures 8-12.
+type Result struct {
+	Policy   core.Policy
+	Storage  string
+	Makespan time.Duration
+
+	WastedCPUHours   float64
+	UsefulCPUHours   float64
+	OverheadCPUHours float64
+	EnergyKWh        float64
+
+	JobResponseSec    map[cluster.Band]*metrics.Dist
+	JobResponseAllSec *metrics.Dist
+
+	Preemptions            int
+	Kills                  int
+	Checkpoints            int
+	IncrementalCheckpoints int
+	// PreCopies counts checkpoints taken with the pre-copy optimization.
+	PreCopies int
+	// Compactions counts chain-merge operations.
+	Compactions    int
+	Restores       int
+	RemoteRestores int
+	// RestoreFailures counts restores that found a corrupt or unreadable
+	// image and fell back to restarting the task from scratch.
+	RestoreFailures int
+	TasksCompleted  int
+	JobsCompleted   int
+
+	IOBusyHours    float64
+	PeakImageBytes int64
+	// DFSStoredBytes is the real byte count resident in the DFS at the
+	// high-water mark (before logical scaling).
+	DFSStoredBytes int64
+
+	// TaskChecksums holds a checksum of each task's final computed state,
+	// proving that preempted-and-resumed executions produced exactly the
+	// results of undisturbed ones.
+	TaskChecksums map[cluster.TaskID]uint64
+}
+
+// WasteFraction returns wasted over total consumed CPU.
+func (r *Result) WasteFraction() float64 {
+	total := r.WastedCPUHours + r.UsefulCPUHours
+	if total == 0 {
+		return 0
+	}
+	return r.WastedCPUHours / total
+}
+
+// CPUOverheadFraction is the Fig. 12a metric.
+func (r *Result) CPUOverheadFraction() float64 {
+	total := r.WastedCPUHours + r.UsefulCPUHours
+	if total == 0 {
+		return 0
+	}
+	return r.OverheadCPUHours / total
+}
+
+// IOOverheadFraction is the Fig. 12b metric.
+func (r *Result) IOOverheadFraction(nodes int) float64 {
+	if r.Makespan <= 0 || nodes <= 0 {
+		return 0
+	}
+	return r.IOBusyHours / (r.Makespan.Hours() * float64(nodes))
+}
+
+// MeanResponse returns the mean job response time for a band, in seconds.
+func (r *Result) MeanResponse(b cluster.Band) float64 {
+	d := r.JobResponseSec[b]
+	if d == nil {
+		return 0
+	}
+	return d.Mean()
+}

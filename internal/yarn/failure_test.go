@@ -1,0 +1,146 @@
+package yarn
+
+import (
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/storage"
+)
+
+// TestRestoreFailureFallsBackToRestart injects a corrupted checkpoint
+// image and verifies that the CRC check catches it, the AM restarts the
+// task from scratch, and the final result is still correct.
+func TestRestoreFailureFallsBackToRestart(t *testing.T) {
+	jobs := smallWorkload() // low job preempted once by a high job
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.CustomBandwidth = 1e9
+
+	ref, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Checkpoints != 1 || ref.RestoreFailures != 0 {
+		t.Fatalf("baseline: %d checkpoints, %d failures", ref.Checkpoints, ref.RestoreFailures)
+	}
+
+	cfg.CorruptNthDump = 1
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RestoreFailures != 1 {
+		t.Fatalf("restore failures = %d, want 1", r.RestoreFailures)
+	}
+	if r.TasksCompleted != 2 {
+		t.Errorf("completed %d tasks despite corruption recovery", r.TasksCompleted)
+	}
+	// Results must still match the clean run: the restarted task redoes
+	// the work but computes the same answer.
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
+		}
+	}
+	// The fallback costs a full restart, so the corrupted run is slower
+	// for the victim job but not deadlocked.
+	if r.MeanResponse(cluster.BandFree) < ref.MeanResponse(cluster.BandFree) {
+		t.Errorf("corrupted run should not be faster: %v < %v",
+			r.MeanResponse(cluster.BandFree), ref.MeanResponse(cluster.BandFree))
+	}
+}
+
+// TestCorruptionOfIncrementalChain corrupts the *second* (incremental)
+// dump: the chain walk fails, the task restarts, and the run completes.
+func TestCorruptionOfIncrementalChain(t *testing.T) {
+	low := cluster.JobSpec{
+		ID: 0, Priority: 0,
+		Tasks: []cluster.TaskSpec{{
+			ID:           cluster.TaskID{Job: 0},
+			Demand:       cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(2)},
+			MemFootprint: cluster.GiB(1),
+			Duration:     5 * time.Minute,
+		}},
+	}
+	mkHigh := func(id cluster.JobID, submit time.Duration) cluster.JobSpec {
+		return cluster.JobSpec{
+			ID: id, Priority: 10, Submit: submit,
+			Tasks: []cluster.TaskSpec{{
+				ID:       cluster.TaskID{Job: id},
+				Priority: 10,
+				Demand:   cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(2)},
+				Duration: 30 * time.Second,
+				Submit:   submit,
+			}},
+		}
+	}
+	jobs := []cluster.JobSpec{low, mkHigh(1, time.Minute), mkHigh(2, 3*time.Minute)}
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.StorageKind = storage.NVM
+	cfg.CorruptNthDump = 2 // the incremental dump
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RestoreFailures == 0 {
+		t.Fatal("incremental corruption not detected")
+	}
+	if r.TasksCompleted != 3 {
+		t.Errorf("completed %d of 3", r.TasksCompleted)
+	}
+}
+
+// TestChainCompaction forces a long incremental chain and verifies it is
+// merged once it exceeds the configured length, with results intact.
+func TestChainCompaction(t *testing.T) {
+	low := cluster.JobSpec{
+		ID: 0, Priority: 0,
+		Tasks: []cluster.TaskSpec{{
+			ID:           cluster.TaskID{Job: 0},
+			Demand:       cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(2)},
+			MemFootprint: cluster.GiB(1),
+			Duration:     10 * time.Minute,
+		}},
+	}
+	var jobs []cluster.JobSpec
+	jobs = append(jobs, low)
+	// Five bursts, five checkpoints, chain of five images.
+	for i := 1; i <= 5; i++ {
+		jobs = append(jobs, cluster.JobSpec{
+			ID: cluster.JobID(i), Priority: 10, Submit: time.Duration(i) * 90 * time.Second,
+			Tasks: []cluster.TaskSpec{{
+				ID:       cluster.TaskID{Job: cluster.JobID(i)},
+				Priority: 10,
+				Demand:   cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(2)},
+				Duration: 30 * time.Second,
+				Submit:   time.Duration(i) * 90 * time.Second,
+			}},
+		})
+	}
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.StorageKind = storage.NVM
+	base, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Compactions != 0 {
+		t.Fatalf("compactions without the option: %d", base.Compactions)
+	}
+	cfg.CompactChainAfter = 2
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compactions == 0 {
+		t.Fatal("no compactions despite 5-link chain and threshold 2")
+	}
+	if r.TasksCompleted != 6 {
+		t.Errorf("completed %d of 6", r.TasksCompleted)
+	}
+	for id, want := range base.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v diverged under compaction: %x != %x", id, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package yarn
+
+import (
+	"fmt"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/dfs"
+	"preemptsched/internal/energy"
+	"preemptsched/internal/sim"
+	"preemptsched/internal/storage"
+)
+
+// NodeManager owns one machine's container slots, its checkpoint storage
+// device, and its co-located DFS client. Dumps and restores issued by
+// ApplicationMasters are timed against the node's device, which serializes
+// them — the paper's per-node sequential checkpoint queue.
+type NodeManager struct {
+	id        int
+	slots     int
+	usedSlots int
+	// reservedSlots are held for waiting preemptors whose victims are
+	// still draining dumps.
+	reservedSlots int
+
+	device *storage.Device
+	dfsCli *dfs.Client
+
+	running map[cluster.TaskID]*taskRun
+
+	meter      *energy.Meter
+	lastChange sim.Time
+}
+
+func newNodeManager(id int, cfg Config, dev *storage.Device, cli *dfs.Client) *NodeManager {
+	return &NodeManager{
+		id:      id,
+		slots:   cfg.ContainersPerNode,
+		device:  dev,
+		dfsCli:  cli,
+		running: make(map[cluster.TaskID]*taskRun),
+		meter:   energy.NewMeter(cfg.EnergyModel),
+	}
+}
+
+// ID returns the node index.
+func (nm *NodeManager) ID() int { return nm.id }
+
+// Device returns the node's checkpoint device.
+func (nm *NodeManager) Device() *storage.Device { return nm.device }
+
+func (nm *NodeManager) freeSlots() int { return nm.slots - nm.usedSlots }
+
+// availableFor is the slot count a request may claim, accounting for
+// reservations (its own reservation counts as available).
+func (nm *NodeManager) availableFor(req *request) int {
+	avail := nm.freeSlots() - nm.reservedSlots
+	if req != nil && req.reservedOn == nm {
+		avail++
+	}
+	if avail > nm.freeSlots() {
+		avail = nm.freeSlots()
+	}
+	if avail < 0 {
+		avail = 0
+	}
+	return avail
+}
+
+func (nm *NodeManager) settleEnergy(now sim.Time) {
+	if now > nm.lastChange {
+		util := float64(nm.usedSlots) / float64(nm.slots)
+		nm.meter.Accumulate(util, time.Duration(now-nm.lastChange))
+		nm.lastChange = now
+	}
+}
+
+func (nm *NodeManager) allocSlot(now sim.Time, t *taskRun) {
+	nm.settleEnergy(now)
+	nm.usedSlots++
+	if nm.usedSlots > nm.slots {
+		panic(fmt.Sprintf("yarn: node %d over-allocated (%d/%d)", nm.id, nm.usedSlots, nm.slots))
+	}
+	nm.running[t.spec.ID] = t
+}
+
+func (nm *NodeManager) releaseSlot(now sim.Time, t *taskRun) {
+	nm.settleEnergy(now)
+	nm.usedSlots--
+	if nm.usedSlots < 0 {
+		panic(fmt.Sprintf("yarn: node %d released into negative", nm.id))
+	}
+	delete(nm.running, t.spec.ID)
+}

@@ -1,0 +1,122 @@
+package yarn
+
+import (
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/storage"
+)
+
+func TestPreCopyCheckpointTransparent(t *testing.T) {
+	jobs := smallWorkload()
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.CustomBandwidth = 1e9
+
+	ref, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PreCopy = true
+	pre, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.PreCopies != 1 || pre.Checkpoints != 1 {
+		t.Fatalf("precopies=%d checkpoints=%d, want 1/1", pre.PreCopies, pre.Checkpoints)
+	}
+	if pre.Restores != 1 {
+		t.Errorf("restores = %d", pre.Restores)
+	}
+	// Transparency: results identical to the stop-and-copy run.
+	for id, want := range ref.TaskChecksums {
+		if got := pre.TaskChecksums[id]; got != want {
+			t.Errorf("task %v checksum %x != stop-and-copy %x", id, got, want)
+		}
+	}
+	// The low-priority victim keeps running during the bulk dump, so its
+	// response must not be worse than stop-and-copy's.
+	if pre.MeanResponse(cluster.BandFree) > ref.MeanResponse(cluster.BandFree)+0.5 {
+		t.Errorf("pre-copy low response %.1f worse than stop-and-copy %.1f",
+			pre.MeanResponse(cluster.BandFree), ref.MeanResponse(cluster.BandFree))
+	}
+	// The frozen (overhead) window shrinks: CPU overhead strictly below
+	// stop-and-copy, because the bulk dump overlaps useful execution.
+	if pre.OverheadCPUHours >= ref.OverheadCPUHours {
+		t.Errorf("pre-copy overhead %.4f not below stop-and-copy %.4f",
+			pre.OverheadCPUHours, ref.OverheadCPUHours)
+	}
+}
+
+func TestPreCopyOnMixedWorkload(t *testing.T) {
+	jobs := mixedWorkload(t)
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.SSD)
+	cfg.Nodes = 2
+	cfg.ContainersPerNode = 3
+	cfg.PreCopy = true
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreCopies == 0 {
+		t.Fatal("no pre-copies on contended workload")
+	}
+	if r.TasksCompleted != countTasks(jobs) {
+		t.Errorf("completed %d of %d", r.TasksCompleted, countTasks(jobs))
+	}
+	// Compare against the wait-run reference for transparency.
+	refCfg := DefaultConfig(core.PolicyWait, storage.SSD)
+	refCfg.Nodes = 2
+	refCfg.ContainersPerNode = 3
+	ref, err := Run(refCfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Fatalf("task %v diverged under pre-copy", id)
+		}
+	}
+}
+
+func TestPreCopyVictimMayCompleteDuringWindow(t *testing.T) {
+	// Slow device: the pre-copy window exceeds the victim's remaining
+	// runtime, so the victim completes mid-window and the freeze must
+	// abort cleanly.
+	mk := func(id cluster.JobID, prio cluster.Priority, submit, dur time.Duration, fp int64) cluster.JobSpec {
+		return cluster.JobSpec{
+			ID: id, Priority: prio, Submit: submit,
+			Tasks: []cluster.TaskSpec{{
+				ID:           cluster.TaskID{Job: id},
+				Priority:     prio,
+				Demand:       cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(6)},
+				MemFootprint: fp,
+				Duration:     dur,
+				Submit:       submit,
+			}},
+		}
+	}
+	jobs := []cluster.JobSpec{
+		mk(0, 0, 0, time.Minute, cluster.GiB(5)), // dump at 30 MB/s takes ~170s >> 30s left
+		mk(1, 10, 30*time.Second, time.Minute, cluster.GiB(1)),
+	}
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.StorageKind = storage.HDD
+	cfg.CustomBandwidth = 0
+	cfg.PreCopy = true
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreCopies != 1 {
+		t.Fatalf("precopies = %d", r.PreCopies)
+	}
+	if r.TasksCompleted != 2 {
+		t.Errorf("completed %d of 2", r.TasksCompleted)
+	}
+	// No restore should have happened: the victim finished on its own.
+	if r.Restores != 0 {
+		t.Errorf("restores = %d, want 0", r.Restores)
+	}
+}

@@ -1,0 +1,75 @@
+package yarn
+
+import (
+	"testing"
+
+	"preemptsched/internal/core"
+	"preemptsched/internal/storage"
+)
+
+// TestWordCountWorkloadTransparency runs the MapReduce-style word-count
+// application through the framework under preemption and verifies, via
+// the per-task memory checksums, that every job computed exactly what the
+// undisturbed run computed — the paper's future-work scenario.
+func TestWordCountWorkloadTransparency(t *testing.T) {
+	jobs := mixedWorkload(t)
+	mk := func(policy core.Policy) Config {
+		cfg := DefaultConfig(policy, storage.SSD)
+		cfg.Nodes = 2
+		cfg.ContainersPerNode = 3
+		cfg.Program = "wordcount"
+		cfg.WordCountInput = 4096
+		cfg.WordCountChunk = 256
+		return cfg
+	}
+	ref, err := Run(mk(core.PolicyWait), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(mk(core.PolicyAdaptive), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions == 0 {
+		t.Fatal("no preemptions; weak test")
+	}
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v diverged: %x != %x", id, got, want)
+		}
+	}
+	if r.TasksCompleted != countTasks(jobs) {
+		t.Errorf("completed %d of %d", r.TasksCompleted, countTasks(jobs))
+	}
+}
+
+// TestWordCountWithPreCopy combines both extensions: the MapReduce
+// program under pre-copy checkpointing.
+func TestWordCountWithPreCopy(t *testing.T) {
+	jobs := smallWorkload()
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.CustomBandwidth = 1e9
+	cfg.Program = "wordcount"
+	cfg.PreCopy = true
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreCopies != 1 || r.TasksCompleted != 2 {
+		t.Errorf("precopies=%d completed=%d", r.PreCopies, r.TasksCompleted)
+	}
+}
+
+func TestWordCountConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(core.PolicyKill, storage.SSD)
+	cfg.Program = "wordcount"
+	cfg.WordCountInput = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero input accepted")
+	}
+	cfg = DefaultConfig(core.PolicyKill, storage.SSD)
+	cfg.Program = "fortran"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown program accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package preemptsched is a library for checkpoint-based preemptive
+// scheduling in shared clusters, reproducing "Improving Preemptive
+// Scheduling with Application-Transparent Checkpointing in Shared
+// Clusters" (Middleware 2015).
+//
+// Instead of killing preempted tasks, a scheduler built on this library
+// suspends them with an application-transparent checkpoint engine and
+// resumes them later — locally or on another node via a distributed file
+// system — choosing between kill and checkpoint adaptively from a cost
+// model (the paper's Algorithms 1 and 2).
+//
+// The package is a facade over the implementation in internal/:
+//
+//   - a deterministic trace-driven cluster scheduling simulator
+//     (Simulate), used for the paper's Google-trace experiments;
+//   - a miniature YARN-like resource-management framework (RunFramework)
+//     that executes real checkpointable processes (k-means by default)
+//     and takes real CRIU-style dumps into a mini-HDFS;
+//   - a calibrated synthetic Google-cluster trace generator and analyzer
+//     (GenerateTrace / AnalyzeTrace / GenerateSimJobs);
+//   - the experiment harness that regenerates every table and figure of
+//     the paper (Experiments*, RunAllExperiments).
+//
+// See examples/ for runnable entry points and DESIGN.md for the system
+// inventory.
+package preemptsched
+
+import (
+	"io"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/experiments"
+	"preemptsched/internal/sched"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/trace"
+	"preemptsched/internal/workload"
+	"preemptsched/internal/yarn"
+)
+
+// Re-exported domain types.
+type (
+	// Resources is a CPU/memory resource vector.
+	Resources = cluster.Resources
+	// JobSpec describes a job submitted to a scheduler.
+	JobSpec = cluster.JobSpec
+	// TaskSpec describes one task of a job.
+	TaskSpec = cluster.TaskSpec
+	// TaskID identifies a task.
+	TaskID = cluster.TaskID
+	// JobID identifies a job.
+	JobID = cluster.JobID
+	// Priority is a 0-11 scheduling priority.
+	Priority = cluster.Priority
+	// Band groups priorities into low/medium/high.
+	Band = cluster.Band
+)
+
+// Priority bands.
+const (
+	BandLow    = cluster.BandFree
+	BandMedium = cluster.BandMiddle
+	BandHigh   = cluster.BandProduction
+)
+
+// Policy selects how preemption is performed.
+type Policy = core.Policy
+
+// The four policies the paper evaluates.
+const (
+	PolicyWait       = core.PolicyWait
+	PolicyKill       = core.PolicyKill
+	PolicyCheckpoint = core.PolicyCheckpoint
+	PolicyAdaptive   = core.PolicyAdaptive
+)
+
+// ParsePolicy converts "wait"/"kill"/"checkpoint"/"adaptive" to a Policy.
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// StorageKind selects the checkpoint storage medium.
+type StorageKind = storage.Kind
+
+// Storage media with bandwidths calibrated from the paper's measurements.
+// StorageNVRAM is the paper's future-work NVM-as-virtual-memory mode:
+// serialization-free dumps at memcpy speed and free local resumes.
+const (
+	StorageHDD   = storage.HDD
+	StorageSSD   = storage.SSD
+	StorageNVM   = storage.NVM
+	StorageNVRAM = storage.NVRAM
+)
+
+// Discipline selects how the simulator arbitrates contention.
+type Discipline = sched.Discipline
+
+// The three scheduling disciplines of the paper's system model (Section
+// 3.1): priority (used by its experiments), fair share, and capacity.
+const (
+	DisciplinePriority  = sched.DisciplinePriority
+	DisciplineFairShare = sched.DisciplineFairShare
+	DisciplineCapacity  = sched.DisciplineCapacity
+)
+
+// Unit helpers.
+var (
+	// Cores converts whole cores to millicores.
+	Cores = cluster.Cores
+	// GiB converts gibibytes to bytes.
+	GiB = cluster.GiB
+	// MiB converts mebibytes to bytes.
+	MiB = cluster.MiB
+)
+
+// SimConfig configures the trace-driven simulator.
+type SimConfig = sched.Config
+
+// SimResult aggregates a simulation run.
+type SimResult = sched.Result
+
+// DefaultSimConfig returns a mid-size simulated cluster.
+func DefaultSimConfig(policy Policy, kind StorageKind) SimConfig {
+	return sched.DefaultConfig(policy, kind)
+}
+
+// Simulate runs jobs through the trace-driven cluster scheduling
+// simulator and returns aggregate wastage, energy, and response-time
+// results.
+func Simulate(cfg SimConfig, jobs []JobSpec) (*SimResult, error) {
+	return sched.Run(cfg, jobs)
+}
+
+// FrameworkConfig configures the mini-YARN framework.
+type FrameworkConfig = yarn.Config
+
+// FrameworkResult aggregates a framework run.
+type FrameworkResult = yarn.Result
+
+// DefaultFrameworkConfig returns the paper's 8-node, 24-container
+// framework shape.
+func DefaultFrameworkConfig(policy Policy, kind StorageKind) FrameworkConfig {
+	return yarn.DefaultConfig(policy, kind)
+}
+
+// RunFramework executes jobs on the mini-YARN framework: real
+// checkpointable processes, real dumps into a mini-HDFS, device-modelled
+// time.
+func RunFramework(cfg FrameworkConfig, jobs []JobSpec) (*FrameworkResult, error) {
+	return yarn.Run(cfg, jobs)
+}
+
+// TraceConfig configures the synthetic Google-cluster event trace.
+type TraceConfig = trace.GenConfig
+
+// TraceEvent is one scheduler event.
+type TraceEvent = trace.Event
+
+// TraceAnalysis holds the Section 2 statistics of a trace.
+type TraceAnalysis = trace.Analysis
+
+// DefaultTraceConfig returns a laptop-scale 29-day trace shape.
+func DefaultTraceConfig() TraceConfig { return trace.DefaultGenConfig() }
+
+// GenerateTrace produces a synthetic event trace calibrated to the
+// published statistics of the Google 2011 cluster trace.
+func GenerateTrace(cfg TraceConfig) ([]TraceEvent, error) { return trace.Generate(cfg) }
+
+// AnalyzeTrace recomputes the paper's Section 2 statistics from events.
+func AnalyzeTrace(events []TraceEvent) *TraceAnalysis { return trace.Analyze(events) }
+
+// SimJobsConfig configures the simulator's job-level workload.
+type SimJobsConfig = trace.JobsConfig
+
+// DefaultSimJobsConfig returns the paper's one-day-slice shape.
+func DefaultSimJobsConfig() SimJobsConfig { return trace.DefaultJobsConfig() }
+
+// GenerateSimJobs produces jobs for Simulate with the calibrated
+// priority/latency mix.
+func GenerateSimJobs(cfg SimJobsConfig) ([]JobSpec, error) { return trace.GenerateJobs(cfg) }
+
+// FacebookConfig configures the framework's Facebook-derived workload.
+type FacebookConfig = workload.FacebookConfig
+
+// DefaultFacebookConfig returns the paper's 40-job / 7,000-task shape.
+func DefaultFacebookConfig() FacebookConfig { return workload.DefaultFacebookConfig() }
+
+// FacebookWorkload generates the Facebook-derived job mix of Section 5.3.
+func FacebookWorkload(cfg FacebookConfig) ([]JobSpec, error) { return workload.Facebook(cfg) }
+
+// SensitivityScenario builds the paper's two-job contention scenario.
+var SensitivityScenario = workload.SensitivityScenario
+
+// ExperimentOptions sizes the experiment harness inputs.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperiments returns laptop-quick experiment sizes;
+// PaperScaleExperiments the paper's sizes.
+func DefaultExperiments() ExperimentOptions    { return experiments.Default() }
+func PaperScaleExperiments() ExperimentOptions { return experiments.PaperScale() }
+
+// RunAllExperiments regenerates every table and figure of the paper's
+// evaluation, writing rendered tables to w.
+func RunAllExperiments(o ExperimentOptions, w io.Writer) error {
+	return experiments.RunAll(o, w)
+}
