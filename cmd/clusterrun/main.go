@@ -6,17 +6,26 @@
 //
 //	clusterrun [-policy kill|checkpoint|adaptive|wait] [-storage hdd|ssd|nvm]
 //	           [-jobs N] [-tasks N] [-nodes N] [-slots N] [-seed S]
+//	           [-fault-rpc-rate P] [-fault-crash-node dn-K] [-fault-crash-after N]
+//	           [-fault-create-rate P] [-fault-torn-rate P] [-fault-seed S]
+//
+// The -fault-* flags inject a deterministic chaos scenario into the DFS
+// and checkpoint store; the report then includes the degradation counters
+// (kills after failed dumps, restore fallbacks/restarts, read failovers,
+// pipeline rebuilds, re-replicated blocks).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/core"
+	"preemptsched/internal/faults"
 	"preemptsched/internal/storage"
 	"preemptsched/internal/workload"
 	"preemptsched/internal/yarn"
@@ -40,6 +49,13 @@ func run() error {
 	preCopy := flag.Bool("precopy", false, "use pre-copy checkpointing (dump while the victim runs)")
 	program := flag.String("program", "kmeans", "per-task application: kmeans|wordcount")
 	compactAfter := flag.Int("compact-after", 0, "merge image chains longer than this (0 = never)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
+	faultRPCRate := flag.Float64("fault-rpc-rate", 0, "probability a DataNode RPC fails")
+	faultNNRate := flag.Float64("fault-nn-rate", 0, "probability a NameNode RPC fails")
+	faultCrashNode := flag.String("fault-crash-node", "", "DataNode (e.g. dn-1) that crashes permanently")
+	faultCrashAfter := flag.Int("fault-crash-after", 0, "block writes the crash node accepts before dying")
+	faultCreateRate := flag.Float64("fault-create-rate", 0, "probability a checkpoint store create fails")
+	faultTornRate := flag.Float64("fault-torn-rate", 0, "probability a checkpoint write tears short")
 	flag.Parse()
 
 	policy, err := core.ParsePolicy(*policyFlag)
@@ -73,6 +89,17 @@ func run() error {
 	cfg.PreCopy = *preCopy
 	cfg.Program = *program
 	cfg.CompactChainAfter = *compactAfter
+	if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCrashNode != "" || *faultCreateRate > 0 || *faultTornRate > 0 {
+		cfg.Faults = &faults.Plan{
+			Seed:              *faultSeed,
+			RPCErrorRate:      *faultRPCRate,
+			NameNodeErrorRate: *faultNNRate,
+			CrashNode:         *faultCrashNode,
+			CrashAfterWrites:  *faultCrashAfter,
+			CreateFailRate:    *faultCreateRate,
+			TornWriteRate:     *faultTornRate,
+		}
+	}
 
 	total := 0
 	for i := range jobSpecs {
@@ -94,8 +121,23 @@ func run() error {
 		r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandProduction))
 	fmt.Printf("preemptions:     %d (kills %d, checkpoints %d of which %d incremental, %d pre-copy)\n",
 		r.Preemptions, r.Kills, r.Checkpoints, r.IncrementalCheckpoints, r.PreCopies)
-	fmt.Printf("restores:        %d (%d remote, %d failed->restarted), compactions %d\n",
-		r.Restores, r.RemoteRestores, r.RestoreFailures, r.Compactions)
+	fmt.Printf("restores:        %d (%d remote, %d failed attempts, %d fell back to older image, %d restarted), compactions %d\n",
+		r.Restores, r.RemoteRestores, r.RestoreFailures, r.RestoreFallbacks, r.RestoreRestarts, r.Compactions)
+	fmt.Printf("degradation:     %d dumps failed -> %d kill fallbacks\n", r.DumpFailures, r.FallbackKills)
+	fmt.Printf("dfs resilience:  %d retries, %d read failovers, %d pipeline rebuilds, %d blocks re-replicated (%d lost)\n",
+		r.DFSRetries, r.ReadFailovers, r.PipelineRebuilds, r.BlocksReReplicated, r.BlocksLost)
+	if len(r.FaultsInjected) > 0 {
+		modes := make([]string, 0, len(r.FaultsInjected))
+		for mode := range r.FaultsInjected {
+			modes = append(modes, mode)
+		}
+		sort.Strings(modes)
+		fmt.Printf("faults injected:")
+		for _, mode := range modes {
+			fmt.Printf(" %s=%d", mode, r.FaultsInjected[mode])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("overheads:       CPU %.2f%%, I/O %.2f%%\n",
 		100*r.CPUOverheadFraction(), 100*r.IOOverheadFraction(cfg.Nodes))
 	fmt.Printf("checkpoint data: peak %.1f GiB logical, %.1f MiB real bytes in DFS\n",

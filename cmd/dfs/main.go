@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	dfs namenode  -listen :9000 [-replication 3]
-//	dfs datanode  -listen :9001 -namenode host:9000 -id dn-0
+//	dfs namenode  -listen :9000 [-replication 3] [-heartbeat-max-age 30s] [-sweep-interval 10s]
+//	dfs datanode  -listen :9001 -namenode host:9000 -id dn-0 [-heartbeat 5s]
 //	dfs put       -namenode host:9000 local-file /dfs/path
 //	dfs get       -namenode host:9000 /dfs/path local-file
 //	dfs ls        -namenode host:9000 [prefix]
@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"time"
 
 	"preemptsched/internal/dfs"
 )
@@ -50,14 +51,26 @@ func runNameNode(args []string) error {
 	fs := flag.NewFlagSet("namenode", flag.ExitOnError)
 	listen := fs.String("listen", ":9000", "listen address")
 	replication := fs.Int("replication", 3, "block replication factor")
+	maxAge := fs.Duration("heartbeat-max-age", 30*time.Second, "declare a datanode dead after this silence (0 disables the sweep)")
+	sweep := fs.Duration("sweep-interval", 10*time.Second, "how often to sweep dead datanodes")
 	fs.Parse(args)
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
+	nn := dfs.NewNameNode(*replication)
+	if *maxAge > 0 && *sweep > 0 {
+		// The liveness monitor decommissions silent datanodes,
+		// re-replicating their blocks from survivors over this transport.
+		transport := dfs.NewTCPTransport(l.Addr().String())
+		defer transport.Close()
+		stop := make(chan struct{})
+		defer close(stop)
+		go nn.RunLivenessMonitor(stop, *sweep, *maxAge, transport)
+	}
 	fmt.Printf("namenode listening on %s (replication %d)\n", l.Addr(), *replication)
-	return dfs.Serve(l, dfs.NewNameNode(*replication), nil)
+	return dfs.Serve(l, nn, nil)
 }
 
 func runDataNode(args []string) error {
@@ -66,6 +79,7 @@ func runDataNode(args []string) error {
 	namenode := fs.String("namenode", "127.0.0.1:9000", "namenode address")
 	id := fs.String("id", "", "unique datanode id (required)")
 	advertise := fs.String("advertise", "", "address to advertise to peers (defaults to -listen)")
+	heartbeat := fs.Duration("heartbeat", 5*time.Second, "heartbeat interval (0 disables)")
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("datanode requires -id")
@@ -88,6 +102,24 @@ func runDataNode(args []string) error {
 	}
 	if err := nn.Register(info); err != nil {
 		return fmt.Errorf("register with namenode: %w", err)
+	}
+	if *heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(*heartbeat)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					// Best effort; a rejoin after namenode restart works
+					// because Heartbeat re-registers unknown nodes.
+					_ = nn.Heartbeat(info)
+				}
+			}
+		}()
 	}
 	fmt.Printf("datanode %s listening on %s, registered at %s\n", *id, l.Addr(), *namenode)
 	return dfs.Serve(l, nil, dfs.NewDataNode(info, transport))

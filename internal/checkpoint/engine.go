@@ -119,23 +119,30 @@ func (e *Engine) dump(p *proc.Process, store storage.Store, name string, opts Du
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create image %q: %w", name, err)
 	}
+	// A dump that dies mid-write (torn write, lost DataNode) must not
+	// leave a half-image squatting on the name: remove it best-effort so
+	// the namespace stays clean and a later dump can reuse the path.
+	abort := func(err error) (*ImageInfo, error) {
+		_ = store.Remove(name)
+		return nil, err
+	}
 	cw := &crcWriter{w: w}
 	if err := encodeHeader(cw, h); err != nil {
-		return nil, fmt.Errorf("checkpoint: write header of %q: %w", name, err)
+		return abort(fmt.Errorf("checkpoint: write header of %q: %w", name, err))
 	}
 	for _, idx := range pages {
 		if err := binary.Write(cw, binary.BigEndian, uint32(idx)); err != nil {
-			return nil, fmt.Errorf("checkpoint: write page index of %q: %w", name, err)
+			return abort(fmt.Errorf("checkpoint: write page index of %q: %w", name, err))
 		}
 		if _, err := cw.Write(mem.Page(idx)); err != nil {
-			return nil, fmt.Errorf("checkpoint: write page %d of %q: %w", idx, name, err)
+			return abort(fmt.Errorf("checkpoint: write page %d of %q: %w", idx, name, err))
 		}
 	}
 	if err := binary.Write(w, binary.BigEndian, cw.crc); err != nil {
-		return nil, fmt.Errorf("checkpoint: write crc of %q: %w", name, err)
+		return abort(fmt.Errorf("checkpoint: write crc of %q: %w", name, err))
 	}
 	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("checkpoint: close image %q: %w", name, err)
+		return abort(fmt.Errorf("checkpoint: close image %q: %w", name, err))
 	}
 
 	logical := mem.LogicalBytes()
@@ -360,23 +367,27 @@ func Compact(store storage.Store, name, dst string) (*ImageInfo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create compact image %q: %w", dst, err)
 	}
+	abort := func(err error) (*ImageInfo, error) {
+		_ = store.Remove(dst)
+		return nil, err
+	}
 	cw := &crcWriter{w: w}
 	if err := encodeHeader(cw, out); err != nil {
-		return nil, fmt.Errorf("checkpoint: write compact header: %w", err)
+		return abort(fmt.Errorf("checkpoint: write compact header: %w", err))
 	}
 	for idx := 0; idx < int(out.RealPages); idx++ {
 		if err := binary.Write(cw, binary.BigEndian, uint32(idx)); err != nil {
-			return nil, err
+			return abort(err)
 		}
 		if _, err := cw.Write(merged[idx]); err != nil {
-			return nil, err
+			return abort(err)
 		}
 	}
 	if err := binary.Write(w, binary.BigEndian, cw.crc); err != nil {
-		return nil, err
+		return abort(err)
 	}
 	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("checkpoint: close compact image %q: %w", dst, err)
+		return abort(fmt.Errorf("checkpoint: close compact image %q: %w", dst, err))
 	}
 	return &ImageInfo{
 		Name:              dst,

@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"preemptsched/internal/faults"
+	"preemptsched/internal/storage"
+)
+
+// buildChain dumps a base image and two incrementals of one process,
+// returning the engine, the store, and the three image names (oldest
+// first).
+func buildChain(t *testing.T) (*Engine, *storage.MemStore, [3]string) {
+	t.Helper()
+	e := newTestEngine(t)
+	store := storage.NewMemStore()
+	p := newFillProc(t, 16, 40, 2)
+
+	names := [3]string{"base", "inc1", "inc2"}
+	stepN(t, p, 10)
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dump(p, store, names[0], DumpOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, parent := 1, names[0]; i < 3; i++ {
+		if err := p.ResumeInPlace(); err != nil {
+			t.Fatal(err)
+		}
+		stepN(t, p, 10)
+		if err := p.Suspend(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Dump(p, store, names[i], DumpOpts{Incremental: true, Parent: parent}); err != nil {
+			t.Fatal(err)
+		}
+		parent = names[i]
+	}
+	return e, store, names
+}
+
+// TestRestoreWithMissingParent: restoring the tip of a chain whose middle
+// image was deleted must fail, while the intact prefix of the chain
+// remains restorable — the older-image fallback the AM ladder relies on.
+func TestRestoreWithMissingParent(t *testing.T) {
+	e, store, names := buildChain(t)
+	if err := store.Remove(names[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := e.Restore(store, names[2]); err == nil {
+		t.Fatal("restore through a missing parent succeeded")
+	}
+	p, info, err := e.Restore(store, names[0])
+	if err != nil {
+		t.Fatalf("base image should remain restorable: %v", err)
+	}
+	if info.Steps != 10 || p.Steps() != 10 {
+		t.Fatalf("base restored at step %d/%d, want 10", info.Steps, p.Steps())
+	}
+}
+
+// TestRestoreWithCorruptParent: a corrupt middle link fails tip restores
+// with ErrCorrupt but leaves the older prefix restorable.
+func TestRestoreWithCorruptParent(t *testing.T) {
+	e, store, names := buildChain(t)
+	corrupt(t, store, names[1], 40)
+
+	if _, _, err := e.Restore(store, names[2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("restore through corrupt parent = %v, want ErrCorrupt", err)
+	}
+	// The corrupt link itself also fails as a restore target.
+	if _, _, err := e.Restore(store, names[1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("restore of corrupt link = %v, want ErrCorrupt", err)
+	}
+	p, info, err := e.Restore(store, names[0])
+	if err != nil {
+		t.Fatalf("base image should remain restorable: %v", err)
+	}
+	if info.Steps != 10 || p.Steps() != 10 {
+		t.Fatalf("base restored at step %d/%d, want 10", info.Steps, p.Steps())
+	}
+}
+
+// TestTornDumpLeavesNoHalfImage: a dump through a tearing store must
+// report failure and must not leave a half-written object squatting on
+// the image name.
+func TestTornDumpLeavesNoHalfImage(t *testing.T) {
+	e := newTestEngine(t)
+	mem := storage.NewMemStore()
+	in := faults.NewInjector(faults.Plan{Seed: 11, TornWriteRate: 1, TornWriteBytes: 32})
+	store := faults.WrapStore(mem, in)
+
+	p := newFillProc(t, 16, 30, 2)
+	stepN(t, p, 10)
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dump(p, store, "torn", DumpOpts{}); err == nil {
+		t.Fatal("dump through a torn writer succeeded")
+	}
+	if _, err := mem.Size("torn"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("torn image left behind: %v", err)
+	}
+	// The process itself is unharmed: resume and dump to a clean store.
+	if err := p.ResumeInPlace(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dump(p, mem, "clean", DumpOpts{}); err != nil {
+		t.Fatalf("dump after torn attempt: %v", err)
+	}
+	if _, _, err := e.Restore(mem, "clean"); err != nil {
+		t.Fatalf("restore after torn attempt: %v", err)
+	}
+}

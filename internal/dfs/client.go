@@ -5,6 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"preemptsched/internal/storage"
 )
@@ -15,15 +19,48 @@ import (
 // make every test image single-block.
 const DefaultBlockSize = 8 << 20
 
+// Retry defaults: up to DefaultRetries attempts per operation, sleeping
+// DefaultBackoff * 2^(attempt-1) plus jitter between attempts.
+const (
+	DefaultRetries = 4
+	DefaultBackoff = time.Millisecond
+)
+
+// ClientStats counts a client's fault-recovery actions. All fields are
+// monotonic totals.
+type ClientStats struct {
+	// Retries is the number of retry attempts after transient failures.
+	Retries int64
+	// ReadFailovers is the number of block reads served by a replica
+	// other than the first choice after at least one replica failed.
+	ReadFailovers int64
+	// PipelineRebuilds is the number of blocks whose write pipeline broke
+	// and was reconstructed by writing replicas directly.
+	PipelineRebuilds int64
+}
+
 // Client is a DFS client bound to one cluster node. It implements
 // storage.Store, so the checkpoint engine can write images to the DFS
-// transparently.
+// transparently. All operations retry transient failures with exponential
+// backoff and jitter; reads fail over across replicas; broken write
+// pipelines are reconstructed around failed DataNodes.
 type Client struct {
 	transport Transport
 	// localID is the DataNode co-located with this client, preferred for
 	// first-replica placement (write locality) and reads.
 	localID   string
 	blockSize int
+
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	retryCount       atomic.Int64
+	readFailovers    atomic.Int64
+	pipelineRebuilds atomic.Int64
 }
 
 // ClientOption configures a Client.
@@ -43,9 +80,30 @@ func WithLocalNode(id string) ClientOption {
 	return func(c *Client) { c.localID = id }
 }
 
+// WithRetry overrides the retry budget: attempts per operation (minimum 1
+// = no retries) and the base backoff between them.
+func WithRetry(attempts int, backoff time.Duration) ClientOption {
+	return func(c *Client) {
+		if attempts >= 1 {
+			c.retries = attempts
+		}
+		if backoff >= 0 {
+			c.backoff = backoff
+		}
+	}
+}
+
 // NewClient creates a client using transport.
 func NewClient(transport Transport, opts ...ClientOption) *Client {
-	c := &Client{transport: transport, blockSize: DefaultBlockSize}
+	c := &Client{
+		transport: transport,
+		blockSize: DefaultBlockSize,
+		retries:   DefaultRetries,
+		backoff:   DefaultBackoff,
+		sleep:     time.Sleep,
+		// Seeded jitter keeps the event-driven emulation deterministic.
+		rng: rand.New(rand.NewSource(1)),
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -53,6 +111,46 @@ func NewClient(transport Transport, opts ...ClientOption) *Client {
 }
 
 var _ storage.Store = (*Client)(nil)
+
+// Stats returns a snapshot of the client's fault-recovery counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Retries:          c.retryCount.Load(),
+		ReadFailovers:    c.readFailovers.Load(),
+		PipelineRebuilds: c.pipelineRebuilds.Load(),
+	}
+}
+
+// backoffFor returns the sleep before retry attempt (1-based): exponential
+// in the attempt number plus up to one base unit of jitter.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	if c.backoff <= 0 {
+		return 0
+	}
+	d := c.backoff << uint(attempt-1)
+	c.rngMu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(c.backoff) + 1))
+	c.rngMu.Unlock()
+	return d + jitter
+}
+
+// retry runs op up to the retry budget, backing off between attempts, and
+// stops early on success or a permanent (semantic) error.
+func (c *Client) retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			c.retryCount.Add(1)
+			if d := c.backoffFor(attempt); d > 0 {
+				c.sleep(d)
+			}
+		}
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
 
 // fileWriter buffers written data and flushes whole blocks through the
 // replica pipeline as they fill.
@@ -72,8 +170,12 @@ func (c *Client) Create(name string) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, &PathError{Op: "create", Path: name, Err: err}
 	}
-	stale, err := nn.Create(name)
-	if err != nil {
+	var stale []BlockLocation
+	if err := c.retry(func() error {
+		var err error
+		stale, err = nn.Create(name)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	// Best-effort reclamation of the blocks of a replaced file.
@@ -101,19 +203,60 @@ func (w *fileWriter) Write(p []byte) (int, error) {
 
 func (w *fileWriter) flushBlock(n int) error {
 	data := w.buf.Next(n)
-	loc, err := w.nn.AddBlock(w.path, w.client.localID)
-	if err != nil {
+	var loc BlockLocation
+	if err := w.client.retry(func() error {
+		var err error
+		loc, err = w.nn.AddBlock(w.path, w.client.localID)
+		return err
+	}); err != nil {
 		return err
 	}
 	if len(loc.Replicas) == 0 {
 		return &PathError{Op: "write", Path: w.path, Err: errors.New("empty replica set")}
 	}
-	first, err := w.client.transport.DataNode(loc.Replicas[0])
-	if err != nil {
-		return &PathError{Op: "write", Path: w.path, Err: err}
+	return w.client.writeBlock(w.nn, w.path, loc, data)
+}
+
+// writeBlock pushes one block through the replica pipeline. When the
+// daisy-chained pipeline keeps failing, it is reconstructed: every replica
+// is written directly, DataNodes that stay unreachable are excluded, and
+// the surviving replica set is reported back to the NameNode — the
+// client-driven pipeline recovery HDFS performs when a DataNode dies
+// mid-write.
+func (c *Client) writeBlock(nn NameNodeAPI, path string, loc BlockLocation, data []byte) error {
+	pipeErr := c.retry(func() error {
+		first, err := c.transport.DataNode(loc.Replicas[0])
+		if err != nil {
+			return err
+		}
+		return first.WriteBlock(loc.ID, data, loc.Replicas[1:])
+	})
+	if pipeErr == nil {
+		return nil
 	}
-	if err := first.WriteBlock(loc.ID, data, loc.Replicas[1:]); err != nil {
-		return &PathError{Op: "write", Path: w.path, Err: err}
+
+	var survivors []DataNodeInfo
+	for _, dn := range loc.Replicas {
+		dn := dn
+		err := c.retry(func() error {
+			api, err := c.transport.DataNode(dn)
+			if err != nil {
+				return err
+			}
+			return api.WriteBlock(loc.ID, data, nil)
+		})
+		if err == nil {
+			survivors = append(survivors, dn)
+		}
+	}
+	if len(survivors) == 0 {
+		return &PathError{Op: "write", Path: path,
+			Err: fmt.Errorf("block %d: no replica accepted the write: %w", loc.ID, pipeErr)}
+	}
+	c.pipelineRebuilds.Add(1)
+	if err := c.retry(func() error { return nn.ReportBlock(path, loc.ID, survivors) }); err != nil {
+		return &PathError{Op: "write", Path: path,
+			Err: fmt.Errorf("block %d: report rebuilt pipeline: %w", loc.ID, err)}
 	}
 	return nil
 }
@@ -131,7 +274,7 @@ func (w *fileWriter) Close() error {
 			return err
 		}
 	}
-	return w.nn.Complete(w.path, w.size)
+	return w.client.retry(func() error { return w.nn.Complete(w.path, w.size) })
 }
 
 // fileReader streams a file's blocks sequentially, falling back across
@@ -169,8 +312,9 @@ func (r *fileReader) Read(p []byte) (int, error) {
 
 func (r *fileReader) Close() error { return nil }
 
-// readBlock fetches a block, preferring the local replica and falling back
-// through the rest of the replica set.
+// readBlock fetches a block, preferring the local replica, failing over
+// through the rest of the replica set, and retrying the whole set (with
+// backoff) when every replica failed transiently.
 func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 	order := make([]DataNodeInfo, 0, len(loc.Replicas))
 	for _, dn := range loc.Replicas {
@@ -181,17 +325,28 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 		}
 	}
 	var lastErr error
-	for _, dn := range order {
-		api, err := c.transport.DataNode(dn)
-		if err != nil {
+	for round := 0; round < c.retries; round++ {
+		if round > 0 {
+			c.retryCount.Add(1)
+			if d := c.backoffFor(round); d > 0 {
+				c.sleep(d)
+			}
+		}
+		for i, dn := range order {
+			api, err := c.transport.DataNode(dn)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			data, err := api.ReadBlock(loc.ID)
+			if err == nil {
+				if i > 0 || round > 0 {
+					c.readFailovers.Add(1)
+				}
+				return data, nil
+			}
 			lastErr = err
-			continue
 		}
-		data, err := api.ReadBlock(loc.ID)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("block %d has no replicas", loc.ID)
@@ -204,8 +359,12 @@ func (c *Client) stat(name string) (FileInfo, error) {
 	if err != nil {
 		return FileInfo{}, &PathError{Op: "stat", Path: name, Err: err}
 	}
-	info, err := nn.Stat(name)
-	if err != nil {
+	var info FileInfo
+	if err := c.retry(func() error {
+		var err error
+		info, err = nn.Stat(name)
+		return err
+	}); err != nil {
 		if IsNotFound(err) {
 			return FileInfo{}, &storage.NotExistError{Name: name}
 		}
@@ -229,8 +388,12 @@ func (c *Client) Remove(name string) error {
 	if err != nil {
 		return &PathError{Op: "remove", Path: name, Err: err}
 	}
-	info, err := nn.Delete(name)
-	if err != nil {
+	var info FileInfo
+	if err := c.retry(func() error {
+		var err error
+		info, err = nn.Delete(name)
+		return err
+	}); err != nil {
 		if IsNotFound(err) {
 			return &storage.NotExistError{Name: name}
 		}
@@ -246,7 +409,15 @@ func (c *Client) List(prefix string) ([]string, error) {
 	if err != nil {
 		return nil, &PathError{Op: "list", Path: prefix, Err: err}
 	}
-	return nn.List(prefix)
+	var names []string
+	if err := c.retry(func() error {
+		var err error
+		names, err = nn.List(prefix)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return names, nil
 }
 
 // reclaim deletes blocks from their replicas, best-effort: a dead replica

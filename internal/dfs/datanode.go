@@ -1,7 +1,6 @@
 package dfs
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 )
@@ -38,7 +37,7 @@ func (d *DataNode) SetDown(down bool) {
 
 func (d *DataNode) checkUp() error {
 	if d.down {
-		return fmt.Errorf("dfs: datanode %s is down", d.info.ID)
+		return fmt.Errorf("dfs: datanode %s: %w", d.info.ID, ErrNodeDown)
 	}
 	return nil
 }
@@ -77,7 +76,7 @@ func (d *DataNode) ReadBlock(id BlockID) ([]byte, error) {
 	}
 	data, ok := d.blocks[id]
 	if !ok {
-		return nil, fmt.Errorf("dfs: datanode %s: block %d %w", d.info.ID, id, errBlockMissing)
+		return nil, fmt.Errorf("dfs: datanode %s: block %d: %w", d.info.ID, id, ErrBlockMissing)
 	}
 	return append([]byte(nil), data...), nil
 }
@@ -110,5 +109,3 @@ func (d *DataNode) StoredBytes() int64 {
 	}
 	return n
 }
-
-var errBlockMissing = errors.New("not stored here")

@@ -156,17 +156,45 @@ func TestReadFallsBackAcrossReplicas(t *testing.T) {
 	}
 }
 
-func TestWritePipelineFailure(t *testing.T) {
+func TestWritePipelineRebuiltAroundDeadReplica(t *testing.T) {
 	c := testCluster(t, 3, 3)
 	client := c.ClientAt(0)
 	c.DataNodes[1].SetDown(true)
-	w, err := client.Create("/pf")
+	data := randomData(100)
+	// The daisy-chained pipeline breaks at the dead middle replica; the
+	// client must rebuild it, exclude dn-1, and report the survivors.
+	writeFile(t, client, "/pf", data)
+	if got := client.Stats().PipelineRebuilds; got == 0 {
+		t.Error("no pipeline rebuild recorded")
+	}
+	info, err := c.NameNode.Stat("/pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range info.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d replica set %v, want the 2 survivors", b.ID, b.Replicas)
+		}
+		for _, r := range b.Replicas {
+			if r.ID == "dn-1" {
+				t.Errorf("dead replica dn-1 still in block %d's replica set", b.ID)
+			}
+		}
+	}
+	if got := readFile(t, client, "/pf"); !bytes.Equal(got, data) {
+		t.Error("rebuilt-pipeline file corrupted")
+	}
+	// With every replica down the write must still fail.
+	for _, dn := range c.DataNodes {
+		dn.SetDown(true)
+	}
+	w, err := client.Create("/pf2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.Write(randomData(100))
 	if err := w.Close(); err == nil {
-		t.Error("pipeline write with dead replica reported success")
+		t.Error("write with all replicas down reported success")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // NameNode owns the file namespace and the block map. It is safe for
@@ -16,8 +17,11 @@ type NameNode struct {
 	nextBlock   BlockID
 	nodes       map[string]DataNodeInfo // by ID
 	nodeOrder   []string                // sorted IDs for deterministic placement
+	lastSeen    map[string]time.Time    // heartbeat timestamps by ID
 	files       map[string]*fileEntry
 	rrCursor    int
+	// clock supplies wall time for the liveness view; tests override it.
+	clock func() time.Time
 }
 
 type fileEntry struct {
@@ -35,12 +39,21 @@ func NewNameNode(replication int) *NameNode {
 	return &NameNode{
 		replication: replication,
 		nodes:       make(map[string]DataNodeInfo),
+		lastSeen:    make(map[string]time.Time),
 		files:       make(map[string]*fileEntry),
 		nextBlock:   1,
+		clock:       time.Now,
 	}
 }
 
 var _ NameNodeAPI = (*NameNode)(nil)
+
+// SetClock overrides the liveness clock (tests drive time by hand).
+func (n *NameNode) SetClock(clock func() time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = clock
+}
 
 // Register implements NameNodeAPI.
 func (n *NameNode) Register(dn DataNodeInfo) error {
@@ -49,11 +62,29 @@ func (n *NameNode) Register(dn DataNodeInfo) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.registerLocked(dn)
+	return nil
+}
+
+func (n *NameNode) registerLocked(dn DataNodeInfo) {
 	if _, known := n.nodes[dn.ID]; !known {
 		n.nodeOrder = append(n.nodeOrder, dn.ID)
 		sort.Strings(n.nodeOrder)
 	}
 	n.nodes[dn.ID] = dn
+	n.lastSeen[dn.ID] = n.clock()
+}
+
+// Heartbeat implements NameNodeAPI: it refreshes the node's liveness
+// timestamp, registering it when unknown (so a restarted DataNode rejoins
+// on its first heartbeat, as in HDFS).
+func (n *NameNode) Heartbeat(dn DataNodeInfo) error {
+	if dn.ID == "" {
+		return errors.New("dfs: heartbeat with empty ID")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.registerLocked(dn)
 	return nil
 }
 
@@ -67,6 +98,7 @@ func (n *NameNode) Unregister(id string) {
 		return
 	}
 	delete(n.nodes, id)
+	delete(n.lastSeen, id)
 	for i, v := range n.nodeOrder {
 		if v == id {
 			n.nodeOrder = append(n.nodeOrder[:i], n.nodeOrder[i+1:]...)
@@ -86,6 +118,55 @@ func (n *NameNode) DataNodes() []DataNodeInfo {
 	return out
 }
 
+// DeadNodes returns the IDs of registered DataNodes whose last heartbeat
+// (or registration) is older than maxAge.
+func (n *NameNode) DeadNodes(maxAge time.Duration) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cutoff := n.clock().Add(-maxAge)
+	var dead []string
+	for _, id := range n.nodeOrder {
+		if n.lastSeen[id].Before(cutoff) {
+			dead = append(dead, id)
+		}
+	}
+	return dead
+}
+
+// SweepDead decommissions every DataNode that has not heartbeated within
+// maxAge, re-replicating its blocks from surviving replicas through
+// transport. It returns the per-node replication reports. This is the
+// NameNode-driven recovery HDFS runs after a heartbeat timeout; callers
+// run it periodically (see RunLivenessMonitor) or after a known crash.
+func (n *NameNode) SweepDead(maxAge time.Duration, transport Transport) map[string]*ReplicationReport {
+	reports := make(map[string]*ReplicationReport)
+	for _, id := range n.DeadNodes(maxAge) {
+		rep, err := n.Decommission(id, transport)
+		if err != nil {
+			continue
+		}
+		reports[id] = rep
+	}
+	return reports
+}
+
+// RunLivenessMonitor sweeps dead DataNodes every interval until stop is
+// closed. It is the background companion of Heartbeat for long-running
+// deployments (cmd/dfs); the event-driven emulation calls SweepDead at
+// virtual-time boundaries instead.
+func (n *NameNode) RunLivenessMonitor(stop <-chan struct{}, interval, maxAge time.Duration, transport Transport) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			n.SweepDead(maxAge, transport)
+		}
+	}
+}
+
 // Create implements NameNodeAPI.
 func (n *NameNode) Create(path string) ([]BlockLocation, error) {
 	if path == "" {
@@ -96,7 +177,7 @@ func (n *NameNode) Create(path string) ([]BlockLocation, error) {
 	var stale []BlockLocation
 	if old, ok := n.files[path]; ok {
 		if old.open {
-			return nil, &PathError{Op: "create", Path: path, Err: errors.New(msgOpen)}
+			return nil, &PathError{Op: "create", Path: path, Err: ErrFileOpen}
 		}
 		stale = old.info.Blocks
 	}
@@ -110,18 +191,39 @@ func (n *NameNode) AddBlock(path, preferred string) (BlockLocation, error) {
 	defer n.mu.Unlock()
 	f, ok := n.files[path]
 	if !ok {
-		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: errors.New(msgNotFound)}
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: ErrNotFound}
 	}
 	if !f.open {
-		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: errors.New("file is sealed")}
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: ErrSealed}
 	}
 	if len(n.nodeOrder) == 0 {
-		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: errors.New(msgNoNodes)}
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: ErrNoDataNodes}
 	}
 	loc := BlockLocation{ID: n.nextBlock, Replicas: n.placeReplicas(preferred)}
 	n.nextBlock++
 	f.info.Blocks = append(f.info.Blocks, loc)
 	return loc, nil
+}
+
+// ReportBlock implements NameNodeAPI: the client reconstructed the write
+// pipeline of a block and reports where the data actually landed.
+func (n *NameNode) ReportBlock(path string, id BlockID, replicas []DataNodeInfo) error {
+	if len(replicas) == 0 {
+		return &PathError{Op: "reportblock", Path: path, Err: errors.New("empty replica set")}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[path]
+	if !ok {
+		return &PathError{Op: "reportblock", Path: path, Err: ErrNotFound}
+	}
+	for i := range f.info.Blocks {
+		if f.info.Blocks[i].ID == id {
+			f.info.Blocks[i].Replicas = append([]DataNodeInfo(nil), replicas...)
+			return nil
+		}
+	}
+	return &PathError{Op: "reportblock", Path: path, Err: ErrUnknownBlock}
 }
 
 // placeReplicas chooses up to n.replication distinct DataNodes, putting the
@@ -157,10 +259,10 @@ func (n *NameNode) Complete(path string, size int64) error {
 	defer n.mu.Unlock()
 	f, ok := n.files[path]
 	if !ok {
-		return &PathError{Op: "complete", Path: path, Err: errors.New(msgNotFound)}
+		return &PathError{Op: "complete", Path: path, Err: ErrNotFound}
 	}
 	if !f.open {
-		return &PathError{Op: "complete", Path: path, Err: errors.New("file is sealed")}
+		return &PathError{Op: "complete", Path: path, Err: ErrSealed}
 	}
 	if size < 0 {
 		return &PathError{Op: "complete", Path: path, Err: fmt.Errorf("negative size %d", size)}
@@ -177,10 +279,10 @@ func (n *NameNode) Stat(path string) (FileInfo, error) {
 	defer n.mu.Unlock()
 	f, ok := n.files[path]
 	if !ok {
-		return FileInfo{}, &PathError{Op: "stat", Path: path, Err: errors.New(msgNotFound)}
+		return FileInfo{}, &PathError{Op: "stat", Path: path, Err: ErrNotFound}
 	}
 	if !f.info.Complete {
-		return FileInfo{}, &PathError{Op: "stat", Path: path, Err: errors.New(msgIncomplete)}
+		return FileInfo{}, &PathError{Op: "stat", Path: path, Err: ErrIncomplete}
 	}
 	return cloneInfo(f.info), nil
 }
@@ -191,7 +293,7 @@ func (n *NameNode) Delete(path string) (FileInfo, error) {
 	defer n.mu.Unlock()
 	f, ok := n.files[path]
 	if !ok {
-		return FileInfo{}, &PathError{Op: "delete", Path: path, Err: errors.New(msgNotFound)}
+		return FileInfo{}, &PathError{Op: "delete", Path: path, Err: ErrNotFound}
 	}
 	delete(n.files, path)
 	return cloneInfo(f.info), nil
@@ -220,9 +322,9 @@ func cloneInfo(info FileInfo) FileInfo {
 	return out
 }
 
-// IsNotFound reports whether err denotes a missing file. It matches by
-// message because errors that crossed the TCP transport arrive flattened
-// to strings.
+// IsNotFound reports whether err denotes a missing file. Identity survives
+// the TCP transport via wire codes; the message check keeps errors from
+// older peers recognizable.
 func IsNotFound(err error) bool {
-	return err != nil && strings.Contains(err.Error(), msgNotFound)
+	return err != nil && (errors.Is(err, ErrNotFound) || strings.Contains(err.Error(), ErrNotFound.Error()))
 }

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"fmt"
+	"sort"
 )
 
 // ReplicationReport summarizes a decommission's outcome.
@@ -45,7 +46,16 @@ func (n *NameNode) Decommission(id string, transport Transport) (*ReplicationRep
 		report ReplicationReport
 		jobs   []job
 	)
-	for path, f := range n.files {
+	// Walk paths in sorted order: map iteration order would otherwise
+	// randomize copy targets (round-robin cursor) and make seeded
+	// fault-injection runs non-reproducible.
+	paths := make([]string, 0, len(n.files))
+	for path := range n.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f := n.files[path]
 		for bi := range f.info.Blocks {
 			loc := &f.info.Blocks[bi]
 			holderIdx := -1

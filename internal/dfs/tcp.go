@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // The TCP transport carries one gob-encoded request/response pair per
@@ -29,41 +30,82 @@ type rpcRequest struct {
 }
 
 // rpcResponse is the union of all response payloads. Err carries the
-// flattened error message; empty means success.
+// flattened error message (empty means success); ErrCode carries the
+// sentinel's wire code so the client can rehydrate error identity for
+// errors.Is checks.
 type rpcResponse struct {
-	Err   string
-	Stale []BlockLocation
-	Loc   BlockLocation
-	Info  FileInfo
-	Names []string
-	Data  []byte
+	Err     string
+	ErrCode uint8
+	Stale   []BlockLocation
+	Loc     BlockLocation
+	Info    FileInfo
+	Names   []string
+	Data    []byte
 }
 
-func errString(err error) string {
+// setErr flattens err into the response, preserving sentinel identity via
+// the wire code.
+func (r *rpcResponse) setErr(err error) {
 	if err == nil {
-		return ""
+		return
 	}
-	return err.Error()
+	r.Err = err.Error()
+	r.ErrCode = errToCode(err)
+}
+
+// asError rehydrates the response's error, or returns nil on success.
+func (r *rpcResponse) asError() error {
+	if r.Err == "" {
+		return nil
+	}
+	if sentinel := codeToErr(r.ErrCode); sentinel != nil {
+		return &rpcError{msg: r.Err, sentinel: sentinel}
+	}
+	return errors.New(r.Err)
 }
 
 // Serve runs an RPC loop for either node role until the listener closes.
-// Pass exactly one non-nil API. It returns the first accept error
-// (net.ErrClosed after a clean shutdown).
+// Pass exactly one non-nil API. Closing the listener is a clean shutdown:
+// Serve closes every open connection, waits for the per-connection
+// goroutines to drain, and returns nil. Any other accept error is
+// returned.
 func Serve(l net.Listener, nn NameNodeAPI, dn DataNodeAPI) error {
 	if (nn == nil) == (dn == nil) {
 		return errors.New("dfs: Serve requires exactly one of namenode or datanode")
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
 	defer wg.Wait()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			// Shut down every open connection so the handler goroutines
+			// unblock from their pending reads instead of leaking.
+			mu.Lock()
+			for c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
 			serveConn(conn, nn, dn)
 		}()
 	}
@@ -90,43 +132,57 @@ func serveConn(conn net.Conn, nn NameNodeAPI, dn DataNodeAPI) {
 }
 
 func dispatchNameNode(nn NameNodeAPI, req *rpcRequest) rpcResponse {
+	var resp rpcResponse
 	switch req.Method {
 	case "Register":
-		return rpcResponse{Err: errString(nn.Register(req.DN))}
+		resp.setErr(nn.Register(req.DN))
+	case "Heartbeat":
+		resp.setErr(nn.Heartbeat(req.DN))
 	case "Create":
 		stale, err := nn.Create(req.Path)
-		return rpcResponse{Stale: stale, Err: errString(err)}
+		resp.Stale = stale
+		resp.setErr(err)
 	case "AddBlock":
 		loc, err := nn.AddBlock(req.Path, req.Preferred)
-		return rpcResponse{Loc: loc, Err: errString(err)}
+		resp.Loc = loc
+		resp.setErr(err)
+	case "ReportBlock":
+		resp.setErr(nn.ReportBlock(req.Path, req.Block, req.Pipeline))
 	case "Complete":
-		return rpcResponse{Err: errString(nn.Complete(req.Path, req.Size))}
+		resp.setErr(nn.Complete(req.Path, req.Size))
 	case "Stat":
 		info, err := nn.Stat(req.Path)
-		return rpcResponse{Info: info, Err: errString(err)}
+		resp.Info = info
+		resp.setErr(err)
 	case "Delete":
 		info, err := nn.Delete(req.Path)
-		return rpcResponse{Info: info, Err: errString(err)}
+		resp.Info = info
+		resp.setErr(err)
 	case "List":
 		names, err := nn.List(req.Prefix)
-		return rpcResponse{Names: names, Err: errString(err)}
+		resp.Names = names
+		resp.setErr(err)
 	default:
-		return rpcResponse{Err: fmt.Sprintf("dfs: unknown namenode method %q", req.Method)}
+		resp.Err = fmt.Sprintf("dfs: unknown namenode method %q", req.Method)
 	}
+	return resp
 }
 
 func dispatchDataNode(dn DataNodeAPI, req *rpcRequest) rpcResponse {
+	var resp rpcResponse
 	switch req.Method {
 	case "WriteBlock":
-		return rpcResponse{Err: errString(dn.WriteBlock(req.Block, req.Data, req.Pipeline))}
+		resp.setErr(dn.WriteBlock(req.Block, req.Data, req.Pipeline))
 	case "ReadBlock":
 		data, err := dn.ReadBlock(req.Block)
-		return rpcResponse{Data: data, Err: errString(err)}
+		resp.Data = data
+		resp.setErr(err)
 	case "DeleteBlock":
-		return rpcResponse{Err: errString(dn.DeleteBlock(req.Block))}
+		resp.setErr(dn.DeleteBlock(req.Block))
 	default:
-		return rpcResponse{Err: fmt.Sprintf("dfs: unknown datanode method %q", req.Method)}
+		resp.Err = fmt.Sprintf("dfs: unknown datanode method %q", req.Method)
 	}
+	return resp
 }
 
 // tcpConn is one pooled connection with its codecs.
@@ -137,11 +193,14 @@ type tcpConn struct {
 }
 
 // tcpPeer issues calls to one remote address, serializing requests over a
-// lazily dialed, reused connection and redialing after failures.
+// lazily dialed, reused connection and redialing after failures. Each RPC
+// runs under a read/write deadline so a hung peer fails the call instead
+// of wedging the client forever.
 type tcpPeer struct {
-	addr string
-	mu   sync.Mutex
-	c    *tcpConn
+	addr    string
+	timeout time.Duration
+	mu      sync.Mutex
+	c       *tcpConn
 }
 
 func (p *tcpPeer) call(req *rpcRequest) (*rpcResponse, error) {
@@ -150,26 +209,29 @@ func (p *tcpPeer) call(req *rpcRequest) (*rpcResponse, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if p.c == nil {
-			conn, err := net.Dial("tcp", p.addr)
+			conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
 			if err != nil {
 				return nil, fmt.Errorf("dfs: dial %s: %w", p.addr, err)
 			}
 			p.c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 		}
+		if p.timeout > 0 {
+			p.c.conn.SetDeadline(time.Now().Add(p.timeout))
+		}
 		var resp rpcResponse
 		if err := p.c.enc.Encode(req); err == nil {
 			if err = p.c.dec.Decode(&resp); err == nil {
-				if resp.Err != "" {
-					return nil, errors.New(resp.Err)
+				if p.timeout > 0 {
+					p.c.conn.SetDeadline(time.Time{})
 				}
-				return &resp, nil
+				return &resp, resp.asError()
 			}
 			lastErr = err
 		} else {
 			lastErr = err
 		}
-		// Stale or broken connection: drop it and retry once with a fresh
-		// dial.
+		// Stale, broken, or timed-out connection: drop it and retry once
+		// with a fresh dial.
 		p.c.conn.Close()
 		p.c = nil
 	}
@@ -185,17 +247,39 @@ func (p *tcpPeer) close() {
 	}
 }
 
+// DefaultRPCTimeout bounds each RPC round trip (dial, write, read). Large
+// enough for an 8 MiB block transfer on a slow link, small enough that a
+// dead peer is detected promptly.
+const DefaultRPCTimeout = 30 * time.Second
+
 // TCPTransport resolves NameNode and DataNode stubs over TCP.
 type TCPTransport struct {
 	namenodeAddr string
+	timeout      time.Duration
 	mu           sync.Mutex
 	peers        map[string]*tcpPeer
 }
 
+// TCPOption configures a TCPTransport.
+type TCPOption func(*TCPTransport)
+
+// WithRPCTimeout overrides the per-RPC deadline; zero disables deadlines.
+func WithRPCTimeout(d time.Duration) TCPOption {
+	return func(t *TCPTransport) { t.timeout = d }
+}
+
 // NewTCPTransport returns a transport whose NameNode lives at
 // namenodeAddr.
-func NewTCPTransport(namenodeAddr string) *TCPTransport {
-	return &TCPTransport{namenodeAddr: namenodeAddr, peers: make(map[string]*tcpPeer)}
+func NewTCPTransport(namenodeAddr string, opts ...TCPOption) *TCPTransport {
+	t := &TCPTransport{
+		namenodeAddr: namenodeAddr,
+		timeout:      DefaultRPCTimeout,
+		peers:        make(map[string]*tcpPeer),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -205,7 +289,7 @@ func (t *TCPTransport) peer(addr string) *tcpPeer {
 	defer t.mu.Unlock()
 	p, ok := t.peers[addr]
 	if !ok {
-		p = &tcpPeer{addr: addr}
+		p = &tcpPeer{addr: addr, timeout: t.timeout}
 		t.peers[addr] = p
 	}
 	return p
@@ -243,6 +327,11 @@ func (n *tcpNameNode) Register(dn DataNodeInfo) error {
 	return err
 }
 
+func (n *tcpNameNode) Heartbeat(dn DataNodeInfo) error {
+	_, err := n.peer.call(&rpcRequest{Method: "Heartbeat", DN: dn})
+	return err
+}
+
 func (n *tcpNameNode) Create(path string) ([]BlockLocation, error) {
 	resp, err := n.peer.call(&rpcRequest{Method: "Create", Path: path})
 	if err != nil {
@@ -257,6 +346,11 @@ func (n *tcpNameNode) AddBlock(path, preferred string) (BlockLocation, error) {
 		return BlockLocation{}, err
 	}
 	return resp.Loc, nil
+}
+
+func (n *tcpNameNode) ReportBlock(path string, id BlockID, replicas []DataNodeInfo) error {
+	_, err := n.peer.call(&rpcRequest{Method: "ReportBlock", Path: path, Block: id, Pipeline: replicas})
+	return err
 }
 
 func (n *tcpNameNode) Complete(path string, size int64) error {

@@ -6,13 +6,23 @@
 // does (Section 3.2.2). Storing checkpoints in the DFS is what makes
 // remote resumption possible: any node can restore any task.
 //
+// Failure handling follows production HDFS: the client retries transient
+// faults with exponential backoff and jitter, reads fail over across
+// surviving replicas, a broken write pipeline is reconstructed without the
+// failed DataNode (the final replica set is reported back to the
+// NameNode), and the NameNode keeps a heartbeat-based liveness view that
+// decommissions and re-replicates dead DataNodes.
+//
 // Two transports are provided: an in-process transport used by the
 // event-driven cluster emulation, and a TCP transport with gob-encoded
 // frames used by cmd/dfs and the integration tests, which keeps the
 // substrate honestly distributed.
 package dfs
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // BlockID identifies a block cluster-wide. IDs are allocated by the
 // NameNode and never reused.
@@ -47,6 +57,14 @@ type NameNodeAPI interface {
 	// Register announces a DataNode. Re-registering an ID updates its
 	// address.
 	Register(dn DataNodeInfo) error
+	// Heartbeat refreshes a DataNode's liveness timestamp (registering it
+	// if unknown). Nodes that stop heartbeating are eventually declared
+	// dead and decommissioned.
+	Heartbeat(dn DataNodeInfo) error
+	// ReportBlock replaces the recorded replica set of a block after the
+	// client rebuilt a failed write pipeline, so the NameNode's block map
+	// reflects where the data actually landed.
+	ReportBlock(path string, id BlockID, replicas []DataNodeInfo) error
 	// Create starts a new file, truncating any existing entry. It returns
 	// the blocks of the replaced file (if any) so the caller can reclaim
 	// them from the DataNodes.
@@ -93,11 +111,89 @@ type PathError struct {
 func (e *PathError) Error() string { return fmt.Sprintf("dfs: %s %q: %v", e.Op, e.Path, e.Err) }
 func (e *PathError) Unwrap() error { return e.Err }
 
-// Sentinel error strings used across transports. TCP marshalling flattens
-// errors to strings, so equality checks happen on these messages.
-const (
-	msgNotFound   = "file not found"
-	msgIncomplete = "file is not complete"
-	msgOpen       = "file already open for writing"
-	msgNoNodes    = "no datanodes registered"
+// Sentinel errors shared across transports. The TCP transport maps each to
+// a wire code and rehydrates it client-side, so errors.Is works identically
+// whether a call was in-process or remote.
+var (
+	// ErrNotFound denotes a path absent from the namespace.
+	ErrNotFound = errors.New("file not found")
+	// ErrIncomplete denotes a file still open (never sealed by Complete).
+	ErrIncomplete = errors.New("file is not complete")
+	// ErrFileOpen denotes a create racing an in-progress write.
+	ErrFileOpen = errors.New("file already open for writing")
+	// ErrSealed denotes a write operation on a completed file.
+	ErrSealed = errors.New("file is sealed")
+	// ErrNoDataNodes denotes block allocation with zero live DataNodes.
+	ErrNoDataNodes = errors.New("no datanodes registered")
+	// ErrBlockMissing denotes a block not stored on the asked DataNode.
+	ErrBlockMissing = errors.New("block not stored here")
+	// ErrNodeDown denotes a crashed (or fault-injected) DataNode.
+	ErrNodeDown = errors.New("datanode is down")
+	// ErrUnknownBlock denotes a replica report for a block the file does
+	// not contain.
+	ErrUnknownBlock = errors.New("block not in file")
 )
+
+// errCodes maps sentinel errors to stable wire codes (satellite of the
+// fault-tolerance work: gob RPC flattens errors to strings, so without the
+// code the client could not rehydrate error identity). Code 0 means "no
+// sentinel"; the message alone crosses the wire.
+var errCodes = []struct {
+	code uint8
+	err  error
+}{
+	{1, ErrNotFound},
+	{2, ErrIncomplete},
+	{3, ErrFileOpen},
+	{4, ErrSealed},
+	{5, ErrNoDataNodes},
+	{6, ErrBlockMissing},
+	{7, ErrNodeDown},
+	{8, ErrUnknownBlock},
+}
+
+// errToCode finds the wire code for err's sentinel, if any.
+func errToCode(err error) uint8 {
+	for _, ec := range errCodes {
+		if errors.Is(err, ec.err) {
+			return ec.code
+		}
+	}
+	return 0
+}
+
+// codeToErr returns the sentinel for a wire code, or nil.
+func codeToErr(code uint8) error {
+	for _, ec := range errCodes {
+		if ec.code == code {
+			return ec.err
+		}
+	}
+	return nil
+}
+
+// rpcError is a flattened remote error carrying its rehydrated sentinel:
+// Error() preserves the server's message, Unwrap() restores identity for
+// errors.Is.
+type rpcError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *rpcError) Error() string { return e.msg }
+func (e *rpcError) Unwrap() error { return e.sentinel }
+
+// IsTransient reports whether err is worth retrying: anything that is not
+// a definitive semantic answer from the NameNode. Injected faults, broken
+// connections, and down DataNodes are transient; "file not found" is not.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, permanent := range []error{ErrNotFound, ErrIncomplete, ErrFileOpen, ErrSealed, ErrUnknownBlock} {
+		if errors.Is(err, permanent) {
+			return false
+		}
+	}
+	return true
+}

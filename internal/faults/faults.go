@@ -1,0 +1,174 @@
+// Package faults provides deterministic, seeded fault injection for the
+// checkpoint/restore stack: wrappers around storage.Store and
+// dfs.Transport that fail operations with configurable probability, crash
+// a DataNode after its Nth block write, tear block writes short, and add
+// latency — the chaos harness the robustness tests drive the full
+// preempt→checkpoint→restore cycle under.
+//
+// Every decision comes from one seeded PRNG behind a mutex, so a chaos
+// run with a fixed seed injects exactly the same faults every time; the
+// event-driven cluster emulation stays reproducible even while being
+// sabotaged. Every injected fault is counted in a metrics.Counters
+// registry, letting tests assert both that faults actually fired and that
+// the system absorbed all of them.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"preemptsched/internal/metrics"
+)
+
+// ErrInjected is the sentinel wrapped by every injected fault, so tests
+// and retry logic can tell sabotage from organic failures.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Plan configures a fault scenario. The zero value injects nothing.
+type Plan struct {
+	// Seed feeds the PRNG behind every probabilistic decision.
+	Seed int64
+
+	// RPCErrorRate is the per-operation probability that a DataNode RPC
+	// (read/write/delete block) fails before reaching the node.
+	RPCErrorRate float64
+	// RPCErrorNodes restricts RPCErrorRate to these DataNode IDs; empty
+	// means every node is eligible.
+	RPCErrorNodes []string
+	// NameNodeErrorRate is the per-operation probability that a NameNode
+	// RPC fails before reaching the NameNode.
+	NameNodeErrorRate float64
+	// RPCDelay is added latency per DataNode/NameNode operation.
+	RPCDelay time.Duration
+
+	// CrashNode names a DataNode that crashes permanently after it has
+	// accepted CrashAfterWrites block writes: the write that would be
+	// number CrashAfterWrites+1 fails mid-flight and every operation on
+	// the node fails from then on.
+	CrashNode        string
+	CrashAfterWrites int
+	// OnCrash, when set, runs once at the moment CrashNode dies (e.g. to
+	// trigger a NameNode decommission sweep).
+	OnCrash func(id string)
+
+	// CreateFailRate is the per-operation probability that a store Create
+	// fails outright (the checkpoint dump cannot even start).
+	CreateFailRate float64
+	// TornWriteRate is the per-Create probability that the returned
+	// writer tears: it accepts TornWriteBytes bytes, then fails every
+	// subsequent write and the close — a short/torn block write.
+	TornWriteRate float64
+	// TornWriteBytes is how many bytes a torn writer accepts before
+	// failing. Zero means DefaultTornWriteBytes.
+	TornWriteBytes int64
+	// StoreDelay is added latency per store operation.
+	StoreDelay time.Duration
+}
+
+// DefaultTornWriteBytes is how much of a torn write lands before the tear
+// when the plan does not say otherwise.
+const DefaultTornWriteBytes int64 = 64 << 10
+
+// Injector is the seeded decision source shared by all wrappers of one
+// scenario. It is safe for concurrent use.
+type Injector struct {
+	plan     Plan
+	counters *metrics.Counters
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	crashed    map[string]bool
+	crashSeen  int
+	rpcTargets map[string]bool
+}
+
+// NewInjector builds the decision source for plan.
+func NewInjector(plan Plan) *Injector {
+	in := &Injector{
+		plan:     plan,
+		counters: metrics.NewCounters(),
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+		crashed:  make(map[string]bool),
+	}
+	if len(plan.RPCErrorNodes) > 0 {
+		in.rpcTargets = make(map[string]bool, len(plan.RPCErrorNodes))
+		for _, id := range plan.RPCErrorNodes {
+			in.rpcTargets[id] = true
+		}
+	}
+	return in
+}
+
+// Counters exposes the per-fault-mode injection counts.
+func (in *Injector) Counters() *metrics.Counters { return in.counters }
+
+// Plan returns the scenario being injected.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// roll returns true with probability p.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// inject counts one fault of the given mode and returns the error to
+// surface.
+func (in *Injector) inject(mode string, detail string) error {
+	in.counters.Add(mode, 1)
+	return fmt.Errorf("%w: %s (%s)", ErrInjected, mode, detail)
+}
+
+// delay sleeps for d (real time) when positive.
+func delay(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// rpcEligible reports whether node id is in scope for RPC error injection.
+func (in *Injector) rpcEligible(id string) bool {
+	return in.rpcTargets == nil || in.rpcTargets[id]
+}
+
+// nodeCrashed reports whether id has already crashed.
+func (in *Injector) nodeCrashed(id string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed[id]
+}
+
+// noteWrite records a block write accepted by id and decides whether this
+// write is the one that kills the configured crash node. It returns true
+// when the write must fail because the node crashes now.
+func (in *Injector) noteWrite(id string) bool {
+	if id != in.plan.CrashNode {
+		return false
+	}
+	in.mu.Lock()
+	if in.crashed[id] {
+		in.mu.Unlock()
+		return true
+	}
+	if in.crashSeen < in.plan.CrashAfterWrites {
+		in.crashSeen++
+		in.mu.Unlock()
+		return false
+	}
+	in.crashed[id] = true
+	in.mu.Unlock()
+	in.counters.Add("node-crashes", 1)
+	if in.plan.OnCrash != nil {
+		in.plan.OnCrash(id)
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"io"
+
+	"preemptsched/internal/storage"
+)
+
+// WrapStore interposes the injector between a writer of checkpoint images
+// and its storage.Store: Creates can fail outright, and returned writers
+// can tear — accept a prefix of the data, then fail every subsequent
+// write. Reads pass through untouched (read-side faults are injected at
+// the transport layer, where replica failover can see them).
+func WrapStore(inner storage.Store, in *Injector) storage.Store {
+	return &faultStore{inner: inner, in: in}
+}
+
+type faultStore struct {
+	inner storage.Store
+	in    *Injector
+}
+
+var _ storage.Store = (*faultStore)(nil)
+
+func (s *faultStore) Create(name string) (io.WriteCloser, error) {
+	delay(s.in.plan.StoreDelay)
+	if s.in.roll(s.in.plan.CreateFailRate) {
+		return nil, s.in.inject("store-create-errors", name)
+	}
+	w, err := s.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if s.in.roll(s.in.plan.TornWriteRate) {
+		limit := s.in.plan.TornWriteBytes
+		if limit <= 0 {
+			limit = DefaultTornWriteBytes
+		}
+		s.in.counters.Add("torn-writes", 1)
+		return &tornWriter{inner: w, in: s.in, name: name, left: limit}, nil
+	}
+	return w, nil
+}
+
+func (s *faultStore) Open(name string) (io.ReadCloser, error) {
+	delay(s.in.plan.StoreDelay)
+	return s.inner.Open(name)
+}
+
+func (s *faultStore) Remove(name string) error {
+	delay(s.in.plan.StoreDelay)
+	return s.inner.Remove(name)
+}
+
+func (s *faultStore) Size(name string) (int64, error) {
+	delay(s.in.plan.StoreDelay)
+	return s.inner.Size(name)
+}
+
+func (s *faultStore) List(prefix string) ([]string, error) {
+	delay(s.in.plan.StoreDelay)
+	return s.inner.List(prefix)
+}
+
+// tornWriter accepts left bytes, then fails every write and the close, so
+// the caller cannot mistake the truncated object for a published one.
+type tornWriter struct {
+	inner io.WriteCloser
+	in    *Injector
+	name  string
+	left  int64
+	torn  bool
+}
+
+func (w *tornWriter) Write(p []byte) (int, error) {
+	if w.torn {
+		return 0, w.in.inject("torn-write-writes", w.name)
+	}
+	if int64(len(p)) <= w.left {
+		w.left -= int64(len(p))
+		return w.inner.Write(p)
+	}
+	n, _ := w.inner.Write(p[:w.left])
+	w.left = 0
+	w.torn = true
+	return n, w.in.inject("torn-write-writes", w.name)
+}
+
+func (w *tornWriter) Close() error {
+	if !w.torn {
+		// The data fit under the tear point; nothing was damaged.
+		return w.inner.Close()
+	}
+	// Close the inner writer to release resources, but report failure: a
+	// torn object must never look successfully published.
+	_ = w.inner.Close()
+	return w.in.inject("torn-write-closes", w.name)
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -27,12 +28,20 @@ type Store interface {
 	List(prefix string) ([]string, error)
 }
 
-// ErrNotExist is returned when a named object is absent.
+// ErrNotExist is the sentinel all absent-object errors match, so callers
+// can classify them with errors.Is even through wrapping layers (the DFS
+// client, fault-injection wrappers).
+var ErrNotExist = errors.New("storage: object does not exist")
+
+// NotExistError is returned when a named object is absent. It matches
+// ErrNotExist under errors.Is.
 type NotExistError struct{ Name string }
 
 func (e *NotExistError) Error() string {
 	return fmt.Sprintf("storage: object %q does not exist", e.Name)
 }
+
+func (e *NotExistError) Is(target error) bool { return target == ErrNotExist }
 
 // MemStore is an in-memory Store. It is safe for concurrent use; the
 // mini-YARN framework's node-local volumes and the tests use it.

@@ -47,11 +47,21 @@ type taskRun struct {
 	imageSeq   int
 	imageNode  int
 	imageBytes int64
-	// chainLen is the number of images in the current chain.
-	chainLen int
+	// chain lists the images of the current checkpoint chain, oldest
+	// first; the last entry is the restore tip. Keeping every link lets a
+	// failed restore fall back to the parent image instead of giving up
+	// the whole chain.
+	chain []imageLink
 	// preCopying marks a running task whose pages are being pre-dumped;
 	// it is not eligible for further preemption until frozen.
 	preCopying bool
+}
+
+// imageLink is one image of a checkpoint chain together with the logical
+// bytes it contributed to the footprint accounting.
+type imageLink struct {
+	name  string
+	bytes int64
 }
 
 // remaining is the compute time still owed.
@@ -191,44 +201,126 @@ func (am *AppMaster) onAllocated(t *taskRun, n *NodeManager, now sim.Time) {
 	_, done := n.device.ReserveRead(now+transfer, t.spec.MemFootprint)
 	am.c.chargeOverhead(t, time.Duration(done-now))
 	am.c.engine.ScheduleAt(done, func(at sim.Time) {
-		p, _, err := am.c.ckpt.Restore(n.dfsCli, t.imageName)
-		if err != nil {
-			// A corrupt or unreadable image cannot be resumed; the CRC
-			// caught it before wrong state could run. Fall back to a
-			// restart from scratch, as a kill-based scheduler would.
-			am.c.res.RestoreFailures++
-			am.discardImages(t, n)
-			am.c.res.WastedCPUHours += coresOf(t) * t.banked.Hours()
-			t.banked = 0
-			fresh, perr := am.newProcess(t)
-			if perr != nil {
-				panic(fmt.Sprintf("yarn: recreate process for %v: %v", t.spec.ID, perr))
+		am.restoreOrFallback(t, n, at)
+	})
+}
+
+// restoreOrFallback rebuilds the task's process from its checkpoint
+// chain, walking the degradation ladder on failure: a corrupt or
+// unreadable tip image falls back to its parent, re-running only the work
+// the dropped link had banked, and an exhausted chain restarts the task
+// from scratch — exactly what a kill-based scheduler would have done.
+func (am *AppMaster) restoreOrFallback(t *taskRun, n *NodeManager, at sim.Time) {
+	for t.hasImage {
+		p, info, err := am.c.ckpt.Restore(n.store, t.imageName)
+		if err == nil {
+			// The restored image may be older than the tip the bank was
+			// computed from; re-derive banked progress from the step
+			// counter actually restored and charge the difference as
+			// waste.
+			restored := time.Duration(float64(t.spec.Duration) * float64(info.Steps) / float64(t.totalSteps))
+			if restored < t.banked {
+				am.c.res.WastedCPUHours += coresOf(t) * (t.banked - restored).Hours()
+				t.banked = restored
 			}
-			t.process = fresh
+			t.process = p
 			am.startRun(t, at)
 			return
 		}
-		t.process = p
-		am.startRun(t, at)
-	})
+		am.c.res.RestoreFailures++
+		am.dropTipImage(t, n)
+		if t.hasImage {
+			am.c.res.RestoreFallbacks++
+		}
+	}
+	// Every image of the chain was unusable: restart from scratch.
+	am.c.res.RestoreRestarts++
+	am.discardImages(t, n)
+	am.c.res.WastedCPUHours += coresOf(t) * t.banked.Hours()
+	t.banked = 0
+	fresh, perr := am.newProcess(t)
+	if perr != nil {
+		panic(fmt.Sprintf("yarn: recreate process for %v: %v", t.spec.ID, perr))
+	}
+	t.process = fresh
+	am.startRun(t, at)
+}
+
+// dropTipImage removes the newest link of the chain and retargets the
+// task at its parent image, if any.
+func (am *AppMaster) dropTipImage(t *taskRun, n *NodeManager) {
+	if len(t.chain) == 0 {
+		am.discardImages(t, n)
+		return
+	}
+	tip := t.chain[len(t.chain)-1]
+	t.chain = t.chain[:len(t.chain)-1]
+	_ = n.store.Remove(tip.name)
+	t.imageBytes -= tip.bytes
+	am.c.addImageBytes(-tip.bytes)
+	if len(t.chain) == 0 {
+		t.hasImage = false
+		t.imageName = ""
+		t.imageNode = -1
+		return
+	}
+	t.imageName = t.chain[len(t.chain)-1].name
 }
 
 // discardImages drops a task's checkpoint chain, best effort: corrupt
 // chains may be partially unreadable.
 func (am *AppMaster) discardImages(t *taskRun, n *NodeManager) {
 	if !t.hasImage {
+		t.chain = nil
 		return
 	}
-	if err := checkpoint.RemoveChain(n.dfsCli, t.imageName); err != nil {
+	if err := checkpoint.RemoveChain(n.store, t.imageName); err != nil {
 		// Chain walking requires readable images; remove at least the tip.
-		_ = n.dfsCli.Remove(t.imageName)
+		_ = n.store.Remove(t.imageName)
 	}
 	am.c.addImageBytes(-t.imageBytes)
 	t.imageBytes = 0
 	t.hasImage = false
 	t.imageName = ""
 	t.imageNode = -1
-	t.chainLen = 0
+	t.chain = nil
+}
+
+// recordFullImage books a freshly written full image as the task's whole
+// chain.
+func (am *AppMaster) recordFullImage(t *taskRun, name string, bytes int64) {
+	am.c.addImageBytes(bytes - t.imageBytes)
+	t.imageBytes = bytes
+	t.chain = []imageLink{{name: name, bytes: bytes}}
+}
+
+// recordDeltaImage books an incremental image appended to the chain.
+func (am *AppMaster) recordDeltaImage(t *taskRun, name string, bytes int64) {
+	t.imageBytes += bytes
+	am.c.addImageBytes(bytes)
+	t.chain = append(t.chain, imageLink{name: name, bytes: bytes})
+}
+
+// killFallback degrades a failed checkpoint to a kill-based preemption:
+// the victim dies, lost compute is charged as waste, and the task
+// re-queues like any killed victim — it still restores from its last
+// intact image if one exists.
+func (am *AppMaster) killFallback(t *taskRun, n *NodeManager, lost time.Duration, now sim.Time) {
+	am.c.res.DumpFailures++
+	am.c.res.FallbackKills++
+	am.c.res.Kills++
+	am.c.res.WastedCPUHours += coresOf(t) * lost.Hours()
+	t.process.Kill()
+	t.process = nil
+	n.releaseSlot(now, t)
+	t.node = nil
+	t.state = statePending
+	pref := -1
+	if t.hasImage {
+		pref = t.imageNode
+	}
+	am.c.rm.RequestContainer(t, pref, now)
+	am.c.rm.schedulePass(now)
 }
 
 func (am *AppMaster) startRun(t *taskRun, now sim.Time) {
@@ -286,7 +378,8 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 	// Checkpoint: bank progress quantized to the step boundary actually
 	// captured, freeze, dump for real into the DFS, and release the slot
 	// when the dump drains through the node's checkpoint queue.
-	am.c.res.Checkpoints++
+	prevBanked := t.banked
+	unsaved := t.unsavedProgress(now)
 	t.state = stateCheckpointing
 	t.banked = time.Duration(float64(t.spec.Duration) * float64(t.process.Steps()) / float64(t.totalSteps))
 
@@ -294,27 +387,32 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 		panic(fmt.Sprintf("yarn: suspend %v: %v", t.spec.ID, err))
 	}
 	var opts checkpoint.DumpOpts
-	if t.hasImage {
+	incremental := t.hasImage
+	if incremental {
 		opts = checkpoint.DumpOpts{Incremental: true, Parent: t.imageName}
-		am.c.res.IncrementalCheckpoints++
 	}
 	name := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
 	t.imageSeq++
-	info, err := am.c.ckpt.Dump(t.process, n.dfsCli, name, opts)
+	info, err := am.c.ckpt.Dump(t.process, n.store, name, opts)
 	if err != nil {
-		panic(fmt.Sprintf("yarn: dump %v: %v", t.spec.ID, err))
+		// The dump failed against the store: degrade to kill-based
+		// preemption. The bank rolls back to the last restorable image;
+		// this attempt's progress is lost, as under a kill-only policy.
+		t.banked = prevBanked
+		am.killFallback(t, n, unsaved, now)
+		return
+	}
+	am.c.res.Checkpoints++
+	if incremental {
+		am.c.res.IncrementalCheckpoints++
 	}
 	am.c.maybeCorrupt(n.dfsCli, name)
 	t.process = nil // the frozen process lives on only as the image
 
-	if opts.Incremental {
-		t.imageBytes += info.LogicalBytes
-		am.c.addImageBytes(info.LogicalBytes)
-		t.chainLen++
+	if incremental {
+		am.recordDeltaImage(t, name, info.LogicalBytes)
 	} else {
-		am.c.addImageBytes(info.LogicalBytes - t.imageBytes)
-		t.imageBytes = info.LogicalBytes
-		t.chainLen = 1
+		am.recordFullImage(t, name, info.LogicalBytes)
 	}
 	am.c.sampleDFSUsage()
 
@@ -337,24 +435,24 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 // so only device time (not container time) is consumed.
 func (am *AppMaster) maybeCompact(t *taskRun, n *NodeManager, now sim.Time) {
 	k := am.c.cfg.CompactChainAfter
-	if k <= 0 || !t.hasImage || t.chainLen <= k {
+	if k <= 0 || !t.hasImage || len(t.chain) <= k {
 		return
 	}
 	dst := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
 	t.imageSeq++
-	info, err := checkpoint.Compact(n.dfsCli, t.imageName, dst)
+	info, err := checkpoint.Compact(n.store, t.imageName, dst)
 	if err != nil {
 		// Best effort: an uncompactable chain still restores link by link.
 		return
 	}
 	old := t.imageName
 	t.imageName = dst
-	am.c.addImageBytes(info.LogicalBytes - t.imageBytes)
-	t.imageBytes = info.LogicalBytes
-	t.chainLen = 1
+	am.recordFullImage(t, dst, info.LogicalBytes)
 	am.c.res.Compactions++
-	if err := checkpoint.RemoveChain(n.dfsCli, old); err != nil {
-		panic(fmt.Sprintf("yarn: remove pre-compact chain of %v: %v", t.spec.ID, err))
+	if err := checkpoint.RemoveChain(n.store, old); err != nil {
+		// Cleanup is best effort: a failed removal leaks the old chain
+		// but must not fail the task.
+		_ = n.store.Remove(old)
 	}
 	n.device.ReserveWrite(now, info.LogicalBytes)
 	am.c.sampleDFSUsage()
@@ -365,28 +463,34 @@ func (am *AppMaster) maybeCompact(t *taskRun, n *NodeManager, now sim.Time) {
 // keeps executing; at the end of the write window it freezes and dumps
 // only the pages its continued execution dirtied.
 func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.Time) {
-	am.c.res.Checkpoints++
-	am.c.res.PreCopies++
 	var opts checkpoint.DumpOpts
-	if t.hasImage {
+	incremental := t.hasImage
+	if incremental {
 		opts = checkpoint.DumpOpts{Incremental: true, Parent: t.imageName}
-		am.c.res.IncrementalCheckpoints++
 	}
 	preName := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
 	t.imageSeq++
-	info, err := am.c.ckpt.PreDump(t.process, n.dfsCli, preName, opts)
+	preSteps := t.process.Steps()
+	info, err := am.c.ckpt.PreDump(t.process, n.store, preName, opts)
 	if err != nil {
-		panic(fmt.Sprintf("yarn: pre-dump %v: %v", t.spec.ID, err))
+		// The pre-dump failed while the victim still ran: degrade to a
+		// kill. Everything since the attempt started is lost.
+		am.c.engine.Cancel(t.completion)
+		t.completion = nil
+		lost := t.unsavedProgress(now)
+		am.killFallback(t, n, lost, now)
+		return
+	}
+	am.c.res.Checkpoints++
+	am.c.res.PreCopies++
+	if incremental {
+		am.c.res.IncrementalCheckpoints++
 	}
 	am.c.maybeCorrupt(n.dfsCli, preName)
-	if opts.Incremental {
-		t.imageBytes += info.LogicalBytes
-		am.c.addImageBytes(info.LogicalBytes)
-		t.chainLen++
+	if incremental {
+		am.recordDeltaImage(t, preName, info.LogicalBytes)
 	} else {
-		am.c.addImageBytes(info.LogicalBytes - t.imageBytes)
-		t.imageBytes = info.LogicalBytes
-		t.chainLen = 1
+		am.recordFullImage(t, preName, info.LogicalBytes)
 	}
 	t.hasImage = true
 	t.imageName = preName
@@ -418,16 +522,24 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 		}
 		deltaName := fmt.Sprintf("/ckpt/%s/%d", t.spec.ID, t.imageSeq)
 		t.imageSeq++
-		dinfo, err := am.c.ckpt.Dump(t.process, n.dfsCli, deltaName, checkpoint.DumpOpts{Incremental: true, Parent: preName})
+		dinfo, err := am.c.ckpt.Dump(t.process, n.store, deltaName, checkpoint.DumpOpts{Incremental: true, Parent: preName})
 		if err != nil {
-			panic(fmt.Sprintf("yarn: delta dump %v: %v", t.spec.ID, err))
+			// The delta dump failed, but the pre-copy image already
+			// landed: roll the bank back to the pre-dump's step boundary
+			// and degrade to a kill — only the window's progress is lost.
+			preBanked := time.Duration(float64(t.spec.Duration) * float64(preSteps) / float64(t.totalSteps))
+			lost := t.banked - preBanked
+			if lost < 0 {
+				lost = 0
+			}
+			t.banked = preBanked
+			am.killFallback(t, n, lost, at)
+			return
 		}
 		am.c.maybeCorrupt(n.dfsCli, deltaName)
 		t.process = nil
-		t.imageBytes += dinfo.LogicalBytes
-		am.c.addImageBytes(dinfo.LogicalBytes)
+		am.recordDeltaImage(t, deltaName, dinfo.LogicalBytes)
 		t.imageName = deltaName
-		t.chainLen++
 		am.c.sampleDFSUsage()
 
 		_, done := n.device.ReserveWrite(at, dinfo.LogicalBytes)
@@ -461,15 +573,7 @@ func (am *AppMaster) onComplete(t *taskRun, now sim.Time) {
 	n := t.node
 	n.releaseSlot(now, t)
 	t.node = nil
-	if t.hasImage {
-		if err := checkpoint.RemoveChain(n.dfsCli, t.imageName); err != nil {
-			panic(fmt.Sprintf("yarn: remove images of %v: %v", t.spec.ID, err))
-		}
-		am.c.addImageBytes(-t.imageBytes)
-		t.imageBytes = 0
-		t.hasImage = false
-		t.chainLen = 0
-	}
+	am.discardImages(t, n)
 	t.process = nil
 
 	am.left--

@@ -1,0 +1,200 @@
+package yarn
+
+import (
+	"testing"
+
+	"preemptsched/internal/core"
+	"preemptsched/internal/faults"
+	"preemptsched/internal/storage"
+)
+
+// chaosConfig is a 3-node, 6-slot checkpoint-policy cluster with fast
+// devices, sized so mixedWorkload guarantees preemptions.
+func chaosConfig() Config {
+	cfg := DefaultConfig(core.PolicyCheckpoint, storage.NVM)
+	cfg.Nodes = 3
+	cfg.ContainersPerNode = 2
+	cfg.Replication = 2
+	return cfg
+}
+
+// TestChaosCrashAndRPCDrops is the headline robustness scenario: one
+// DataNode crashes permanently partway through checkpoint block writes
+// while another drops 10% of its RPCs — and the full
+// preempt→checkpoint→restore cycle still completes every task with
+// exactly the results of an undisturbed run.
+func TestChaosCrashAndRPCDrops(t *testing.T) {
+	jobs := mixedWorkload(t)
+
+	ref, err := Run(chaosConfig(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Checkpoints == 0 || ref.Restores == 0 {
+		t.Fatalf("reference run exercised no checkpoint cycle: %d dumps, %d restores",
+			ref.Checkpoints, ref.Restores)
+	}
+
+	cfg := chaosConfig()
+	cfg.Faults = &faults.Plan{
+		Seed:             1,
+		RPCErrorRate:     0.10,
+		RPCErrorNodes:    []string{"dn-2"},
+		CrashNode:        "dn-1",
+		CrashAfterWrites: 1,
+	}
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("chaos run did not complete: %v", err)
+	}
+
+	if r.Checkpoints == 0 || r.Restores == 0 {
+		t.Errorf("chaos run lost the checkpoint cycle: %d dumps, %d restores", r.Checkpoints, r.Restores)
+	}
+	if r.TasksCompleted != countTasks(jobs) {
+		t.Errorf("completed %d of %d tasks", r.TasksCompleted, countTasks(jobs))
+	}
+	// Transparency must survive sabotage: every task's final state equals
+	// the clean run's.
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
+		}
+	}
+
+	if r.FaultsInjected == nil || r.FaultsInjected["node-crashes"] != 1 {
+		t.Fatalf("injected faults: %v, want exactly one node crash", r.FaultsInjected)
+	}
+	if r.FaultsInjected["datanode-rpc-errors"] == 0 {
+		t.Errorf("no RPC errors injected despite 10%% drop rate: %v", r.FaultsInjected)
+	}
+	// The faults must have been absorbed by visible resilience work.
+	if r.DFSRetries == 0 {
+		t.Error("faults fired but no DFS retries recorded")
+	}
+}
+
+// TestChaosDeterminism: the same seed must reproduce the same chaos run
+// bit for bit — same fault counts, same makespan.
+func TestChaosDeterminism(t *testing.T) {
+	jobs := mixedWorkload(t)
+	run := func() *Result {
+		cfg := chaosConfig()
+		cfg.Faults = &faults.Plan{
+			Seed:             7,
+			RPCErrorRate:     0.10,
+			CrashNode:        "dn-1",
+			CrashAfterWrites: 2,
+		}
+		r, err := Run(cfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespans diverged: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for mode, count := range a.FaultsInjected {
+		if b.FaultsInjected[mode] != count {
+			t.Errorf("fault %q: %d vs %d", mode, count, b.FaultsInjected[mode])
+		}
+	}
+	if a.Kills != b.Kills || a.Checkpoints != b.Checkpoints || a.Restores != b.Restores {
+		t.Errorf("counter divergence: %d/%d/%d vs %d/%d/%d",
+			a.Kills, a.Checkpoints, a.Restores, b.Kills, b.Checkpoints, b.Restores)
+	}
+}
+
+// TestDumpFailureDegradesToKill forces every checkpoint dump to fail at
+// the store: the Preemption Manager must degrade to kill-based preemption
+// and the run must still complete with correct results.
+func TestDumpFailureDegradesToKill(t *testing.T) {
+	jobs := smallWorkload()
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.CustomBandwidth = 1e9
+
+	ref, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Checkpoints == 0 || ref.FallbackKills != 0 {
+		t.Fatalf("baseline: %d checkpoints, %d fallback kills", ref.Checkpoints, ref.FallbackKills)
+	}
+
+	cfg.Faults = &faults.Plan{Seed: 3, CreateFailRate: 1}
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("run with failing dumps did not complete: %v", err)
+	}
+	if r.FallbackKills == 0 || r.DumpFailures == 0 {
+		t.Fatalf("no kill fallback recorded: %d fallbacks, %d dump failures", r.FallbackKills, r.DumpFailures)
+	}
+	if r.Checkpoints != 0 {
+		t.Errorf("%d checkpoints succeeded despite CreateFailRate=1", r.Checkpoints)
+	}
+	if r.Kills < r.FallbackKills {
+		t.Errorf("fallback kills %d not included in kills %d", r.FallbackKills, r.Kills)
+	}
+	if r.TasksCompleted != countTasks(jobs) {
+		t.Errorf("completed %d of %d tasks", r.TasksCompleted, countTasks(jobs))
+	}
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
+		}
+	}
+}
+
+// TestPreCopyDumpFailureDegradesToKill: the kill fallback must also cover
+// the pre-copy path, where the failure hits while the victim still runs.
+func TestPreCopyDumpFailureDegradesToKill(t *testing.T) {
+	jobs := smallWorkload()
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.CustomBandwidth = 1e9
+	cfg.PreCopy = true
+	cfg.Faults = &faults.Plan{Seed: 5, CreateFailRate: 1}
+
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("pre-copy run with failing dumps did not complete: %v", err)
+	}
+	if r.FallbackKills == 0 {
+		t.Fatal("pre-copy dump failure did not degrade to a kill")
+	}
+	if r.PreCopies != 0 {
+		t.Errorf("%d pre-copies succeeded despite CreateFailRate=1", r.PreCopies)
+	}
+	if r.TasksCompleted != countTasks(jobs) {
+		t.Errorf("completed %d of %d tasks", r.TasksCompleted, countTasks(jobs))
+	}
+}
+
+// TestTornDumpDegradesGracefully: torn image writes are caught by the
+// store path (failed write/close), never produce a bogus restorable
+// image, and the run completes correctly.
+func TestTornDumpDegradesGracefully(t *testing.T) {
+	jobs := smallWorkload()
+	cfg := tinyCluster(core.PolicyCheckpoint)
+	cfg.CustomBandwidth = 1e9
+
+	ref, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Faults = &faults.Plan{Seed: 9, TornWriteRate: 1, TornWriteBytes: 128}
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("run with torn dumps did not complete: %v", err)
+	}
+	if r.DumpFailures == 0 || r.FallbackKills == 0 {
+		t.Fatalf("torn writes did not surface as dump failures: %+v faults=%v", r, r.FaultsInjected)
+	}
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"preemptsched/internal/checkpoint"
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/dfs"
+	"preemptsched/internal/faults"
 	"preemptsched/internal/kmeans"
 	"preemptsched/internal/mapreduce"
 	"preemptsched/internal/metrics"
@@ -25,13 +26,63 @@ type Cluster struct {
 	rm     *ResourceManager
 	nodes  []*NodeManager
 	dfsc   *dfs.Cluster
-	ckpt   *checkpoint.Engine
+	// dfsView is the transport every client and DataNode actually uses:
+	// the raw in-process transport, or the fault injector's wrapper of it
+	// when Config.Faults is set.
+	dfsView  dfs.Transport
+	injector *faults.Injector
+	ckpt     *checkpoint.Engine
 
 	res     *Result
 	taskSeq uint64
 
 	imageBytes int64
 	dumps      int
+}
+
+// buildDFS assembles the in-process DFS the checkpoints live in. With
+// fault injection configured, every client and every DataNode reaches the
+// cluster through the injector's transport wrapper, so pipeline forwarding
+// between DataNodes suffers the same faults client RPCs do; a crashed
+// DataNode is decommissioned at the NameNode and its blocks re-replicated
+// from surviving copies.
+func (c *Cluster) buildDFS(repl int) error {
+	inner := dfs.NewInProcTransport()
+	nn := dfs.NewNameNode(repl)
+	inner.SetNameNode(nn)
+
+	var view dfs.Transport = inner
+	if c.cfg.Faults != nil {
+		plan := *c.cfg.Faults
+		userOnCrash := plan.OnCrash
+		plan.OnCrash = func(id string) {
+			if userOnCrash != nil {
+				userOnCrash(id)
+			}
+			// The liveness monitor would notice the silent node at its
+			// next heartbeat sweep; the emulation collapses that delay
+			// into an immediate decommission.
+			if rep, err := nn.Decommission(id, c.dfsView); err == nil && rep != nil {
+				c.res.BlocksReReplicated += rep.Recovered
+				c.res.BlocksLost += rep.Lost
+			}
+		}
+		c.injector = faults.NewInjector(plan)
+		view = faults.WrapTransport(inner, c.injector)
+	}
+	c.dfsView = view
+
+	c.dfsc = &dfs.Cluster{NameNode: nn, Transport: inner}
+	for i := 0; i < c.cfg.Nodes; i++ {
+		info := dfs.DataNodeInfo{ID: fmt.Sprintf("dn-%d", i), Addr: fmt.Sprintf("dn-%d", i)}
+		dn := dfs.NewDataNode(info, view)
+		inner.AddDataNode(info, dn)
+		if err := nn.Register(info); err != nil {
+			return err
+		}
+		c.dfsc.DataNodes = append(c.dfsc.DataNodes, dn)
+	}
+	return nil
 }
 
 // maybeCorrupt implements the failure-injection knob: flips one byte of
@@ -91,11 +142,9 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	if repl > cfg.Nodes {
 		repl = cfg.Nodes
 	}
-	dfsc, err := dfs.NewCluster(cfg.Nodes, repl)
-	if err != nil {
+	if err := c.buildDFS(repl); err != nil {
 		return nil, fmt.Errorf("yarn: build dfs: %w", err)
 	}
-	c.dfsc = dfsc
 
 	registry := proc.NewRegistry()
 	kmeans.RegisterWith(registry)
@@ -109,7 +158,12 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		} else {
 			dev = storage.NewDevice(cfg.StorageKind)
 		}
-		c.nodes = append(c.nodes, newNodeManager(i, cfg, dev, dfsc.ClientAt(i)))
+		cli := dfs.NewClient(c.dfsView, dfs.WithLocalNode(fmt.Sprintf("dn-%d", i)))
+		var store storage.Store = cli
+		if c.injector != nil {
+			store = faults.WrapStore(cli, c.injector)
+		}
+		c.nodes = append(c.nodes, newNodeManager(i, cfg, dev, cli, store))
 	}
 	c.rm = newResourceManager(c)
 
@@ -132,6 +186,13 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		n.settleEnergy(end)
 		c.res.EnergyKWh += n.meter.KWh()
 		c.res.IOBusyHours += n.device.BusyTime().Hours()
+		st := n.dfsCli.Stats()
+		c.res.DFSRetries += st.Retries
+		c.res.ReadFailovers += st.ReadFailovers
+		c.res.PipelineRebuilds += st.PipelineRebuilds
+	}
+	if c.injector != nil {
+		c.res.FaultsInjected = c.injector.Counters().Snapshot()
 	}
 	if c.res.TasksCompleted != totalTasks {
 		return nil, fmt.Errorf("yarn: run ended with %d of %d tasks complete", c.res.TasksCompleted, totalTasks)

@@ -21,6 +21,7 @@ import (
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/core"
 	"preemptsched/internal/energy"
+	"preemptsched/internal/faults"
 	"preemptsched/internal/metrics"
 	"preemptsched/internal/storage"
 )
@@ -75,9 +76,21 @@ type Config struct {
 
 	// CorruptNthDump is a failure-injection knob: the Nth checkpoint dump
 	// of the run has one byte flipped in its stored image. The CRC check
-	// catches it at restore time and the AM falls back to restarting the
-	// task from scratch. 0 disables injection.
+	// catches it at restore time and the AM falls back down the
+	// degradation ladder (older image, then restart from scratch).
+	// 0 disables injection.
 	CorruptNthDump int
+
+	// Faults, when non-nil, injects the configured fault scenario into
+	// the DFS substrate and the checkpoint store: DataNode RPC drops, a
+	// DataNode crash at the Nth block write, failed or torn dump writes.
+	// The stack is expected to absorb all of them — reads fail over,
+	// pipelines are rebuilt, crashed nodes are decommissioned and their
+	// blocks re-replicated, failed dumps degrade to kill-based
+	// preemption, and failed restores fall back to older images or a
+	// restart. The injector is seeded, so faulted runs stay
+	// deterministic.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns the paper's cluster shape for the given policy and
@@ -129,6 +142,21 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("yarn: unknown program %q (want kmeans|wordcount)", c.Program)
 	}
+	if c.Faults != nil {
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{
+			{"RPCErrorRate", c.Faults.RPCErrorRate},
+			{"NameNodeErrorRate", c.Faults.NameNodeErrorRate},
+			{"CreateFailRate", c.Faults.CreateFailRate},
+			{"TornWriteRate", c.Faults.TornWriteRate},
+		} {
+			if r.v < 0 || r.v > 1 {
+				return fmt.Errorf("yarn: fault %s %v outside [0,1]", r.name, r.v)
+			}
+		}
+	}
 	return nil
 }
 
@@ -170,11 +198,38 @@ type Result struct {
 	Compactions    int
 	Restores       int
 	RemoteRestores int
-	// RestoreFailures counts restores that found a corrupt or unreadable
-	// image and fell back to restarting the task from scratch.
+	// RestoreFailures counts restore attempts that found a corrupt or
+	// unreadable image. Each failed attempt drops one link off the image
+	// chain: the next attempt targets the parent image (counted in
+	// RestoreFallbacks when it exists), and an exhausted chain restarts
+	// the task from scratch (RestoreRestarts).
 	RestoreFailures int
-	TasksCompleted  int
-	JobsCompleted   int
+	// RestoreFallbacks counts restores that fell back to an older image
+	// in the incremental chain after the newer link failed.
+	RestoreFallbacks int
+	// RestoreRestarts counts tasks restarted from scratch after every
+	// image in their chain proved unusable.
+	RestoreRestarts int
+	// DumpFailures counts checkpoint dumps (full, incremental, or
+	// pre-copy) that failed against the store.
+	DumpFailures int
+	// FallbackKills counts preemptions that degraded to a kill because
+	// the checkpoint dump failed. They are included in Kills.
+	FallbackKills  int
+	TasksCompleted int
+	JobsCompleted  int
+
+	// DFS client resilience totals, summed over every node's client.
+	DFSRetries       int64
+	ReadFailovers    int64
+	PipelineRebuilds int64
+	// BlocksReReplicated and BlocksLost come from decommissions of
+	// crashed DataNodes.
+	BlocksReReplicated int
+	BlocksLost         int
+	// FaultsInjected snapshots the injector's per-mode counts when
+	// Config.Faults was set; nil otherwise.
+	FaultsInjected map[string]int64
 
 	IOBusyHours    float64
 	PeakImageBytes int64

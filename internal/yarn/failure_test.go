@@ -33,6 +33,11 @@ func TestRestoreFailureFallsBackToRestart(t *testing.T) {
 	if r.RestoreFailures != 1 {
 		t.Fatalf("restore failures = %d, want 1", r.RestoreFailures)
 	}
+	// A single-image chain has no older link to fall back to: the ladder
+	// bottoms out at a restart from scratch.
+	if r.RestoreFallbacks != 0 || r.RestoreRestarts != 1 {
+		t.Fatalf("fallbacks = %d, restarts = %d, want 0/1", r.RestoreFallbacks, r.RestoreRestarts)
+	}
 	if r.TasksCompleted != 2 {
 		t.Errorf("completed %d tasks despite corruption recovery", r.TasksCompleted)
 	}
@@ -52,7 +57,9 @@ func TestRestoreFailureFallsBackToRestart(t *testing.T) {
 }
 
 // TestCorruptionOfIncrementalChain corrupts the *second* (incremental)
-// dump: the chain walk fails, the task restarts, and the run completes.
+// dump: the chain walk from the tip fails, the AM falls back to the
+// intact base image instead of restarting from scratch, and the run
+// completes with the lost delta re-executed.
 func TestCorruptionOfIncrementalChain(t *testing.T) {
 	low := cluster.JobSpec{
 		ID: 0, Priority: 0,
@@ -85,6 +92,15 @@ func TestCorruptionOfIncrementalChain(t *testing.T) {
 	}
 	if r.RestoreFailures == 0 {
 		t.Fatal("incremental corruption not detected")
+	}
+	// The base (full) image is intact, so the ladder stops at the parent:
+	// a fallback, not a restart.
+	if r.RestoreFallbacks == 0 {
+		t.Errorf("corrupt tip did not fall back to its parent image (failures=%d restarts=%d)",
+			r.RestoreFailures, r.RestoreRestarts)
+	}
+	if r.RestoreRestarts != 0 {
+		t.Errorf("restarted from scratch %d times despite an intact base image", r.RestoreRestarts)
 	}
 	if r.TasksCompleted != 3 {
 		t.Errorf("completed %d of 3", r.TasksCompleted)

@@ -25,6 +25,10 @@ type NodeManager struct {
 
 	device *storage.Device
 	dfsCli *dfs.Client
+	// store is the view dumps and restores go through: the DFS client
+	// itself, or the fault injector's wrapper of it when the run injects
+	// store faults.
+	store storage.Store
 
 	running map[cluster.TaskID]*taskRun
 
@@ -32,12 +36,13 @@ type NodeManager struct {
 	lastChange sim.Time
 }
 
-func newNodeManager(id int, cfg Config, dev *storage.Device, cli *dfs.Client) *NodeManager {
+func newNodeManager(id int, cfg Config, dev *storage.Device, cli *dfs.Client, store storage.Store) *NodeManager {
 	return &NodeManager{
 		id:      id,
 		slots:   cfg.ContainersPerNode,
 		device:  dev,
 		dfsCli:  cli,
+		store:   store,
 		running: make(map[cluster.TaskID]*taskRun),
 		meter:   energy.NewMeter(cfg.EnergyModel),
 	}
