@@ -13,9 +13,21 @@
 // and checkpoint store; the report then includes the degradation counters
 // (kills after failed dumps, restore fallbacks/restarts, read failovers,
 // pipeline rebuilds, re-replicated blocks).
+//
+// Observability flags:
+//
+//	-metrics-addr :9090   serve Prometheus text (/metrics) and JSON
+//	                      (/metrics.json) over HTTP during the run
+//	-metrics-linger 30s   keep the endpoint up after the run ends
+//	-trace-out run.json   write a Chrome trace_event file (load in
+//	                      Perfetto / chrome://tracing)
+//	-report-json r.json   write the machine-readable run report
+//	                      (schema: docs/report.schema.json)
+//	-pprof-addr :6060     serve net/http/pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +38,7 @@ import (
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/core"
 	"preemptsched/internal/faults"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/storage"
 	"preemptsched/internal/workload"
 	"preemptsched/internal/yarn"
@@ -56,6 +69,11 @@ func run() error {
 	faultCrashAfter := flag.Int("fault-crash-after", 0, "block writes the crash node accepts before dying")
 	faultCreateRate := flag.Float64("fault-create-rate", 0, "probability a checkpoint store create fails")
 	faultTornRate := flag.Float64("fault-torn-rate", 0, "probability a checkpoint write tears short")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address (e.g. :9090)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics endpoint alive this long after the run ends")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+	reportJSON := flag.String("report-json", "", "write the machine-readable run report to this file")
 	flag.Parse()
 
 	policy, err := core.ParsePolicy(*policyFlag)
@@ -101,6 +119,28 @@ func run() error {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultTracerCapacity)
+		cfg.Tracer = tracer
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.ServeMetrics(*metricsAddr, reg, "preemptsched")
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		fmt.Printf("metrics: http://%s/metrics (text), /metrics.json (JSON)\n", addr)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof endpoint: %w", err)
+		}
+		fmt.Printf("pprof:   http://%s/debug/pprof/\n", addr)
+	}
+
 	total := 0
 	for i := range jobSpecs {
 		total += len(jobSpecs[i].Tasks)
@@ -109,9 +149,31 @@ func run() error {
 		len(jobSpecs), total, cfg.Nodes, cfg.ContainersPerNode, policy, kind)
 
 	start := time.Now()
-	r, err := yarn.Run(cfg, jobSpecs)
-	if err != nil {
-		return err
+	r, runErr := yarn.Run(cfg, jobSpecs)
+	if r == nil {
+		return runErr
+	}
+	// An aborted run still emits its trace, report, and metrics — the
+	// telemetry of a failed run is exactly what post-mortems need — but the
+	// process exits nonzero so harnesses notice.
+	if *traceOut != "" {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("trace:   %s (%d spans, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
+	if *reportJSON != "" {
+		if err := writeReport(*reportJSON, r, runErr); err != nil {
+			return err
+		}
+		fmt.Printf("report:  %s\n", *reportJSON)
+	}
+	if runErr != nil {
+		if *metricsLinger > 0 {
+			fmt.Printf("metrics endpoint lingering %v\n", *metricsLinger)
+			time.Sleep(*metricsLinger)
+		}
+		return fmt.Errorf("run aborted: %w", runErr)
 	}
 	fmt.Printf("emulated %v of cluster time in %v\n\n", r.Makespan.Round(time.Second), time.Since(start).Round(time.Millisecond))
 
@@ -147,5 +209,94 @@ func run() error {
 	for _, pt := range r.JobResponseAllSec.CDF(10) {
 		fmt.Printf("  %3.0f%%  %7.0fs\n", 100*pt.F, pt.X)
 	}
+	if *metricsLinger > 0 {
+		fmt.Printf("\nmetrics endpoint lingering %v\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
 	return nil
+}
+
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return f.Close()
+}
+
+// latencySummary is the per-distribution digest the report carries.
+type latencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(h obs.HistSnapshot) latencySummary {
+	return latencySummary{
+		Count: int64(h.Count),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max,
+	}
+}
+
+// report is the machine-readable run summary; docs/report.schema.json is
+// its contract and cmd/reportcheck validates instances against it.
+type report struct {
+	SchemaVersion   int                       `json:"schema_version"`
+	Policy          string                    `json:"policy"`
+	Storage         string                    `json:"storage"`
+	Aborted         bool                      `json:"aborted"`
+	AbortReason     string                    `json:"abort_reason,omitempty"`
+	MakespanSeconds float64                   `json:"makespan_seconds"`
+	Counts          map[string]int64          `json:"counts"`
+	Gauges          map[string]float64        `json:"gauges"`
+	PolicyDecisions map[string]int64          `json:"policy_decisions"`
+	Latencies       map[string]latencySummary `json:"latencies_seconds"`
+}
+
+func writeReport(path string, r *yarn.Result, runErr error) error {
+	snap := r.Metrics
+	rep := report{
+		SchemaVersion:   1,
+		Policy:          r.Policy.String(),
+		Storage:         r.Storage,
+		Aborted:         runErr != nil,
+		MakespanSeconds: r.Makespan.Seconds(),
+		Counts:          snap.Counters,
+		Gauges:          snap.Gauges,
+		PolicyDecisions: make(map[string]int64),
+	}
+	if rep.Counts == nil {
+		rep.Counts = map[string]int64{}
+	}
+	if rep.Gauges == nil {
+		rep.Gauges = map[string]float64{}
+	}
+	if runErr != nil {
+		rep.AbortReason = runErr.Error()
+	}
+	for name, v := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, "yarn.policy.decision."); ok {
+			rep.PolicyDecisions[rest] = v
+		}
+	}
+	transfer := snap.Hist("dfs.client.block.read.seconds").Merge(snap.Hist("dfs.client.block.write.seconds"))
+	rep.Latencies = map[string]latencySummary{
+		"dump":         summarize(snap.Hist("yarn.dump.total.seconds")),
+		"restore":      summarize(snap.Hist("yarn.restore.total.seconds")),
+		"dfs_transfer": summarize(transfer),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report-json: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

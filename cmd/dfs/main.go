@@ -6,6 +6,10 @@
 //
 //	dfs namenode  -listen :9000 [-replication 3] [-heartbeat-max-age 30s] [-sweep-interval 10s]
 //	dfs datanode  -listen :9001 -namenode host:9000 -id dn-0 [-heartbeat 5s]
+//
+// Both daemons accept -metrics-addr (Prometheus text on /metrics, JSON on
+// /metrics.json) and -pprof-addr (net/http/pprof).
+//
 //	dfs put       -namenode host:9000 local-file /dfs/path
 //	dfs get       -namenode host:9000 /dfs/path local-file
 //	dfs ls        -namenode host:9000 [prefix]
@@ -21,7 +25,27 @@ import (
 	"time"
 
 	"preemptsched/internal/dfs"
+	"preemptsched/internal/obs"
 )
+
+// serveObs starts the optional metrics and pprof endpoints of a daemon.
+func serveObs(metricsAddr, pprofAddr string, reg *obs.Registry) error {
+	if metricsAddr != "" {
+		addr, err := obs.ServeMetrics(metricsAddr, reg, "preemptsched")
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
+	}
+	if pprofAddr != "" {
+		addr, err := obs.ServePprof(pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof endpoint: %w", err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", addr)
+	}
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -53,6 +77,8 @@ func runNameNode(args []string) error {
 	replication := fs.Int("replication", 3, "block replication factor")
 	maxAge := fs.Duration("heartbeat-max-age", 30*time.Second, "declare a datanode dead after this silence (0 disables the sweep)")
 	sweep := fs.Duration("sweep-interval", 10*time.Second, "how often to sweep dead datanodes")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
 	fs.Parse(args)
 
 	l, err := net.Listen("tcp", *listen)
@@ -60,6 +86,11 @@ func runNameNode(args []string) error {
 		return err
 	}
 	nn := dfs.NewNameNode(*replication)
+	reg := obs.NewRegistry()
+	nn.Instrument(reg)
+	if err := serveObs(*metricsAddr, *pprofAddr, reg); err != nil {
+		return err
+	}
 	if *maxAge > 0 && *sweep > 0 {
 		// The liveness monitor decommissions silent datanodes,
 		// re-replicating their blocks from survivors over this transport.
@@ -80,6 +111,8 @@ func runDataNode(args []string) error {
 	id := fs.String("id", "", "unique datanode id (required)")
 	advertise := fs.String("advertise", "", "address to advertise to peers (defaults to -listen)")
 	heartbeat := fs.Duration("heartbeat", 5*time.Second, "heartbeat interval (0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("datanode requires -id")
@@ -121,8 +154,14 @@ func runDataNode(args []string) error {
 			}
 		}()
 	}
+	dn := dfs.NewDataNode(info, transport)
+	reg := obs.NewRegistry()
+	dn.Instrument(reg)
+	if err := serveObs(*metricsAddr, *pprofAddr, reg); err != nil {
+		return err
+	}
 	fmt.Printf("datanode %s listening on %s, registered at %s\n", *id, l.Addr(), *namenode)
-	return dfs.Serve(l, nil, dfs.NewDataNode(info, transport))
+	return dfs.Serve(l, nil, dn)
 }
 
 func runClient(cmd string, args []string) error {

@@ -1,0 +1,42 @@
+// Command reportcheck validates a clusterrun -report-json file against the
+// checked-in report schema, so CI (and downstream tooling) notices when the
+// report shape drifts.
+//
+// Usage:
+//
+//	reportcheck [-schema docs/report.schema.json] report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"preemptsched/internal/obs"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "docs/report.schema.json", "report JSON schema")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] report.json")
+		os.Exit(2)
+	}
+	if err := run(*schemaPath, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "reportcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s conforms to %s\n", flag.Arg(0), *schemaPath)
+}
+
+func run(schemaPath, reportPath string) error {
+	schema, err := os.ReadFile(schemaPath)
+	if err != nil {
+		return err
+	}
+	doc, err := os.ReadFile(reportPath)
+	if err != nil {
+		return err
+	}
+	return obs.ValidateJSONSchemaBytes(schema, doc)
+}

@@ -4,15 +4,19 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
+	"preemptsched/internal/obs"
 	"preemptsched/internal/proc"
 	"preemptsched/internal/storage"
 )
 
 // Engine dumps and restores virtual processes. It is stateless apart from
-// the program registry used to re-instantiate programs on restore.
+// the program registry used to re-instantiate programs on restore and an
+// optional metrics sink.
 type Engine struct {
 	registry *proc.Registry
+	obs      *obs.Registry
 }
 
 // NewEngine returns an engine resolving programs from registry.
@@ -22,6 +26,11 @@ func NewEngine(registry *proc.Registry) *Engine {
 	}
 	return &Engine{registry: registry}
 }
+
+// Instrument directs the engine's wall-clock dump/restore metrics
+// (checkpoint.dump.seconds, checkpoint.restore.seconds, byte and error
+// counters) into reg. A nil reg turns instrumentation off.
+func (e *Engine) Instrument(reg *obs.Registry) { e.obs = reg }
 
 // DumpOpts controls a dump.
 type DumpOpts struct {
@@ -81,7 +90,23 @@ func (e *Engine) PreDump(p *proc.Process, store storage.Store, name string, opts
 	return e.dump(p, store, name, opts)
 }
 
-func (e *Engine) dump(p *proc.Process, store storage.Store, name string, opts DumpOpts) (*ImageInfo, error) {
+func (e *Engine) dump(p *proc.Process, store storage.Store, name string, opts DumpOpts) (info *ImageInfo, err error) {
+	if e.obs != nil {
+		begin := time.Now()
+		defer func() {
+			if err != nil {
+				e.obs.Inc("checkpoint.dump.errors")
+				return
+			}
+			e.obs.ObserveDuration("checkpoint.dump.seconds", time.Since(begin))
+			if opts.Incremental {
+				e.obs.Inc("checkpoint.dumps.incremental")
+			} else {
+				e.obs.Inc("checkpoint.dumps.full")
+			}
+			e.obs.Add("checkpoint.dump.bytes", info.StoredBytes)
+		}()
+	}
 	if opts.Incremental && opts.Parent == "" {
 		return nil, fmt.Errorf("checkpoint: incremental dump of %q without parent image", p.ID())
 	}
@@ -261,7 +286,18 @@ func Chain(store storage.Store, name string) ([]string, error) {
 // Restore rebuilds a runnable process from the image chain ending at name.
 // The returned process is in the Running state with clean soft-dirty bits,
 // so a subsequent dump may be incremental against this image.
-func (e *Engine) Restore(store storage.Store, name string) (*proc.Process, *ImageInfo, error) {
+func (e *Engine) Restore(store storage.Store, name string) (p *proc.Process, info *ImageInfo, err error) {
+	if e.obs != nil {
+		begin := time.Now()
+		defer func() {
+			if err != nil {
+				e.obs.Inc("checkpoint.restore.errors")
+				return
+			}
+			e.obs.ObserveDuration("checkpoint.restore.seconds", time.Since(begin))
+			e.obs.Inc("checkpoint.restores")
+		}()
+	}
 	chain, err := Chain(store, name)
 	if err != nil {
 		return nil, nil, err
@@ -313,8 +349,8 @@ func (e *Engine) Restore(store storage.Store, name string) (*proc.Process, *Imag
 	}
 	mem.ClearSoftDirty()
 	regs := proc.Registers{PC: tip.PC, R: tip.Regs}
-	p := proc.Rebuild(tip.ProcID, program, mem, regs, tip.Steps)
-	info, err := ReadInfo(store, name)
+	p = proc.Rebuild(tip.ProcID, program, mem, regs, tip.Steps)
+	info, err = ReadInfo(store, name)
 	if err != nil {
 		return nil, nil, err
 	}

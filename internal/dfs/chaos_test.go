@@ -6,6 +6,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"preemptsched/internal/obs"
 )
 
 // chaosCluster builds an n-node in-process DFS and returns its pieces.
@@ -24,7 +26,11 @@ func chaosCluster(t *testing.T, n, repl int) (*Cluster, []*DataNode) {
 // from the survivors.
 func TestCrashMidWriteRebuildsPipeline(t *testing.T) {
 	c, dns := chaosCluster(t, 4, 3)
-	cli := c.ClientAt(0, WithBlockSize(256))
+	reg := obs.NewRegistry()
+	for _, dn := range dns {
+		dn.Instrument(reg)
+	}
+	cli := c.ClientAt(0, WithBlockSize(256), WithObserver(reg))
 
 	data := make([]byte, 4*256)
 	for i := range data {
@@ -49,6 +55,19 @@ func TestCrashMidWriteRebuildsPipeline(t *testing.T) {
 	}
 	if cli.Stats().PipelineRebuilds == 0 {
 		t.Fatal("no pipeline rebuild recorded despite a dead replica")
+	}
+	// One injected crash, and the registry's absorbed-fallback counter must
+	// agree with the client's own tally.
+	snap := reg.Snapshot()
+	if got := snap.Counter("dfs.client.pipeline.rebuilds"); got != int64(cli.Stats().PipelineRebuilds) {
+		t.Errorf("dfs.client.pipeline.rebuilds = %d, Stats().PipelineRebuilds = %d",
+			got, cli.Stats().PipelineRebuilds)
+	}
+	if snap.Counter("dfs.datanode.block.writes") == 0 {
+		t.Error("instrumented DataNodes recorded no block writes")
+	}
+	if h := snap.Hist("dfs.client.block.write.seconds"); h.Count == 0 {
+		t.Error("no block-write latency observations recorded")
 	}
 
 	// Every block written after the crash must report a replica set that
@@ -91,7 +110,8 @@ func TestCrashMidWriteRebuildsPipeline(t *testing.T) {
 // replica, and verifies reads fail over to surviving copies.
 func TestReadFailoverAcrossReplicas(t *testing.T) {
 	c, dns := chaosCluster(t, 3, 3)
-	cli := c.ClientAt(0, WithBlockSize(128))
+	reg := obs.NewRegistry()
+	cli := c.ClientAt(0, WithBlockSize(128), WithObserver(reg))
 
 	data := []byte("failover payload spanning several blocks of the file")
 	w, err := cli.Create("/chaos/failover")
@@ -121,6 +141,16 @@ func TestReadFailoverAcrossReplicas(t *testing.T) {
 	}
 	if cli.Stats().ReadFailovers == 0 {
 		t.Fatal("no read failover recorded despite the local replica being down")
+	}
+	// The downed replica's reads were absorbed by failover; the registry
+	// counter must agree with the client's own tally.
+	snap := reg.Snapshot()
+	if got := snap.Counter("dfs.client.read.failovers"); got != int64(cli.Stats().ReadFailovers) {
+		t.Errorf("dfs.client.read.failovers = %d, Stats().ReadFailovers = %d",
+			got, cli.Stats().ReadFailovers)
+	}
+	if h := snap.Hist("dfs.client.block.read.seconds"); h.Count == 0 {
+		t.Error("no block-read latency observations recorded")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"preemptsched/internal/obs"
 	"preemptsched/internal/storage"
 )
 
@@ -61,6 +62,10 @@ type Client struct {
 	retryCount       atomic.Int64
 	readFailovers    atomic.Int64
 	pipelineRebuilds atomic.Int64
+
+	// obs, when set, receives live dfs.client.* counters and block latency
+	// histograms in addition to the atomic Stats fields.
+	obs *obs.Registry
 }
 
 // ClientOption configures a Client.
@@ -91,6 +96,12 @@ func WithRetry(attempts int, backoff time.Duration) ClientOption {
 			c.backoff = backoff
 		}
 	}
+}
+
+// WithObserver streams the client's recovery counters and per-block
+// read/write wall-clock latencies into reg as dfs.client.* metrics.
+func WithObserver(reg *obs.Registry) ClientOption {
+	return func(c *Client) { c.obs = reg }
 }
 
 // NewClient creates a client using transport.
@@ -141,6 +152,7 @@ func (c *Client) retry(op func() error) error {
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 {
 			c.retryCount.Add(1)
+			c.obs.Inc("dfs.client.retries")
 			if d := c.backoffFor(attempt); d > 0 {
 				c.sleep(d)
 			}
@@ -224,6 +236,10 @@ func (w *fileWriter) flushBlock(n int) error {
 // client-driven pipeline recovery HDFS performs when a DataNode dies
 // mid-write.
 func (c *Client) writeBlock(nn NameNodeAPI, path string, loc BlockLocation, data []byte) error {
+	if c.obs != nil {
+		begin := time.Now()
+		defer func() { c.obs.ObserveDuration("dfs.client.block.write.seconds", time.Since(begin)) }()
+	}
 	pipeErr := c.retry(func() error {
 		first, err := c.transport.DataNode(loc.Replicas[0])
 		if err != nil {
@@ -254,6 +270,7 @@ func (c *Client) writeBlock(nn NameNodeAPI, path string, loc BlockLocation, data
 			Err: fmt.Errorf("block %d: no replica accepted the write: %w", loc.ID, pipeErr)}
 	}
 	c.pipelineRebuilds.Add(1)
+	c.obs.Inc("dfs.client.pipeline.rebuilds")
 	if err := c.retry(func() error { return nn.ReportBlock(path, loc.ID, survivors) }); err != nil {
 		return &PathError{Op: "write", Path: path,
 			Err: fmt.Errorf("block %d: report rebuilt pipeline: %w", loc.ID, err)}
@@ -316,6 +333,10 @@ func (r *fileReader) Close() error { return nil }
 // through the rest of the replica set, and retrying the whole set (with
 // backoff) when every replica failed transiently.
 func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
+	if c.obs != nil {
+		begin := time.Now()
+		defer func() { c.obs.ObserveDuration("dfs.client.block.read.seconds", time.Since(begin)) }()
+	}
 	order := make([]DataNodeInfo, 0, len(loc.Replicas))
 	for _, dn := range loc.Replicas {
 		if dn.ID == c.localID {
@@ -328,6 +349,7 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 	for round := 0; round < c.retries; round++ {
 		if round > 0 {
 			c.retryCount.Add(1)
+			c.obs.Inc("dfs.client.retries")
 			if d := c.backoffFor(round); d > 0 {
 				c.sleep(d)
 			}
@@ -342,6 +364,7 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 			if err == nil {
 				if i > 0 || round > 0 {
 					c.readFailovers.Add(1)
+					c.obs.Inc("dfs.client.read.failovers")
 				}
 				return data, nil
 			}

@@ -3,6 +3,8 @@ package dfs
 import (
 	"fmt"
 	"sync"
+
+	"preemptsched/internal/obs"
 )
 
 // DataNode stores blocks and participates in write pipelines. It is safe
@@ -10,6 +12,7 @@ import (
 type DataNode struct {
 	info      DataNodeInfo
 	transport Transport
+	obs       *obs.Registry
 
 	mu     sync.RWMutex
 	blocks map[BlockID][]byte
@@ -20,6 +23,14 @@ type DataNode struct {
 // transport.
 func NewDataNode(info DataNodeInfo, transport Transport) *DataNode {
 	return &DataNode{info: info, transport: transport, blocks: make(map[BlockID][]byte)}
+}
+
+// Instrument directs dfs.datanode.* operation counters into reg. A nil
+// reg turns instrumentation off. Call before serving traffic.
+func (d *DataNode) Instrument(reg *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.obs = reg
 }
 
 var _ DataNodeAPI = (*DataNode)(nil)
@@ -52,7 +63,10 @@ func (d *DataNode) WriteBlock(id BlockID, data []byte, pipeline []DataNodeInfo) 
 		return err
 	}
 	d.blocks[id] = append([]byte(nil), data...)
+	reg := d.obs
 	d.mu.Unlock()
+	reg.Inc("dfs.datanode.block.writes")
+	reg.Add("dfs.datanode.bytes.written", int64(len(data)))
 
 	if len(pipeline) == 0 {
 		return nil
@@ -78,6 +92,8 @@ func (d *DataNode) ReadBlock(id BlockID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("dfs: datanode %s: block %d: %w", d.info.ID, id, ErrBlockMissing)
 	}
+	d.obs.Inc("dfs.datanode.block.reads")
+	d.obs.Add("dfs.datanode.bytes.read", int64(len(data)))
 	return append([]byte(nil), data...), nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"preemptsched/internal/obs"
 )
 
 // NameNode owns the file namespace and the block map. It is safe for
@@ -22,6 +24,7 @@ type NameNode struct {
 	rrCursor    int
 	// clock supplies wall time for the liveness view; tests override it.
 	clock func() time.Time
+	obs   *obs.Registry
 }
 
 type fileEntry struct {
@@ -47,6 +50,14 @@ func NewNameNode(replication int) *NameNode {
 }
 
 var _ NameNodeAPI = (*NameNode)(nil)
+
+// Instrument directs dfs.namenode.* namespace-operation counters into reg.
+// A nil reg turns instrumentation off.
+func (n *NameNode) Instrument(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.obs = reg
+}
 
 // SetClock overrides the liveness clock (tests drive time by hand).
 func (n *NameNode) SetClock(clock func() time.Time) {
@@ -182,6 +193,7 @@ func (n *NameNode) Create(path string) ([]BlockLocation, error) {
 		stale = old.info.Blocks
 	}
 	n.files[path] = &fileEntry{info: FileInfo{Path: path}, open: true}
+	n.obs.Inc("dfs.namenode.creates")
 	return stale, nil
 }
 
@@ -202,6 +214,7 @@ func (n *NameNode) AddBlock(path, preferred string) (BlockLocation, error) {
 	loc := BlockLocation{ID: n.nextBlock, Replicas: n.placeReplicas(preferred)}
 	n.nextBlock++
 	f.info.Blocks = append(f.info.Blocks, loc)
+	n.obs.Inc("dfs.namenode.blocks.allocated")
 	return loc, nil
 }
 

@@ -105,6 +105,15 @@ func (n *NameNode) Decommission(id string, transport Transport) (*ReplicationRep
 		}
 		n.mu.Unlock()
 	}
+	n.mu.Lock()
+	reg := n.obs
+	n.mu.Unlock()
+	reg.AddN(map[string]int64{
+		"dfs.namenode.decommissions":    1,
+		"dfs.namenode.blocks.recovered": int64(report.Recovered),
+		"dfs.namenode.blocks.degraded":  int64(report.Degraded),
+		"dfs.namenode.blocks.lost":      int64(report.Lost),
+	})
 	return &report, nil
 }
 

@@ -28,6 +28,20 @@ func (c *Counters) Add(name string, delta int64) {
 	c.m[name] += delta
 }
 
+// AddN applies a batch of increments under one lock acquisition — much
+// cheaper than per-name Add calls when mirroring a whole result set or on
+// hot DFS paths that bump several counters per block.
+func (c *Counters) AddN(deltas map[string]int64) {
+	if len(deltas) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, delta := range deltas {
+		c.m[name] += delta
+	}
+}
+
 // Get returns name's current value (zero when never incremented).
 func (c *Counters) Get(name string) int64 {
 	c.mu.Lock()
@@ -37,10 +51,8 @@ func (c *Counters) Get(name string) int64 {
 
 // Total returns the sum across all counters.
 func (c *Counters) Total() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var total int64
-	for _, v := range c.m {
+	for _, v := range c.Snapshot() {
 		total += v
 	}
 	return total

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"yarn.dump.total.seconds": "yarn_dump_total_seconds",
+		"already_fine":            "already_fine",
+		"with-dash":               "with_dash",
+		"9leading":                "_leading",
+		"a9ok":                    "a9ok",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exact exposition text for a small
+// snapshot: sorted names, namespace prefix, TYPE lines, and the full
+// cumulative bucket series ending in +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Add("yarn.kills", 2)
+	r.Inc("dfs.client.retries")
+	r.SetGauge("yarn.queue.peak", 3)
+	r.Observe("yarn.dump.total.seconds", 0.001)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot(), "preemptsched"); err != nil {
+		t.Fatal(err)
+	}
+
+	var want strings.Builder
+	want.WriteString(`# TYPE preemptsched_dfs_client_retries counter
+preemptsched_dfs_client_retries 1
+# TYPE preemptsched_yarn_kills counter
+preemptsched_yarn_kills 2
+# TYPE preemptsched_yarn_queue_peak gauge
+preemptsched_yarn_queue_peak 3
+# TYPE preemptsched_yarn_dump_total_seconds histogram
+`)
+	// 0.001 s lands in bucket 10 (bound 1.024e-3): cumulative counts are 0
+	// through bucket 9, then 1 for every bucket from 10 to +Inf.
+	bounds := BucketBounds()
+	for i, b := range bounds {
+		cum := 0
+		if i >= 10 {
+			cum = 1
+		}
+		fmt.Fprintf(&want, "preemptsched_yarn_dump_total_seconds_bucket{le=%q} %d\n", formatFloat(b), cum)
+	}
+	want.WriteString(`preemptsched_yarn_dump_total_seconds_bucket{le="+Inf"} 1
+preemptsched_yarn_dump_total_seconds_sum 0.001
+preemptsched_yarn_dump_total_seconds_count 1
+`)
+	if buf.String() != want.String() {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want.String())
+	}
+}
+
+func TestWritePrometheusNoNamespace(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a.b")
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot(), ""); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE a_b counter\na_b 1\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Add("c", 4)
+	r.SetGauge("g", 1.5)
+	for i := 0; i < 10; i++ {
+		r.Observe("h", 0.01)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]float64  `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output not parseable: %v", err)
+	}
+	if doc.Counters["c"] != 4 || doc.Gauges["g"] != 1.5 {
+		t.Fatalf("scalar round-trip wrong: %+v", doc)
+	}
+	h := doc.Histograms["h"]
+	if h.Count != 10 || h.P50 != 0.01 || h.P99 != 0.01 {
+		t.Fatalf("histogram round-trip wrong: %+v", h)
+	}
+	if len(h.Buckets) != HistBuckets {
+		t.Fatalf("bucket count = %d, want %d", len(h.Buckets), HistBuckets)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("hits")
+	srv := httptest.NewServer(r.Handler("preemptsched"))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "preemptsched_hits 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"preemptsched/internal/metrics"
+)
+
+// Histogram bucket layout: fixed log-scale (base 2) upper bounds in
+// seconds, from 1µs to ~38h, plus one overflow bucket. Every histogram
+// in the registry shares this layout, so snapshots from different sources
+// (dump latency on one node, DFS block writes on another) merge by adding
+// bucket counts — no per-histogram configuration to reconcile.
+const (
+	histFirstBound   = 1e-6
+	histFiniteBounds = 38
+	// HistBuckets is the bucket count including the overflow bucket.
+	HistBuckets = histFiniteBounds + 1
+)
+
+var histBounds = func() [histFiniteBounds]float64 {
+	var b [histFiniteBounds]float64
+	v := histFirstBound
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// BucketBounds returns the shared finite bucket upper bounds, in seconds.
+// The final (overflow) bucket is unbounded.
+func BucketBounds() []float64 {
+	out := make([]float64, histFiniteBounds)
+	copy(out[:], histBounds[:])
+	return out
+}
+
+// bucketIndex returns the bucket for observation v: the first bucket whose
+// upper bound is >= v, or the overflow bucket.
+func bucketIndex(v float64) int {
+	if v <= histBounds[0] {
+		return 0
+	}
+	if v > histBounds[histFiniteBounds-1] {
+		return histFiniteBounds
+	}
+	// exp such that v <= histFirstBound * 2^exp; log2 is exact for the
+	// power-of-two bounds so boundary values land in their own bucket.
+	i := int(math.Ceil(math.Log2(v / histFirstBound)))
+	if i < 0 {
+		i = 0
+	}
+	// Guard against float fuzz right at a boundary.
+	for i > 0 && v <= histBounds[i-1] {
+		i--
+	}
+	for i < histFiniteBounds && v > histBounds[i] {
+		i++
+	}
+	return i
+}
+
+// hist is one live histogram. All mutation happens under mu.
+type hist struct {
+	mu      sync.Mutex
+	buckets [HistBuckets]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+func (h *hist) observe(v float64) {
+	h.mu.Lock()
+	h.buckets[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistSnapshot is an immutable copy of a histogram.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts,
+// interpolating linearly inside the target bucket. The overflow bucket
+// and q >= 1 report the exact tracked maximum.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= histFiniteBounds {
+			return h.Max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := histBounds[i]
+		// Clamp the bucket to the observed range so single-bucket
+		// histograms report real values, not bucket edges.
+		if lo < h.Min {
+			lo = h.Min
+		}
+		if hi > h.Max {
+			hi = h.Max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Max
+}
+
+// Merge returns the bucket-wise sum of two snapshots sharing the global
+// layout (e.g. folding block-read and block-write latencies into one
+// "transfer" distribution).
+func (h HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if h.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return h
+	}
+	out := HistSnapshot{
+		Count:   h.Count + o.Count,
+		Sum:     h.Sum + o.Sum,
+		Min:     math.Min(h.Min, o.Min),
+		Max:     math.Max(h.Max, o.Max),
+		Buckets: make([]uint64, HistBuckets),
+	}
+	for i := range out.Buckets {
+		if i < len(h.Buckets) {
+			out.Buckets[i] += h.Buckets[i]
+		}
+		if i < len(o.Buckets) {
+			out.Buckets[i] += o.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Snapshot is a point-in-time copy of a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Counter returns a counter's value (0 when absent), tolerating calls on
+// a zero-value Snapshot.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Hist returns a histogram snapshot (zero-valued when absent).
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Histograms[name] }
+
+// Names returns the sorted union of all metric names, handy for stable
+// iteration in reports and tests.
+func (s Snapshot) Names() []string {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registry is a concurrency-safe registry of named counters, gauges, and
+// histograms. Metrics are created on first touch; names are free-form
+// dotted paths ("yarn.dump.total.seconds") sanitized only at exposition
+// time. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	counters *metrics.Counters
+
+	mu     sync.Mutex
+	gauges map[string]float64
+	hists  map[string]*hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: metrics.NewCounters(),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// Inc adds 1 to a counter.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Add adds delta to a counter.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counters.Add(name, delta)
+}
+
+// AddN merges a batch of counter increments under one lock acquisition.
+func (r *Registry) AddN(deltas map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.counters.AddN(deltas)
+}
+
+// SetGauge sets a gauge to v.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// MaxGauge raises a gauge to v if v exceeds its current value — a
+// high-water mark (e.g. peak per-node checkpoint-queue backlog).
+func (r *Registry) MaxGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Observe records v (in seconds for latency metrics) into a histogram.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	h.observe(v)
+}
+
+// ObserveDuration records a duration, in seconds, into a histogram.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Observe(name, d.Seconds())
+}
+
+// Snapshot copies every metric. It is safe to call concurrently with
+// recording.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{
+		Counters:   r.counters.Snapshot(),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	r.mu.Lock()
+	for k, v := range r.gauges {
+		snap.Gauges[k] = v
+	}
+	names := make([]string, 0, len(r.hists))
+	hs := make([]*hist, 0, len(r.hists))
+	for k, h := range r.hists {
+		names = append(names, k)
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	for i, h := range hs {
+		h.mu.Lock()
+		s := HistSnapshot{
+			Count:   h.count,
+			Sum:     h.sum,
+			Min:     h.min,
+			Max:     h.max,
+			Buckets: append([]uint64(nil), h.buckets[:]...),
+		}
+		h.mu.Unlock()
+		snap.Histograms[names[i]] = s
+	}
+	return snap
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Inc("a")
+	r.Add("a", 5)
+	r.AddN(map[string]int64{"a": 1})
+	r.SetGauge("g", 1)
+	r.MaxGauge("g", 2)
+	r.Observe("h", 0.5)
+	r.ObserveDuration("h", time.Second)
+	snap := r.Snapshot()
+	if snap.Counter("a") != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestBucketIndexBoundaries pins the log2 layout: an observation exactly on
+// bound k lands in bucket k, and anything just above it lands in k+1.
+func TestBucketIndexBoundaries(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != histFiniteBounds {
+		t.Fatalf("BucketBounds len = %d, want %d", len(bounds), histFiniteBounds)
+	}
+	if bounds[0] != 1e-6 {
+		t.Fatalf("first bound = %v, want 1e-6", bounds[0])
+	}
+	for k, b := range bounds {
+		if got := bucketIndex(b); got != k {
+			t.Errorf("bucketIndex(bound[%d]=%v) = %d, want %d", k, b, got, k)
+		}
+		if k < histFiniteBounds-1 {
+			if got := bucketIndex(b * 1.000001); got != k+1 {
+				t.Errorf("bucketIndex(just above bound[%d]) = %d, want %d", k, got, k+1)
+			}
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(bounds[len(bounds)-1] * 2); got != histFiniteBounds {
+		t.Errorf("overflow observation landed in bucket %d, want %d", got, histFiniteBounds)
+	}
+	// The top finite bound must comfortably cover day-scale makespans.
+	if top := bounds[len(bounds)-1]; top < 24*3600 {
+		t.Errorf("top bound %v s cannot hold a day-long run", top)
+	}
+}
+
+func TestHistogramSnapshotAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	// 100 observations spread over two decades.
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat", float64(i)*0.001) // 1ms .. 100ms
+	}
+	h := r.Snapshot().Hist("lat")
+	if h.Count != 100 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Min != 0.001 || h.Max != 0.1 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+	if math.Abs(h.Sum-5.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.05", h.Sum)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.02 || p50 > 0.09 {
+		t.Fatalf("p50 = %v, want within a bucket of 0.05", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 || p99 > h.Max {
+		t.Fatalf("p99 = %v out of order (p50 %v, max %v)", p99, p50, h.Max)
+	}
+	if q := h.Quantile(1.0); q != h.Max {
+		t.Fatalf("Quantile(1) = %v, want max %v", q, h.Max)
+	}
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	if total != h.Count {
+		t.Fatalf("bucket sum %d != count %d", total, h.Count)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveDuration("d", 250*time.Millisecond)
+	h := r.Snapshot().Hist("d")
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.25 {
+			t.Fatalf("Quantile(%v) = %v, want exactly 0.25", q, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("a", 0.001)
+	r.Observe("a", 0.002)
+	r.Observe("b", 1.0)
+	snap := r.Snapshot()
+	m := snap.Hist("a").Merge(snap.Hist("b"))
+	if m.Count != 3 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if m.Min != 0.001 || m.Max != 1.0 {
+		t.Fatalf("merged min/max = %v/%v", m.Min, m.Max)
+	}
+	if math.Abs(m.Sum-1.003) > 1e-9 {
+		t.Fatalf("merged sum = %v", m.Sum)
+	}
+	empty := HistSnapshot{}
+	if got := empty.Merge(snap.Hist("a")); got.Count != 2 {
+		t.Fatalf("empty.Merge lost data: %+v", got)
+	}
+	if got := snap.Hist("a").Merge(empty); got.Count != 2 {
+		t.Fatalf("Merge(empty) lost data: %+v", got)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	r.SetGauge("depth", 3)
+	r.SetGauge("depth", 1)
+	r.MaxGauge("peak", 2)
+	r.MaxGauge("peak", 5)
+	r.MaxGauge("peak", 4)
+	snap := r.Snapshot()
+	if snap.Gauges["depth"] != 1 {
+		t.Fatalf("SetGauge should overwrite: %v", snap.Gauges["depth"])
+	}
+	if snap.Gauges["peak"] != 5 {
+		t.Fatalf("MaxGauge should keep high-water mark: %v", snap.Gauges["peak"])
+	}
+}
+
+func TestRegistryCountersAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("x")
+	r.AddN(map[string]int64{"x": 2, "y": 7})
+	r.SetGauge("g", 1)
+	r.Observe("h", 0.1)
+	snap := r.Snapshot()
+	if snap.Counter("x") != 3 || snap.Counter("y") != 7 {
+		t.Fatalf("counters wrong: %v", snap.Counters)
+	}
+	names := snap.Names()
+	want := []string{"g", "h", "x", "y"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Inc("c")
+				r.Observe("h", float64(i%100)*1e-4)
+				r.MaxGauge("g", float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counter("c") != 8000 {
+		t.Fatalf("counter = %d, want 8000", snap.Counter("c"))
+	}
+	if snap.Hist("h").Count != 8000 {
+		t.Fatalf("hist count = %d, want 8000", snap.Hist("h").Count)
+	}
+	if snap.Gauges["g"] != 999 {
+		t.Fatalf("gauge = %v, want 999", snap.Gauges["g"])
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSchema = `{
+  "type": "object",
+  "required": ["schema_version", "policy", "counts"],
+  "properties": {
+    "schema_version": {"type": "integer", "minimum": 1},
+    "policy": {"type": "string", "enum": ["kill", "checkpoint", "adaptive"]},
+    "aborted": {"type": "boolean"},
+    "counts": {
+      "type": "object",
+      "properties": {"preemptions": {"type": "integer", "minimum": 0}}
+    },
+    "latencies": {
+      "type": "array",
+      "items": {"type": "number"}
+    }
+  }
+}`
+
+func validate(t *testing.T, doc string) error {
+	t.Helper()
+	return ValidateJSONSchemaBytes([]byte(testSchema), []byte(doc))
+}
+
+func TestSchemaValidDocument(t *testing.T) {
+	doc := `{"schema_version": 1, "policy": "adaptive", "aborted": false,
+	         "counts": {"preemptions": 4}, "latencies": [0.5, 1, 2.25]}`
+	if err := validate(t, doc); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+}
+
+func TestSchemaViolations(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"missing required", `{"schema_version": 1, "policy": "kill"}`, `missing required property "counts"`},
+		{"wrong type", `{"schema_version": "one", "policy": "kill", "counts": {}}`, "expected type integer"},
+		{"enum violation", `{"schema_version": 1, "policy": "nuke", "counts": {}}`, "not in enum"},
+		{"below minimum", `{"schema_version": 0, "policy": "kill", "counts": {}}`, "below minimum"},
+		{"bad array item", `{"schema_version": 1, "policy": "kill", "counts": {}, "latencies": [1, "x"]}`, "latencies[1]"},
+		{"nested type", `{"schema_version": 1, "policy": "kill", "counts": {"preemptions": -1}}`, "below minimum"},
+	}
+	for _, c := range cases {
+		err := validate(t, c.doc)
+		if err == nil {
+			t.Errorf("%s: accepted invalid doc", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSchemaAdditionalProperties(t *testing.T) {
+	schema := `{"type": "object", "properties": {"a": {"type": "integer"}}, "additionalProperties": false}`
+	if err := ValidateJSONSchemaBytes([]byte(schema), []byte(`{"a": 1}`)); err != nil {
+		t.Fatalf("declared property rejected: %v", err)
+	}
+	err := ValidateJSONSchemaBytes([]byte(schema), []byte(`{"a": 1, "b": 2}`))
+	if err == nil || !strings.Contains(err.Error(), "unexpected properties") {
+		t.Fatalf("additionalProperties=false not enforced: %v", err)
+	}
+}
+
+func TestSchemaIntegerIsNumber(t *testing.T) {
+	schema := `{"type": "number"}`
+	if err := ValidateJSONSchemaBytes([]byte(schema), []byte(`3`)); err != nil {
+		t.Fatalf("integer rejected where number expected: %v", err)
+	}
+}
+
+func TestSchemaTypeList(t *testing.T) {
+	schema := `{"type": ["string", "null"]}`
+	if err := ValidateJSONSchemaBytes([]byte(schema), []byte(`null`)); err != nil {
+		t.Fatalf("null rejected by type list: %v", err)
+	}
+	if err := ValidateJSONSchemaBytes([]byte(schema), []byte(`5`)); err == nil {
+		t.Fatal("number accepted by [string, null]")
+	}
+}
+
+func TestSchemaMalformedInputs(t *testing.T) {
+	if err := ValidateJSONSchemaBytes([]byte(`{`), []byte(`{}`)); err == nil {
+		t.Fatal("malformed schema accepted")
+	}
+	if err := ValidateJSONSchemaBytes([]byte(`{}`), []byte(`{`)); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}

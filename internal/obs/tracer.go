@@ -1,0 +1,192 @@
+// Package obs is the observability layer shared by the simulator, the
+// mini-YARN framework, the DFS, and the CLIs: a structured span tracer
+// with parent/child relationships backed by a fixed-size ring buffer, a
+// metrics registry of counters, gauges, and log-scale latency histograms,
+// and export surfaces (Prometheus text, JSON, Chrome trace_event files
+// loadable in Perfetto, and pprof wiring).
+//
+// Every entry point is nil-receiver safe: a nil *Tracer or *Registry is a
+// no-op, so instrumented code paths pay a single pointer test when
+// observability is off. The yarn cluster records spans in virtual
+// (sim.Time) timestamps; real daemons record wall-clock offsets. A tracer
+// carries exactly one timebase, chosen by its owner.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanID identifies one recorded span; 0 means "no span" (and is what a
+// nil tracer returns), so it is always safe to pass a SpanID back as a
+// parent.
+type SpanID uint64
+
+// Attr is one key/value annotation on a span. Values should be strings,
+// bools, integers, or floats so they serialize cleanly.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int64 builds an integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Val: v} }
+
+// Float64 builds a float attribute.
+func Float64(k string, v float64) Attr { return Attr{Key: k, Val: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
+
+// DurationMS builds a millisecond attribute from a duration, which reads
+// naturally in Perfetto's args pane.
+func DurationMS(k string, d time.Duration) Attr {
+	return Attr{Key: k, Val: float64(d) / float64(time.Millisecond)}
+}
+
+// Span is one recorded interval (or instant) on a named track.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	// Cat groups spans for filtering ("checkpoint", "restore", "sched").
+	Cat  string
+	Name string
+	// PID and TID name the process and thread tracks the span renders on
+	// (e.g. PID "node-3", TID "j2-t14").
+	PID, TID string
+	// Start and End are offsets in the tracer's timebase. End == 0 with
+	// Start > 0 marks a span still open at export time.
+	Start, End time.Duration
+	// Instant marks a zero-duration point event.
+	Instant bool
+	Attrs   []Attr
+}
+
+// DefaultTracerCapacity is the ring size used when NewTracer is given a
+// non-positive capacity: 256k spans, ~40 MB, enough for every checkpoint
+// lifecycle of a paper-scale run.
+const DefaultTracerCapacity = 1 << 18
+
+// Tracer records spans into a fixed-capacity ring buffer under one mutex.
+// Recording is O(1) and allocation-free apart from attribute slices; when
+// the ring wraps, the oldest spans are dropped (and counted). A nil
+// *Tracer is a valid no-op tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  uint64 // total spans ever recorded; also the last issued ID
+	drops uint64
+}
+
+// NewTracer returns a tracer holding up to capacity spans (a non-positive
+// capacity selects DefaultTracerCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// record stores s in the ring and returns its ID.
+func (t *Tracer) record(s Span) SpanID {
+	t.mu.Lock()
+	t.next++
+	s.ID = SpanID(t.next)
+	if t.next > uint64(len(t.ring)) {
+		t.drops++
+	}
+	t.ring[(t.next-1)%uint64(len(t.ring))] = s
+	t.mu.Unlock()
+	return s.ID
+}
+
+// Start opens a span beginning at start; End closes it. The returned ID
+// may be used as the parent of child spans.
+func (t *Tracer) Start(cat, name, pid, tid string, parent SpanID, start time.Duration, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{Parent: parent, Cat: cat, Name: name, PID: pid, TID: tid, Start: start, Attrs: attrs})
+}
+
+// End closes a previously started span at end, appending any extra
+// attributes. Ending an unknown, evicted, or zero ID is a no-op.
+func (t *Tracer) End(id SpanID, end time.Duration, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	slot := (uint64(id) - 1) % uint64(len(t.ring))
+	if t.ring[slot].ID == id {
+		t.ring[slot].End = end
+		if len(attrs) > 0 {
+			t.ring[slot].Attrs = append(t.ring[slot].Attrs, attrs...)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Complete records a span whose full [start, end] window is already known
+// — the common case in the deterministic event-driven cluster, where a
+// scheduled completion instant is known when the work is issued.
+func (t *Tracer) Complete(cat, name, pid, tid string, parent SpanID, start, end time.Duration, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{Parent: parent, Cat: cat, Name: name, PID: pid, TID: tid, Start: start, End: end, Attrs: attrs})
+}
+
+// Instant records a zero-duration point event.
+func (t *Tracer) Instant(cat, name, pid, tid string, parent SpanID, at time.Duration, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{Parent: parent, Cat: cat, Name: name, PID: pid, TID: tid, Start: at, End: at, Instant: true, Attrs: attrs})
+}
+
+// Len returns the number of spans currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Dropped returns how many spans were evicted by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// Snapshot copies the retained spans, oldest first.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	capn := uint64(len(t.ring))
+	var out []Span
+	if n <= capn {
+		out = append(out, t.ring[:n]...)
+		return out
+	}
+	// The ring has wrapped: the oldest retained span is at slot n % cap.
+	first := n % capn
+	out = append(out, t.ring[first:]...)
+	out = append(out, t.ring[:first]...)
+	return out
+}

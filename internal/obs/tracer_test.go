@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	id := tr.Start("cat", "name", "p", "t", 0, 0)
+	if id != 0 {
+		t.Fatalf("nil tracer Start = %d, want 0", id)
+	}
+	tr.End(id, time.Second)
+	if tr.Complete("c", "n", "p", "t", 0, 0, time.Second) != 0 {
+		t.Fatal("nil tracer Complete should return 0")
+	}
+	if tr.Instant("c", "n", "p", "t", 0, 0) != 0 {
+		t.Fatal("nil tracer Instant should return 0")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer should report empty state")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil tracer WriteChromeTrace: %v", err)
+	}
+}
+
+func TestTracerStartEndParenting(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("checkpoint", "dump", "node-0", "j0-t0", 0, 10*time.Millisecond, String("policy", "checkpoint-full"))
+	child := tr.Complete("checkpoint", "dump-write", "node-0", "j0-t0", root, 12*time.Millisecond, 20*time.Millisecond)
+	tr.End(root, 20*time.Millisecond, Bool("ok", true))
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].ID != root || spans[1].ID != child {
+		t.Fatalf("span order wrong: %v then %v", spans[0].ID, spans[1].ID)
+	}
+	if spans[1].Parent != root {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, root)
+	}
+	if spans[0].End != 20*time.Millisecond {
+		t.Fatalf("root End = %v after End()", spans[0].End)
+	}
+	if len(spans[0].Attrs) != 2 {
+		t.Fatalf("root attrs = %v, want start attr + end attr", spans[0].Attrs)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	var ids []SpanID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, tr.Instant("c", fmt.Sprintf("e%d", i), "p", "t", 0, time.Duration(i)))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(spans))
+	}
+	// Oldest-first: events 6..9 survive.
+	for i, s := range spans {
+		want := fmt.Sprintf("e%d", i+6)
+		if s.Name != want {
+			t.Fatalf("spans[%d].Name = %q, want %q", i, s.Name, want)
+		}
+	}
+	// Ending an evicted span must not corrupt the slot's current tenant.
+	tr.End(ids[0], time.Hour)
+	for _, s := range tr.Snapshot() {
+		if s.End == time.Hour {
+			t.Fatal("End on evicted ID mutated a live span")
+		}
+	}
+}
+
+func TestTracerConcurrentRecording(t *testing.T) {
+	tr := NewTracer(1 << 14)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pid := fmt.Sprintf("node-%d", w)
+			for i := 0; i < perWorker; i++ {
+				id := tr.Start("checkpoint", "dump", pid, "t", 0, time.Duration(i))
+				tr.End(id, time.Duration(i+1), Int64("iter", int64(i)))
+				tr.Instant("sched", "decision", pid, "t", id, time.Duration(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := tr.Len(), workers*perWorker*2; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	spans := tr.Snapshot()
+	seen := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			t.Fatal("recorded span with zero ID")
+		}
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Complete("checkpoint", "dump", "node-1", "j0-t3", 0, 5*time.Millisecond, 9*time.Millisecond, Float64("mb", 64))
+	tr.Instant("sched", "policy-decision", "node-1", "j0-t3", root, 5*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	// 2 metadata events (process_name, thread_name) + 2 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4: %v", len(doc.TraceEvents), doc.TraceEvents)
+	}
+	var sawComplete, sawInstant, sawProcName bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			sawComplete = true
+			if ev["ts"] != 5000.0 || ev["dur"] != 4000.0 {
+				t.Fatalf("complete event ts/dur wrong: %v", ev)
+			}
+		case "i":
+			sawInstant = true
+		case "M":
+			if ev["name"] == "process_name" {
+				sawProcName = true
+				args := ev["args"].(map[string]any)
+				if args["name"] != "node-1" {
+					t.Fatalf("process_name = %v", args["name"])
+				}
+			}
+		}
+	}
+	if !sawComplete || !sawInstant || !sawProcName {
+		t.Fatalf("missing event kinds: X=%v i=%v M(process)=%v", sawComplete, sawInstant, sawProcName)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/core"
 	"preemptsched/internal/energy"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/storage"
 )
 
@@ -109,6 +110,10 @@ type Config struct {
 	// ScanLimit bounds how many queued tasks each scheduling pass
 	// examines; it trades head-of-line fidelity for simulation speed.
 	ScanLimit int
+	// Metrics, when non-nil, receives sched.* policy-decision counters
+	// and dump/restore latency histograms (virtual time). Nil — the
+	// default — keeps the hot loop free of instrumentation.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a mid-size cluster on the given storage with the

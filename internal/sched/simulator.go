@@ -10,6 +10,7 @@ import (
 	"preemptsched/internal/core"
 	"preemptsched/internal/energy"
 	"preemptsched/internal/metrics"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/sim"
 	"preemptsched/internal/storage"
 )
@@ -205,7 +206,10 @@ func (q *pendingQueue) Pop() any {
 
 // Simulator executes one run.
 type Simulator struct {
-	cfg    Config
+	cfg Config
+	// reg is Config.Metrics; a nil registry makes every instrumentation
+	// call a no-op pointer test.
+	reg    *obs.Registry
 	engine *sim.Engine
 	nodes  []*node
 	queue  pendingQueue
@@ -330,6 +334,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	cfg = cfg.withDefaults()
 	s := &Simulator{
 		cfg:       cfg,
+		reg:       cfg.Metrics,
 		engine:    sim.NewEngine(),
 		userUsage: make(map[string]cluster.Resources),
 		totalCap:  cfg.NodeCapacity.Scale(float64(cfg.Nodes)),
@@ -593,14 +598,15 @@ func (s *Simulator) startRestore(t *taskRT, target *node, now sim.Time) {
 		s.res.RemoteRestores++
 	}
 	s.res.Restores++
-	var done sim.Time
+	var start, done sim.Time
 	if !remote && target.device.Kind() == storage.NVRAM {
 		// Byte-addressable local resume: pages are remapped from
 		// persistent memory, not read back through a file system.
-		_, done = target.device.Reserve(now, target.device.ReadTime(0))
+		start, done = target.device.Reserve(now, target.device.ReadTime(0))
 	} else {
-		_, done = target.device.ReserveRead(now+transfer, t.spec.MemFootprint)
+		start, done = target.device.ReserveRead(now+transfer, t.spec.MemFootprint)
 	}
+	s.recordRestore(remote, transfer, now, start, done)
 	overhead := time.Duration(done - now)
 	s.chargeOverhead(t, overhead)
 	s.engine.ScheduleAt(done, func(at sim.Time) {
@@ -642,6 +648,36 @@ func (s *Simulator) chargeOverhead(t *taskRT, d time.Duration) {
 	cores := float64(t.spec.Demand.CPUMillis) / 1000
 	s.res.WastedCPUHours += cores * d.Hours()
 	s.res.OverheadCPUHours += cores * d.Hours()
+}
+
+// recordDump splits one checkpoint write into queue/write/total latencies:
+// now is the enqueue instant, start when the device begins the write, done
+// its completion. All three are virtual time.
+func (s *Simulator) recordDump(now, start, done sim.Time) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.ObserveDuration("sched.dump.queue.seconds", time.Duration(start-now))
+	s.reg.ObserveDuration("sched.dump.write.seconds", time.Duration(done-start))
+	s.reg.ObserveDuration("sched.dump.total.seconds", time.Duration(done-now))
+}
+
+// recordRestore mirrors recordDump for the read side and counts the
+// Algorithm 2 placement outcome. transfer is the network shipping time
+// preceding the read when the image is remote.
+func (s *Simulator) recordRestore(remote bool, transfer time.Duration, now, start, done sim.Time) {
+	if s.reg == nil {
+		return
+	}
+	if remote {
+		s.reg.Inc("sched.policy.restore.remote")
+		s.reg.ObserveDuration("sched.restore.transfer.seconds", transfer)
+	} else {
+		s.reg.Inc("sched.policy.restore.local")
+	}
+	s.reg.ObserveDuration("sched.restore.queue.seconds", time.Duration(start-now)-transfer)
+	s.reg.ObserveDuration("sched.restore.read.seconds", time.Duration(done-start))
+	s.reg.ObserveDuration("sched.restore.total.seconds", time.Duration(done-now))
 }
 
 // preemptFor vacates lower-priority work for t. It reports whether any
@@ -776,6 +812,9 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 	v.evictions++
 	cand := s.candidateFor(v, now)
 	action := core.DecidePreemption(s.cfg.Policy, cand, n.device, now)
+	if s.reg != nil {
+		s.reg.Inc("sched.policy.decision." + action.String())
+	}
 
 	if !action.IsCheckpoint() {
 		// Kill: unsaved progress is lost; resources free immediately.
@@ -816,7 +855,8 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 		v.remaining = 0
 	}
 	dumpBytes := cand.DumpBytes()
-	_, done := n.device.ReserveWrite(now, dumpBytes)
+	start, done := n.device.ReserveWrite(now, dumpBytes)
+	s.recordDump(now, start, done)
 	s.chargeOverhead(v, time.Duration(done-now))
 	s.trackImage(v, action, dumpBytes)
 	s.engine.ScheduleAt(done, func(at sim.Time) {
@@ -846,7 +886,11 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 	s.res.PreCopies++
 	v.preCopying = true
 	preBytes := cand.DumpBytes()
-	_, preDone := n.device.ReserveWrite(now, preBytes)
+	preStart, preDone := n.device.ReserveWrite(now, preBytes)
+	if s.reg != nil {
+		s.reg.ObserveDuration("sched.predump.queue.seconds", time.Duration(preStart-now))
+		s.reg.ObserveDuration("sched.predump.total.seconds", time.Duration(preDone-now))
+	}
 	preAction := core.ActionCheckpointFull
 	if cand.HasCheckpoint {
 		preAction = core.ActionCheckpointIncremental
@@ -878,7 +922,8 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 			frac = 1
 		}
 		delta := int64(frac * float64(v.spec.MemFootprint))
-		_, done := n.device.ReserveWrite(at, delta)
+		start, done := n.device.ReserveWrite(at, delta)
+		s.recordDump(at, start, done)
 		s.chargeOverhead(v, time.Duration(done-at))
 		s.trackImage(v, core.ActionCheckpointIncremental, delta)
 		s.engine.ScheduleAt(done, func(end sim.Time) {

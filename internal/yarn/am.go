@@ -10,6 +10,7 @@ import (
 	"preemptsched/internal/core"
 	"preemptsched/internal/kmeans"
 	"preemptsched/internal/mapreduce"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/proc"
 	"preemptsched/internal/sim"
 )
@@ -55,6 +56,16 @@ type taskRun struct {
 	// preCopying marks a running task whose pages are being pre-dumped;
 	// it is not eligible for further preemption until frozen.
 	preCopying bool
+
+	// estOverhead holds the Algorithm 1 overhead estimate captured at the
+	// checkpoint decision; it is compared against the actual dump+restore
+	// cost when the task resumes, then cleared. dumpCost accumulates the
+	// device time of the dump window(s) of the current checkpoint.
+	estOverhead time.Duration
+	dumpCost    time.Duration
+	// lastCkptSpan is the dump span of the newest checkpoint, used to
+	// parent the queue-wait and restore spans of the same lifecycle.
+	lastCkptSpan obs.SpanID
 }
 
 // imageLink is one image of a checkpoint chain together with the logical
@@ -198,7 +209,8 @@ func (am *AppMaster) onAllocated(t *taskRun, n *NodeManager, now sim.Time) {
 		am.c.res.RemoteRestores++
 	}
 	am.c.res.Restores++
-	_, done := n.device.ReserveRead(now+transfer, t.spec.MemFootprint)
+	start, done := n.device.ReserveRead(now+transfer, t.spec.MemFootprint)
+	am.c.recordRestore(t, n, remote, transfer, now, start, done)
 	am.c.chargeOverhead(t, time.Duration(done-now))
 	am.c.engine.ScheduleAt(done, func(at sim.Time) {
 		am.restoreOrFallback(t, n, at)
@@ -348,6 +360,13 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 	}
 
 	action := core.DecidePreemption(am.c.cfg.Policy, t.candidate(now), n.device, now)
+	if action.IsCheckpoint() {
+		// Capture the Algorithm 1 estimate the decision was based on, so
+		// its error against the actual dump+restore cost is measurable.
+		t.estOverhead = core.CheckpointOverhead(t.candidate(now), n.device, now)
+		t.dumpCost = 0
+	}
+	am.c.recordDecision(t, n, action, now)
 
 	if action.IsCheckpoint() && am.c.cfg.PreCopy {
 		am.startPreCopyCheckpoint(t, n, now)
@@ -416,7 +435,9 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 	}
 	am.c.sampleDFSUsage()
 
-	_, done := n.device.ReserveWrite(now, info.LogicalBytes)
+	start, done := n.device.ReserveWrite(now, info.LogicalBytes)
+	t.dumpCost = time.Duration(done - now)
+	am.c.recordDump(t, n, name, info.LogicalBytes, incremental, now, start, done)
 	am.c.chargeOverhead(t, time.Duration(done-now))
 	am.c.engine.ScheduleAt(done, func(at sim.Time) {
 		t.hasImage = true
@@ -498,7 +519,9 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 	t.preCopying = true
 	am.c.sampleDFSUsage()
 
-	_, preDone := n.device.ReserveWrite(now, info.LogicalBytes)
+	preStart, preDone := n.device.ReserveWrite(now, info.LogicalBytes)
+	t.dumpCost = time.Duration(preDone - now)
+	am.c.recordPreDump(t, n, preName, info.LogicalBytes, now, preStart, preDone)
 	am.c.engine.ScheduleAt(preDone, func(at sim.Time) {
 		if t.state != stateRunning || !t.preCopying {
 			// Completed during the window; images were (or will be)
@@ -542,7 +565,9 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 		t.imageName = deltaName
 		am.c.sampleDFSUsage()
 
-		_, done := n.device.ReserveWrite(at, dinfo.LogicalBytes)
+		start, done := n.device.ReserveWrite(at, dinfo.LogicalBytes)
+		t.dumpCost += time.Duration(done - at)
+		am.c.recordDump(t, n, deltaName, dinfo.LogicalBytes, true, at, start, done)
 		am.c.chargeOverhead(t, time.Duration(done-at))
 		am.c.engine.ScheduleAt(done, func(end sim.Time) {
 			n.releaseSlot(end, t)

@@ -72,6 +72,32 @@ func TestChaosCrashAndRPCDrops(t *testing.T) {
 	if r.DFSRetries == 0 {
 		t.Error("faults fired but no DFS retries recorded")
 	}
+
+	// The metrics registry must tell the same story: injected fault modes
+	// mirrored under faults.injected.*, with the absorption work visible as
+	// live dfs.client.* counters that agree with the Result's tallies.
+	snap := r.Metrics
+	if got := snap.Counter("faults.injected.node-crashes"); got != 1 {
+		t.Errorf("faults.injected.node-crashes = %d, want 1", got)
+	}
+	if snap.Counter("faults.injected.datanode-rpc-errors") == 0 {
+		t.Error("registry snapshot missed the injected RPC errors")
+	}
+	if got := snap.Counter("dfs.client.retries"); got != int64(r.DFSRetries) {
+		t.Errorf("dfs.client.retries = %d, Result.DFSRetries = %d", got, r.DFSRetries)
+	}
+	if got := snap.Counter("dfs.client.read.failovers"); got != int64(r.ReadFailovers) {
+		t.Errorf("dfs.client.read.failovers = %d, Result.ReadFailovers = %d", got, r.ReadFailovers)
+	}
+	if got := snap.Counter("dfs.client.pipeline.rebuilds"); got != int64(r.PipelineRebuilds) {
+		t.Errorf("dfs.client.pipeline.rebuilds = %d, Result.PipelineRebuilds = %d", got, r.PipelineRebuilds)
+	}
+	absorbed := snap.Counter("dfs.client.retries") +
+		snap.Counter("dfs.client.read.failovers") +
+		snap.Counter("dfs.client.pipeline.rebuilds")
+	if absorbed == 0 {
+		t.Error("registry shows no absorption work despite injected faults")
+	}
 }
 
 // TestChaosDeterminism: the same seed must reproduce the same chaos run
@@ -145,6 +171,22 @@ func TestDumpFailureDegradesToKill(t *testing.T) {
 			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
 		}
 	}
+
+	// Every injected create failure corresponds to exactly one dump that
+	// the Preemption Manager absorbed by degrading to a kill: each dump
+	// attempt performs a single store Create, so the two counters match.
+	snap := r.Metrics
+	injected := snap.Counter("faults.injected.store-create-errors")
+	failures := snap.Counter("yarn.dump.failures")
+	if injected == 0 || injected != failures {
+		t.Errorf("injected store-create-errors (%d) != absorbed dump failures (%d)", injected, failures)
+	}
+	if got := snap.Counter("yarn.fallback.kills"); got != int64(r.FallbackKills) {
+		t.Errorf("yarn.fallback.kills = %d, Result.FallbackKills = %d", got, r.FallbackKills)
+	}
+	if n := snap.Counter("checkpoint.dumps.full") + snap.Counter("checkpoint.dumps.incremental"); n != 0 {
+		t.Errorf("%d dumps reached the checkpoint engine despite CreateFailRate=1", n)
+	}
 }
 
 // TestPreCopyDumpFailureDegradesToKill: the kill fallback must also cover
@@ -168,6 +210,13 @@ func TestPreCopyDumpFailureDegradesToKill(t *testing.T) {
 	}
 	if r.TasksCompleted != countTasks(jobs) {
 		t.Errorf("completed %d of %d tasks", r.TasksCompleted, countTasks(jobs))
+	}
+
+	snap := r.Metrics
+	injected := snap.Counter("faults.injected.store-create-errors")
+	failures := snap.Counter("yarn.dump.failures")
+	if injected == 0 || injected != failures {
+		t.Errorf("injected store-create-errors (%d) != absorbed dump failures (%d)", injected, failures)
 	}
 }
 
@@ -196,5 +245,14 @@ func TestTornDumpDegradesGracefully(t *testing.T) {
 		if got := r.TaskChecksums[id]; got != want {
 			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
 		}
+	}
+
+	// With TornWriteRate=1 every dump's image writer tears exactly once, so
+	// injected tears and absorbed dump failures must agree.
+	snap := r.Metrics
+	injected := snap.Counter("faults.injected.torn-writes")
+	failures := snap.Counter("yarn.dump.failures")
+	if injected == 0 || injected != failures {
+		t.Errorf("injected torn-writes (%d) != absorbed dump failures (%d)", injected, failures)
 	}
 }

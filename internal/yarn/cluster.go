@@ -12,6 +12,7 @@ import (
 	"preemptsched/internal/kmeans"
 	"preemptsched/internal/mapreduce"
 	"preemptsched/internal/metrics"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/proc"
 	"preemptsched/internal/sim"
 	"preemptsched/internal/storage"
@@ -33,6 +34,13 @@ type Cluster struct {
 	injector *faults.Injector
 	ckpt     *checkpoint.Engine
 
+	// tracer records lifecycle spans in virtual time; nil disables
+	// tracing. reg is never nil inside Run: a private registry is built
+	// when the caller does not supply one, so Result.Metrics is always
+	// populated.
+	tracer *obs.Tracer
+	reg    *obs.Registry
+
 	res     *Result
 	taskSeq uint64
 
@@ -49,6 +57,7 @@ type Cluster struct {
 func (c *Cluster) buildDFS(repl int) error {
 	inner := dfs.NewInProcTransport()
 	nn := dfs.NewNameNode(repl)
+	nn.Instrument(c.reg)
 	inner.SetNameNode(nn)
 
 	var view dfs.Transport = inner
@@ -76,6 +85,7 @@ func (c *Cluster) buildDFS(repl int) error {
 	for i := 0; i < c.cfg.Nodes; i++ {
 		info := dfs.DataNodeInfo{ID: fmt.Sprintf("dn-%d", i), Addr: fmt.Sprintf("dn-%d", i)}
 		dn := dfs.NewDataNode(info, view)
+		dn.Instrument(c.reg)
 		inner.AddDataNode(info, dn)
 		if err := nn.Register(info); err != nil {
 			return err
@@ -121,7 +131,10 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	c := &Cluster{cfg: cfg, engine: sim.NewEngine()}
+	c := &Cluster{cfg: cfg, engine: sim.NewEngine(), tracer: cfg.Tracer, reg: cfg.Metrics}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
 
 	storageName := cfg.StorageKind.String()
 	if cfg.CustomBandwidth > 0 {
@@ -150,6 +163,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	kmeans.RegisterWith(registry)
 	mapreduce.RegisterWith(registry)
 	c.ckpt = checkpoint.NewEngine(registry)
+	c.ckpt.Instrument(c.reg)
 
 	for i := 0; i < cfg.Nodes; i++ {
 		var dev *storage.Device
@@ -158,7 +172,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		} else {
 			dev = storage.NewDevice(cfg.StorageKind)
 		}
-		cli := dfs.NewClient(c.dfsView, dfs.WithLocalNode(fmt.Sprintf("dn-%d", i)))
+		cli := dfs.NewClient(c.dfsView, dfs.WithLocalNode(fmt.Sprintf("dn-%d", i)), dfs.WithObserver(c.reg))
 		var store storage.Store = cli
 		if c.injector != nil {
 			store = faults.WrapStore(cli, c.injector)
@@ -194,8 +208,11 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	if c.injector != nil {
 		c.res.FaultsInjected = c.injector.Counters().Snapshot()
 	}
+	c.finishMetrics()
 	if c.res.TasksCompleted != totalTasks {
-		return nil, fmt.Errorf("yarn: run ended with %d of %d tasks complete", c.res.TasksCompleted, totalTasks)
+		// Return the partial result alongside the error so callers can
+		// surface the telemetry of an aborted run.
+		return c.res, fmt.Errorf("yarn: run ended with %d of %d tasks complete", c.res.TasksCompleted, totalTasks)
 	}
 	return c.res, nil
 }

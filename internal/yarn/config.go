@@ -23,6 +23,7 @@ import (
 	"preemptsched/internal/energy"
 	"preemptsched/internal/faults"
 	"preemptsched/internal/metrics"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/storage"
 )
 
@@ -80,6 +81,17 @@ type Config struct {
 	// degradation ladder (older image, then restart from scratch).
 	// 0 disables injection.
 	CorruptNthDump int
+
+	// Tracer, when non-nil, records per-task checkpoint/restore lifecycle
+	// spans (policy-decision → dump → queue-wait → restore) in virtual
+	// time, exportable as a Chrome trace_event file. Nil disables tracing
+	// at near-zero cost.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives latency histograms, gauges, and
+	// counters from every layer of the run (yarn.*, dfs.client.*,
+	// checkpoint.*). When nil, Run still builds a private registry so
+	// Result.Metrics is always populated.
+	Metrics *obs.Registry
 
 	// Faults, when non-nil, injects the configured fault scenario into
 	// the DFS substrate and the checkpoint store: DataNode RPC drops, a
@@ -241,6 +253,11 @@ type Result struct {
 	// proving that preempted-and-resumed executions produced exactly the
 	// results of undisturbed ones.
 	TaskChecksums map[cluster.TaskID]uint64
+
+	// Metrics is the observability snapshot of the run: latency histograms
+	// (yarn.dump.*, yarn.restore.*, dfs.client.block.*), policy-decision
+	// counters, and gauges, whether or not the caller supplied a registry.
+	Metrics obs.Snapshot
 }
 
 // WasteFraction returns wasted over total consumed CPU.

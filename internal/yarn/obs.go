@@ -1,0 +1,150 @@
+package yarn
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"preemptsched/internal/core"
+	"preemptsched/internal/obs"
+	"preemptsched/internal/sim"
+)
+
+// nodeName is the span process-track label for a NodeManager.
+func nodeName(id int) string { return "node-" + strconv.Itoa(id) }
+
+// recordDecision books one Preemption Manager verdict: a policy-decision
+// counter keyed by the chosen action and an instant span on the victim's
+// track carrying the unsaved progress and the Algorithm 1 estimate.
+func (c *Cluster) recordDecision(t *taskRun, n *NodeManager, action core.PreemptAction, now sim.Time) {
+	c.reg.Inc("yarn.policy.decision." + action.String())
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Instant("sched", "policy-decision", nodeName(n.id), t.spec.ID.String(), 0, time.Duration(now),
+		obs.String("action", action.String()),
+		obs.DurationMS("unsaved_ms", t.unsavedProgress(now)),
+		obs.DurationMS("est_overhead_ms", t.estOverhead))
+}
+
+// recordDump books one checkpoint dump window [now, done] with the device
+// queue portion [now, start]: queue/write/total histograms, the per-node
+// queue-backlog high-water mark, and a dump span with dump-queue and
+// dump-write children.
+func (c *Cluster) recordDump(t *taskRun, n *NodeManager, image string, bytes int64, incremental bool, now, start, done sim.Time) {
+	c.reg.ObserveDuration("yarn.dump.queue.seconds", time.Duration(start-now))
+	c.reg.ObserveDuration("yarn.dump.write.seconds", time.Duration(done-start))
+	c.reg.ObserveDuration("yarn.dump.total.seconds", time.Duration(done-now))
+	c.reg.MaxGauge(fmt.Sprintf("yarn.node.%d.ckpt.queue.peak.seconds", n.id), time.Duration(start-now).Seconds())
+	if c.tracer == nil {
+		return
+	}
+	pid, tid := nodeName(n.id), t.spec.ID.String()
+	span := c.tracer.Complete("checkpoint", "dump", pid, tid, 0, time.Duration(now), time.Duration(done),
+		obs.Int64("bytes", bytes), obs.Bool("incremental", incremental), obs.String("image", image))
+	c.tracer.Complete("checkpoint", "dump-queue", pid, tid, span, time.Duration(now), time.Duration(start))
+	c.tracer.Complete("checkpoint", "dump-write", pid, tid, span, time.Duration(start), time.Duration(done))
+	t.lastCkptSpan = span
+}
+
+// recordPreDump books the pre-copy write window, during which the victim
+// keeps executing.
+func (c *Cluster) recordPreDump(t *taskRun, n *NodeManager, image string, bytes int64, now, start, done sim.Time) {
+	c.reg.ObserveDuration("yarn.predump.total.seconds", time.Duration(done-now))
+	if c.tracer == nil {
+		return
+	}
+	pid, tid := nodeName(n.id), t.spec.ID.String()
+	span := c.tracer.Complete("checkpoint", "pre-dump", pid, tid, 0, time.Duration(now), time.Duration(done),
+		obs.Int64("bytes", bytes), obs.String("image", image))
+	c.tracer.Complete("checkpoint", "dump-queue", pid, tid, span, time.Duration(now), time.Duration(start))
+	c.tracer.Complete("checkpoint", "dump-write", pid, tid, span, time.Duration(start), time.Duration(done))
+	t.lastCkptSpan = span
+}
+
+// recordContainerWait books the time a granted request spent queued at the
+// RM. For checkpointed tasks this is the queue-wait link between dump and
+// restore in the span chain, so it is traced even when zero.
+func (c *Cluster) recordContainerWait(req *request, n *NodeManager, now sim.Time) {
+	wait := time.Duration(now - req.queuedAt)
+	c.reg.ObserveDuration("yarn.container.wait.seconds", wait)
+	if c.tracer == nil || (wait <= 0 && !req.task.hasImage) {
+		return
+	}
+	c.tracer.Complete("sched", "queue-wait", nodeName(n.id), req.task.spec.ID.String(),
+		req.task.lastCkptSpan, time.Duration(req.queuedAt), time.Duration(now))
+}
+
+// recordRestore books one restore window [now, done]: transfer (remote
+// only), device queue, read, and total histograms; the local/remote
+// Algorithm 2 decision counters; the Algorithm 1 estimated-vs-actual
+// relative error once the full checkpoint→restore round trip is known; and
+// a restore span with transfer/queue/read children, parented to the dump
+// span that produced the image.
+func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfer time.Duration, now, start, done sim.Time) {
+	arrive := now + sim.Time(transfer)
+	c.reg.ObserveDuration("yarn.restore.queue.seconds", time.Duration(start-arrive))
+	c.reg.ObserveDuration("yarn.restore.read.seconds", time.Duration(done-start))
+	c.reg.ObserveDuration("yarn.restore.total.seconds", time.Duration(done-now))
+	if remote {
+		c.reg.ObserveDuration("yarn.restore.transfer.seconds", transfer)
+		c.reg.Inc("yarn.policy.restore.remote")
+	} else {
+		c.reg.Inc("yarn.policy.restore.local")
+	}
+	if t.estOverhead > 0 {
+		actual := t.dumpCost + time.Duration(done-now)
+		if actual > 0 {
+			relerr := math.Abs(t.estOverhead.Seconds()-actual.Seconds()) / actual.Seconds()
+			c.reg.Observe("yarn.overhead.estimate.relerr", relerr)
+		}
+		t.estOverhead = 0
+	}
+	if c.tracer == nil {
+		return
+	}
+	pid, tid := nodeName(n.id), t.spec.ID.String()
+	span := c.tracer.Complete("restore", "restore", pid, tid, t.lastCkptSpan,
+		time.Duration(now), time.Duration(done), obs.Bool("remote", remote))
+	if remote {
+		c.tracer.Complete("restore", "restore-transfer", pid, tid, span, time.Duration(now), time.Duration(arrive))
+	}
+	c.tracer.Complete("restore", "restore-queue", pid, tid, span, time.Duration(arrive), time.Duration(start))
+	c.tracer.Complete("restore", "restore-read", pid, tid, span, time.Duration(start), time.Duration(done))
+}
+
+// finishMetrics mirrors the run's Result counters into the registry in one
+// batch, sets the end-of-run gauges, and snapshots everything into
+// Result.Metrics. Called whether or not the run completed, so aborted runs
+// still carry their telemetry.
+func (c *Cluster) finishMetrics() {
+	deltas := map[string]int64{
+		"yarn.preemptions":             int64(c.res.Preemptions),
+		"yarn.kills":                   int64(c.res.Kills),
+		"yarn.checkpoints":             int64(c.res.Checkpoints),
+		"yarn.checkpoints.incremental": int64(c.res.IncrementalCheckpoints),
+		"yarn.precopies":               int64(c.res.PreCopies),
+		"yarn.compactions":             int64(c.res.Compactions),
+		"yarn.restores":                int64(c.res.Restores),
+		"yarn.restores.remote":         int64(c.res.RemoteRestores),
+		"yarn.restore.failures":        int64(c.res.RestoreFailures),
+		"yarn.restore.fallbacks":       int64(c.res.RestoreFallbacks),
+		"yarn.restore.restarts":        int64(c.res.RestoreRestarts),
+		"yarn.dump.failures":           int64(c.res.DumpFailures),
+		"yarn.fallback.kills":          int64(c.res.FallbackKills),
+		"yarn.tasks.completed":         int64(c.res.TasksCompleted),
+		"yarn.jobs.completed":          int64(c.res.JobsCompleted),
+		"yarn.blocks.rereplicated":     int64(c.res.BlocksReReplicated),
+		"yarn.blocks.lost":             int64(c.res.BlocksLost),
+	}
+	for mode, v := range c.res.FaultsInjected {
+		deltas["faults.injected."+mode] = v
+	}
+	c.reg.AddN(deltas)
+	c.reg.SetGauge("yarn.makespan.seconds", c.res.Makespan.Seconds())
+	c.reg.SetGauge("yarn.peak.image.bytes", float64(c.res.PeakImageBytes))
+	c.reg.SetGauge("yarn.dfs.stored.bytes", float64(c.res.DFSStoredBytes))
+	c.reg.SetGauge("yarn.energy.kwh", c.res.EnergyKWh)
+	c.res.Metrics = c.reg.Snapshot()
+}

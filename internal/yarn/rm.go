@@ -136,6 +136,7 @@ func (rm *ResourceManager) place(req *request, now sim.Time) bool {
 		return false
 	}
 	rm.unreserve(req)
+	rm.c.recordContainerWait(req, target, now)
 	target.allocSlot(now, req.task)
 	req.task.am.onAllocated(req.task, target, now)
 	return true
