@@ -8,11 +8,18 @@
 //	           [-jobs N] [-tasks N] [-nodes N] [-slots N] [-seed S]
 //	           [-fault-rpc-rate P] [-fault-crash-node dn-K] [-fault-crash-after N]
 //	           [-fault-create-rate P] [-fault-torn-rate P] [-fault-seed S]
+//	           [-fault-bitflip-rate P] [-fault-bitflip-max N] [-fault-truncate-rate P]
+//	           [-scrub-every N]
 //
 // The -fault-* flags inject a deterministic chaos scenario into the DFS
 // and checkpoint store; the report then includes the degradation counters
 // (kills after failed dumps, restore fallbacks/restarts, read failovers,
-// pipeline rebuilds, re-replicated blocks).
+// pipeline rebuilds, re-replicated blocks). The integrity knobs flip bits
+// in stored replicas (-fault-bitflip-rate, capped at -fault-bitflip-max
+// replicas per block) and silently truncate checkpoint writes
+// (-fault-truncate-rate); -scrub-every N runs a full integrity scrub of
+// every DataNode after each N checkpoint dumps, and the report's
+// "integrity" object carries the detection/repair counters.
 //
 // Observability flags:
 //
@@ -69,6 +76,10 @@ func run() error {
 	faultCrashAfter := flag.Int("fault-crash-after", 0, "block writes the crash node accepts before dying")
 	faultCreateRate := flag.Float64("fault-create-rate", 0, "probability a checkpoint store create fails")
 	faultTornRate := flag.Float64("fault-torn-rate", 0, "probability a checkpoint write tears short")
+	faultBitFlipRate := flag.Float64("fault-bitflip-rate", 0, "probability a stored block replica gets a flipped bit")
+	faultBitFlipMax := flag.Int("fault-bitflip-max", 0, "max replicas of one block that may be bit-flipped (0 = default 1, a strict minority under 3-way replication)")
+	faultTruncateRate := flag.Float64("fault-truncate-rate", 0, "probability a checkpoint write is silently truncated (write still reports success)")
+	scrubEvery := flag.Int("scrub-every", 0, "run a full DataNode integrity scrub after every N checkpoint dumps (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address (e.g. :9090)")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics endpoint alive this long after the run ends")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
@@ -107,15 +118,20 @@ func run() error {
 	cfg.PreCopy = *preCopy
 	cfg.Program = *program
 	cfg.CompactChainAfter = *compactAfter
-	if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCrashNode != "" || *faultCreateRate > 0 || *faultTornRate > 0 {
+	cfg.ScrubEveryNDumps = *scrubEvery
+	if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCrashNode != "" || *faultCreateRate > 0 ||
+		*faultTornRate > 0 || *faultBitFlipRate > 0 || *faultTruncateRate > 0 {
 		cfg.Faults = &faults.Plan{
-			Seed:              *faultSeed,
-			RPCErrorRate:      *faultRPCRate,
-			NameNodeErrorRate: *faultNNRate,
-			CrashNode:         *faultCrashNode,
-			CrashAfterWrites:  *faultCrashAfter,
-			CreateFailRate:    *faultCreateRate,
-			TornWriteRate:     *faultTornRate,
+			Seed:               *faultSeed,
+			RPCErrorRate:       *faultRPCRate,
+			NameNodeErrorRate:  *faultNNRate,
+			CrashNode:          *faultCrashNode,
+			CrashAfterWrites:   *faultCrashAfter,
+			CreateFailRate:     *faultCreateRate,
+			TornWriteRate:      *faultTornRate,
+			BitFlipRate:        *faultBitFlipRate,
+			BitFlipMaxPerBlock: *faultBitFlipMax,
+			SilentTruncateRate: *faultTruncateRate,
 		}
 	}
 
@@ -188,6 +204,12 @@ func run() error {
 	fmt.Printf("degradation:     %d dumps failed -> %d kill fallbacks\n", r.DumpFailures, r.FallbackKills)
 	fmt.Printf("dfs resilience:  %d retries, %d read failovers, %d pipeline rebuilds, %d blocks re-replicated (%d lost)\n",
 		r.DFSRetries, r.ReadFailovers, r.PipelineRebuilds, r.BlocksReReplicated, r.BlocksLost)
+	fmt.Printf("integrity:       %d corrupt reads, %d replicas quarantined (%d re-replicated, %d degraded, %d lost), %d verify failures\n",
+		r.CorruptReads, r.ReplicasQuarantined, r.CorruptReReplicated, r.CorruptDegraded, r.CorruptLost, r.RestoreVerifyFailures)
+	if r.ScrubRuns > 0 {
+		fmt.Printf("scrubbing:       %d runs checked %d blocks, found %d corrupt (%d left after final sweep)\n",
+			r.ScrubRuns, r.ScrubBlocksChecked, r.ScrubCorruptFound, r.FinalScrubCorrupt)
+	}
 	if len(r.FaultsInjected) > 0 {
 		modes := make([]string, 0, len(r.FaultsInjected))
 		for mode := range r.FaultsInjected {
@@ -247,8 +269,25 @@ func summarize(h obs.HistSnapshot) latencySummary {
 	}
 }
 
+// integritySummary is the data-integrity digest of a run: end-to-end
+// detections (corrupt reads, restore verify failures), the quarantine
+// pipeline's repair outcomes, and the scrubber's sweep totals.
+type integritySummary struct {
+	CorruptReads          int64 `json:"corrupt_reads"`
+	ReplicasQuarantined   int64 `json:"replicas_quarantined"`
+	CorruptReReplicated   int64 `json:"corrupt_rereplicated"`
+	CorruptDegraded       int64 `json:"corrupt_degraded"`
+	CorruptLost           int64 `json:"corrupt_lost"`
+	ScrubRuns             int64 `json:"scrub_runs"`
+	ScrubBlocksChecked    int64 `json:"scrub_blocks_checked"`
+	ScrubCorruptFound     int64 `json:"scrub_corrupt_found"`
+	FinalScrubCorrupt     int64 `json:"final_scrub_corrupt"`
+	RestoreVerifyFailures int64 `json:"restore_verify_failures"`
+}
+
 // report is the machine-readable run summary; docs/report.schema.json is
 // its contract and cmd/reportcheck validates instances against it.
+// Schema version 2 added the integrity object.
 type report struct {
 	SchemaVersion   int                       `json:"schema_version"`
 	Policy          string                    `json:"policy"`
@@ -259,13 +298,14 @@ type report struct {
 	Counts          map[string]int64          `json:"counts"`
 	Gauges          map[string]float64        `json:"gauges"`
 	PolicyDecisions map[string]int64          `json:"policy_decisions"`
+	Integrity       integritySummary          `json:"integrity"`
 	Latencies       map[string]latencySummary `json:"latencies_seconds"`
 }
 
 func writeReport(path string, r *yarn.Result, runErr error) error {
 	snap := r.Metrics
 	rep := report{
-		SchemaVersion:   1,
+		SchemaVersion:   2,
 		Policy:          r.Policy.String(),
 		Storage:         r.Storage,
 		Aborted:         runErr != nil,
@@ -273,6 +313,18 @@ func writeReport(path string, r *yarn.Result, runErr error) error {
 		Counts:          snap.Counters,
 		Gauges:          snap.Gauges,
 		PolicyDecisions: make(map[string]int64),
+		Integrity: integritySummary{
+			CorruptReads:          r.CorruptReads,
+			ReplicasQuarantined:   r.ReplicasQuarantined,
+			CorruptReReplicated:   r.CorruptReReplicated,
+			CorruptDegraded:       r.CorruptDegraded,
+			CorruptLost:           r.CorruptLost,
+			ScrubRuns:             r.ScrubRuns,
+			ScrubBlocksChecked:    r.ScrubBlocksChecked,
+			ScrubCorruptFound:     r.ScrubCorruptFound,
+			FinalScrubCorrupt:     r.FinalScrubCorrupt,
+			RestoreVerifyFailures: int64(r.RestoreVerifyFailures),
+		},
 	}
 	if rep.Counts == nil {
 		rep.Counts = map[string]int64{}

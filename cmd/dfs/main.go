@@ -5,7 +5,16 @@
 // Usage:
 //
 //	dfs namenode  -listen :9000 [-replication 3] [-heartbeat-max-age 30s] [-sweep-interval 10s]
+//	              [-journal-dir /var/dfs/nn] [-fsimage-every 1000]
 //	dfs datanode  -listen :9001 -namenode host:9000 -id dn-0 [-heartbeat 5s]
+//	              [-scrub-interval 10m] [-block-report 1m]
+//
+// With -journal-dir, the namenode write-ahead-logs every namespace
+// mutation and snapshots fsimages into that directory; a restarted
+// namenode replays them to identical metadata, and datanode block reports
+// re-populate the replica locations. -scrub-interval makes each datanode
+// periodically re-verify all stored blocks against their checksums,
+// evicting and reporting corrupt replicas for re-replication.
 //
 // Both daemons accept -metrics-addr (Prometheus text on /metrics, JSON on
 // /metrics.json) and -pprof-addr (net/http/pprof).
@@ -26,6 +35,7 @@ import (
 
 	"preemptsched/internal/dfs"
 	"preemptsched/internal/obs"
+	"preemptsched/internal/storage"
 )
 
 // serveObs starts the optional metrics and pprof endpoints of a daemon.
@@ -77,6 +87,8 @@ func runNameNode(args []string) error {
 	replication := fs.Int("replication", 3, "block replication factor")
 	maxAge := fs.Duration("heartbeat-max-age", 30*time.Second, "declare a datanode dead after this silence (0 disables the sweep)")
 	sweep := fs.Duration("sweep-interval", 10*time.Second, "how often to sweep dead datanodes")
+	journalDir := fs.String("journal-dir", "", "directory for the write-ahead edit log and fsimage snapshots (empty = volatile namespace)")
+	fsimageEvery := fs.Int("fsimage-every", 1000, "save an fsimage snapshot after this many journaled edits (0 = only at startup replay)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
 	fs.Parse(args)
@@ -88,14 +100,29 @@ func runNameNode(args []string) error {
 	nn := dfs.NewNameNode(*replication)
 	reg := obs.NewRegistry()
 	nn.Instrument(reg)
+	if *journalDir != "" {
+		store, err := storage.NewFileStore(*journalDir)
+		if err != nil {
+			return fmt.Errorf("journal dir: %w", err)
+		}
+		replayed, err := nn.AttachJournal(store)
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		nn.SetCheckpointEvery(*fsimageEvery)
+		fmt.Printf("journal attached at %s (%d edits replayed)\n", *journalDir, replayed)
+	}
 	if err := serveObs(*metricsAddr, *pprofAddr, reg); err != nil {
 		return err
 	}
+	// Self-healing after bad-replica reports and the liveness monitor's
+	// re-replication both copy blocks over this transport.
+	transport := dfs.NewTCPTransport(l.Addr().String())
+	defer transport.Close()
+	nn.AttachTransport(transport)
 	if *maxAge > 0 && *sweep > 0 {
 		// The liveness monitor decommissions silent datanodes,
 		// re-replicating their blocks from survivors over this transport.
-		transport := dfs.NewTCPTransport(l.Addr().String())
-		defer transport.Close()
 		stop := make(chan struct{})
 		defer close(stop)
 		go nn.RunLivenessMonitor(stop, *sweep, *maxAge, transport)
@@ -111,6 +138,8 @@ func runDataNode(args []string) error {
 	id := fs.String("id", "", "unique datanode id (required)")
 	advertise := fs.String("advertise", "", "address to advertise to peers (defaults to -listen)")
 	heartbeat := fs.Duration("heartbeat", 5*time.Second, "heartbeat interval (0 disables)")
+	scrubEvery := fs.Duration("scrub-interval", 10*time.Minute, "re-verify all stored blocks against their checksums this often (0 disables)")
+	blockReport := fs.Duration("block-report", time.Minute, "send a full block report this often (0 disables; one is always sent at startup)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
 	fs.Parse(args)
@@ -159,6 +188,38 @@ func runDataNode(args []string) error {
 	dn.Instrument(reg)
 	if err := serveObs(*metricsAddr, *pprofAddr, reg); err != nil {
 		return err
+	}
+	// The startup block report lets a journal-recovered namenode relearn
+	// where this node's replicas live; periodic reports reconcile drift and
+	// garbage-collect replicas the namespace no longer references.
+	sendBlockReport := func() {
+		stale, err := nn.BlockReport(info, dn.BlockIDs())
+		if err != nil {
+			return
+		}
+		for _, id := range stale {
+			_ = dn.DeleteBlock(id)
+		}
+	}
+	sendBlockReport()
+	stop := make(chan struct{})
+	defer close(stop)
+	if *blockReport > 0 {
+		go func() {
+			ticker := time.NewTicker(*blockReport)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					sendBlockReport()
+				}
+			}
+		}()
+	}
+	if *scrubEvery > 0 {
+		go dn.RunScrubber(stop, *scrubEvery, transport)
 	}
 	fmt.Printf("datanode %s listening on %s, registered at %s\n", *id, l.Addr(), *namenode)
 	return dfs.Serve(l, nil, dn)

@@ -2,12 +2,19 @@
 // checked-in report schema, so CI (and downstream tooling) notices when the
 // report shape drifts.
 //
+// With -integrity it additionally asserts the corruption-chaos contract on
+// the report's integrity counters: the run completed, every detected
+// corrupt replica was quarantined and healed by re-replication, nothing
+// degraded or was lost, and the end-of-run verification scrub found the
+// cluster converged back to zero corrupt replicas.
+//
 // Usage:
 //
-//	reportcheck [-schema docs/report.schema.json] report.json
+//	reportcheck [-schema docs/report.schema.json] [-integrity] report.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,19 +24,20 @@ import (
 
 func main() {
 	schemaPath := flag.String("schema", "docs/report.schema.json", "report JSON schema")
+	integrity := flag.Bool("integrity", false, "also assert the corruption-chaos integrity contract")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] report.json")
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] [-integrity] report.json")
 		os.Exit(2)
 	}
-	if err := run(*schemaPath, flag.Arg(0)); err != nil {
+	if err := run(*schemaPath, flag.Arg(0), *integrity); err != nil {
 		fmt.Fprintln(os.Stderr, "reportcheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s conforms to %s\n", flag.Arg(0), *schemaPath)
 }
 
-func run(schemaPath, reportPath string) error {
+func run(schemaPath, reportPath string, integrity bool) error {
 	schema, err := os.ReadFile(schemaPath)
 	if err != nil {
 		return err
@@ -38,5 +46,71 @@ func run(schemaPath, reportPath string) error {
 	if err != nil {
 		return err
 	}
-	return obs.ValidateJSONSchemaBytes(schema, doc)
+	if err := obs.ValidateJSONSchemaBytes(schema, doc); err != nil {
+		return err
+	}
+	if integrity {
+		return checkIntegrity(doc)
+	}
+	return nil
+}
+
+// integrityReport is the slice of the report the chaos contract reads.
+type integrityReport struct {
+	Aborted     bool             `json:"aborted"`
+	AbortReason string           `json:"abort_reason"`
+	Counts      map[string]int64 `json:"counts"`
+	Integrity   struct {
+		CorruptReads          int64 `json:"corrupt_reads"`
+		ReplicasQuarantined   int64 `json:"replicas_quarantined"`
+		CorruptReReplicated   int64 `json:"corrupt_rereplicated"`
+		CorruptDegraded       int64 `json:"corrupt_degraded"`
+		CorruptLost           int64 `json:"corrupt_lost"`
+		ScrubRuns             int64 `json:"scrub_runs"`
+		ScrubCorruptFound     int64 `json:"scrub_corrupt_found"`
+		FinalScrubCorrupt     int64 `json:"final_scrub_corrupt"`
+		RestoreVerifyFailures int64 `json:"restore_verify_failures"`
+	} `json:"integrity"`
+}
+
+func checkIntegrity(doc []byte) error {
+	var rep integrityReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		return err
+	}
+	if rep.Aborted {
+		return fmt.Errorf("integrity: run did not complete: %s", rep.AbortReason)
+	}
+	in := rep.Integrity
+	injected := rep.Counts["faults.injected.bit-flips"]
+	detected := in.CorruptReads + in.ScrubCorruptFound
+	switch {
+	case injected == 0:
+		return fmt.Errorf("integrity: no bit flips injected — not a chaos run")
+	case detected == 0:
+		return fmt.Errorf("integrity: %d flips injected, none detected", injected)
+	case detected > injected:
+		return fmt.Errorf("integrity: detected %d corrupt replicas but only %d flips injected", detected, injected)
+	case in.ReplicasQuarantined != detected:
+		return fmt.Errorf("integrity: %d detections but %d quarantines — detections must map 1:1 to quarantines",
+			detected, in.ReplicasQuarantined)
+	case in.CorruptReReplicated != in.ReplicasQuarantined:
+		return fmt.Errorf("integrity: only %d of %d quarantines healed by re-replication",
+			in.CorruptReReplicated, in.ReplicasQuarantined)
+	case in.CorruptDegraded != 0 || in.CorruptLost != 0:
+		return fmt.Errorf("integrity: corruption left %d blocks degraded, %d lost", in.CorruptDegraded, in.CorruptLost)
+	case in.RestoreVerifyFailures != 0:
+		return fmt.Errorf("integrity: %d restores rejected by manifest verification", in.RestoreVerifyFailures)
+	case rep.Counts["yarn.fallback.kills"] != 0:
+		return fmt.Errorf("integrity: %d kill fallbacks during a corruption-only chaos run",
+			rep.Counts["yarn.fallback.kills"])
+	case in.ScrubRuns == 0:
+		return fmt.Errorf("integrity: scrubber never ran")
+	case in.FinalScrubCorrupt != 0:
+		return fmt.Errorf("integrity: final scrub still found %d corrupt replicas — cluster did not converge",
+			in.FinalScrubCorrupt)
+	}
+	fmt.Printf("integrity: %d injected flips -> %d detected, %d quarantined, %d healed, 0 left after final sweep\n",
+		injected, detected, in.ReplicasQuarantined, in.CorruptReReplicated)
+	return nil
 }

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -145,13 +146,18 @@ func (e *Engine) dump(p *proc.Process, store storage.Store, name string, opts Du
 		return nil, fmt.Errorf("checkpoint: create image %q: %w", name, err)
 	}
 	// A dump that dies mid-write (torn write, lost DataNode) must not
-	// leave a half-image squatting on the name: remove it best-effort so
-	// the namespace stays clean and a later dump can reuse the path.
+	// leave a half-image squatting on the name: remove it (and any
+	// manifest) best-effort so the namespace stays clean and a later dump
+	// can reuse the path.
 	abort := func(err error) (*ImageInfo, error) {
 		_ = store.Remove(name)
+		_ = store.Remove(ManifestName(name))
 		return nil, err
 	}
-	cw := &crcWriter{w: w}
+	// The hash writer sees every byte of the object, including the CRC
+	// trailer, so the manifest attests the exact stored representation.
+	hw := newHashWriter(w)
+	cw := &crcWriter{w: hw}
 	if err := encodeHeader(cw, h); err != nil {
 		return abort(fmt.Errorf("checkpoint: write header of %q: %w", name, err))
 	}
@@ -163,11 +169,14 @@ func (e *Engine) dump(p *proc.Process, store storage.Store, name string, opts Du
 			return abort(fmt.Errorf("checkpoint: write page %d of %q: %w", idx, name, err))
 		}
 	}
-	if err := binary.Write(w, binary.BigEndian, cw.crc); err != nil {
+	if err := binary.Write(hw, binary.BigEndian, cw.crc); err != nil {
 		return abort(fmt.Errorf("checkpoint: write crc of %q: %w", name, err))
 	}
 	if err := w.Close(); err != nil {
 		return abort(fmt.Errorf("checkpoint: close image %q: %w", name, err))
+	}
+	if err := writeManifest(store, name, hw.sum(), hw.n); err != nil {
+		return abort(fmt.Errorf("checkpoint: write manifest of %q: %w", name, err))
 	}
 
 	logical := mem.LogicalBytes()
@@ -203,7 +212,13 @@ func readImage(store storage.Store, name string) (*Header, map[int][]byte, error
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: image %q: %w", name, err)
 	}
-	pages := make(map[int][]byte, h.DumpedPages)
+	// Cap the map pre-size: DumpedPages is attacker-controlled in a corrupt
+	// image, and a huge hint would allocate buckets before any page is read.
+	hint := h.DumpedPages
+	if hint > 1024 {
+		hint = 1024
+	}
+	pages := make(map[int][]byte, hint)
 	for i := uint32(0); i < h.DumpedPages; i++ {
 		var idx uint32
 		if err := binary.Read(cr, binary.BigEndian, &idx); err != nil {
@@ -308,6 +323,15 @@ func (e *Engine) Restore(store storage.Store, name string) (p *proc.Process, inf
 		seen = make(map[int]bool)
 	)
 	for i, imgName := range chain {
+		// Verified restore: the stored bytes must match the manifest the
+		// dump published before any of them become process state. Images
+		// without manifests (older dumps) still get the CRC check below.
+		if verr := VerifyImage(store, imgName); verr != nil && !errors.Is(verr, ErrNoManifest) {
+			if e.obs != nil {
+				e.obs.Inc("checkpoint.verify.failures")
+			}
+			return nil, nil, verr
+		}
 		h, pages, err := readImage(store, imgName)
 		if err != nil {
 			return nil, nil, err
@@ -405,9 +429,11 @@ func Compact(store storage.Store, name, dst string) (*ImageInfo, error) {
 	}
 	abort := func(err error) (*ImageInfo, error) {
 		_ = store.Remove(dst)
+		_ = store.Remove(ManifestName(dst))
 		return nil, err
 	}
-	cw := &crcWriter{w: w}
+	hw := newHashWriter(w)
+	cw := &crcWriter{w: hw}
 	if err := encodeHeader(cw, out); err != nil {
 		return abort(fmt.Errorf("checkpoint: write compact header: %w", err))
 	}
@@ -419,11 +445,14 @@ func Compact(store storage.Store, name, dst string) (*ImageInfo, error) {
 			return abort(err)
 		}
 	}
-	if err := binary.Write(w, binary.BigEndian, cw.crc); err != nil {
+	if err := binary.Write(hw, binary.BigEndian, cw.crc); err != nil {
 		return abort(err)
 	}
 	if err := w.Close(); err != nil {
 		return abort(fmt.Errorf("checkpoint: close compact image %q: %w", dst, err))
+	}
+	if err := writeManifest(store, dst, hw.sum(), hw.n); err != nil {
+		return abort(fmt.Errorf("checkpoint: write manifest of %q: %w", dst, err))
 	}
 	return &ImageInfo{
 		Name:              dst,
@@ -449,6 +478,8 @@ func RemoveChain(store storage.Store, name string) error {
 		if err := store.Remove(img); err != nil {
 			return fmt.Errorf("checkpoint: remove image %q: %w", img, err)
 		}
+		// Manifests are sidecars; older images may not have one.
+		_ = store.Remove(ManifestName(img))
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"preemptsched/internal/proc"
+	"preemptsched/internal/storage"
+)
+
+// validImageBytes produces one real dumped image for the fuzz seed corpus.
+// It takes the Fatal-only interface so both *testing.T and *testing.F work.
+func validImageBytes(t interface{ Fatal(...any) }) []byte {
+	reg := proc.NewRegistry()
+	reg.Register(proc.FillProgramName, func() proc.Program { return proc.FillProgram{} })
+	e := NewEngine(reg)
+	store := storage.NewMemStore()
+	p, err := proc.New("fuzz-seed", proc.FillProgram{}, 4*proc.PageSize, 4*proc.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.ConfigureFill(p, 10, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dump(p, store, "seed", DumpOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.Open("seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzReadImage throws arbitrary bytes at the image decoder. The contract
+// under test: readImage never panics, never over-allocates on nonsense
+// length fields, and either returns a decoded image or an error — and on
+// success the header invariants hold.
+func FuzzReadImage(f *testing.F) {
+	seed := validImageBytes(f)
+	f.Add(seed)                                // a fully valid image
+	f.Add(seed[:len(seed)-1])                  // CRC trailer cut short
+	f.Add(seed[:len(seed)/2])                  // truncated mid-pages
+	f.Add(seed[:20])                           // truncated mid-header
+	f.Add([]byte{})                            // empty object
+	f.Add([]byte("CRGO"))                      // magic only
+	f.Add([]byte("not an image at all, ever")) // wrong magic
+
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped) // bit rot in the page data
+
+	// A header declaring absurd page geometry: the sanity bounds must
+	// reject it before any allocation happens.
+	var absurd bytes.Buffer
+	absurd.Write(Magic[:])
+	binary.Write(&absurd, binary.BigEndian, Version)
+	binary.Write(&absurd, binary.BigEndian, uint16(0))  // flags
+	for i := 0; i < 3; i++ {                            // three empty strings
+		binary.Write(&absurd, binary.BigEndian, uint16(0))
+	}
+	binary.Write(&absurd, binary.BigEndian, uint64(0))      // PC
+	absurd.Write(make([]byte, 16*8))                        // Regs
+	binary.Write(&absurd, binary.BigEndian, uint64(0))      // Steps
+	binary.Write(&absurd, binary.BigEndian, int64(-5))      // LogicalBytes < 0
+	binary.Write(&absurd, binary.BigEndian, ^uint32(0))     // RealPages huge
+	binary.Write(&absurd, binary.BigEndian, ^uint32(0))     // PageSize huge
+	binary.Write(&absurd, binary.BigEndian, ^uint32(0))     // DumpedPages huge
+	f.Add(absurd.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := storage.NewMemStore()
+		w, err := store.Create("img")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(data)
+		w.Close()
+		h, pages, err := readImage(store, "img")
+		if err != nil {
+			if h != nil || pages != nil {
+				t.Error("readImage returned data alongside an error")
+			}
+			return
+		}
+		if h.PageSize == 0 || h.PageSize > maxSanePageSize {
+			t.Errorf("accepted nonsense page size %d", h.PageSize)
+		}
+		if h.RealPages > maxSanePages {
+			t.Errorf("accepted nonsense page count %d", h.RealPages)
+		}
+		if h.LogicalBytes < 0 {
+			t.Errorf("accepted negative logical size %d", h.LogicalBytes)
+		}
+		if uint32(len(pages)) > h.DumpedPages {
+			t.Errorf("decoded %d pages, header declared %d", len(pages), h.DumpedPages)
+		}
+		for idx, pg := range pages {
+			if idx < 0 || uint32(idx) >= h.RealPages {
+				t.Errorf("page index %d outside address space of %d pages", idx, h.RealPages)
+			}
+			if uint32(len(pg)) != h.PageSize {
+				t.Errorf("page %d has %d bytes, want %d", idx, len(pg), h.PageSize)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsBehave pins the expected classification of each seed so the
+// corpus stays meaningful even when fuzzing is not running: the valid seed
+// decodes, every damaged variant errors with ErrCorrupt identity.
+func TestFuzzSeedsBehave(t *testing.T) {
+	seed := validImageBytes(t)
+	put := func(data []byte) storage.Store {
+		store := storage.NewMemStore()
+		w, _ := store.Create("img")
+		w.Write(data)
+		w.Close()
+		return store
+	}
+	if _, _, err := readImage(put(seed), "img"); err != nil {
+		t.Fatalf("valid seed rejected: %v", err)
+	}
+	damaged := map[string][]byte{
+		"truncated-crc":    seed[:len(seed)-1],
+		"truncated-pages":  seed[:len(seed)/2],
+		"truncated-header": seed[:20],
+		"empty":            {},
+		"magic-only":       []byte("CRGO"),
+		"wrong-magic":      []byte("not an image at all, ever"),
+	}
+	for name, data := range damaged {
+		if _, _, err := readImage(put(data), "img"); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

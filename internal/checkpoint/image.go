@@ -34,6 +34,16 @@ const flagIncremental uint16 = 1 << 0
 // prefix from driving huge allocations.
 const maxSaneStringLen = 1 << 16
 
+// maxSanePageSize bounds the page-size field: a corrupted header must not
+// be able to drive a multi-gigabyte page allocation. Real images use
+// proc.PageSize, far below this.
+const maxSanePageSize = 1 << 20
+
+// maxSanePages bounds the page-count fields the same way (2^22 pages of
+// 4 KiB is already a 16 GiB address space, far beyond any virtual
+// process here).
+const maxSanePages = 1 << 22
+
 // ErrCorrupt is wrapped by all integrity failures (bad magic, CRC mismatch,
 // truncated stream, nonsense lengths).
 var ErrCorrupt = errors.New("checkpoint: corrupt image")
@@ -97,7 +107,7 @@ func writeString(w io.Writer, s string) error {
 func readString(r io.Reader) (string, error) {
 	var n uint16
 	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: truncated string length: %v", ErrCorrupt, err)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -170,6 +180,15 @@ func decodeHeader(r io.Reader) (*Header, error) {
 	}
 	if h.DumpedPages > h.RealPages {
 		return nil, fmt.Errorf("%w: %d dumped pages exceed %d real pages", ErrCorrupt, h.DumpedPages, h.RealPages)
+	}
+	if h.PageSize == 0 || h.PageSize > maxSanePageSize {
+		return nil, fmt.Errorf("%w: nonsense page size %d", ErrCorrupt, h.PageSize)
+	}
+	if h.RealPages > maxSanePages {
+		return nil, fmt.Errorf("%w: nonsense page count %d", ErrCorrupt, h.RealPages)
+	}
+	if h.LogicalBytes < 0 {
+		return nil, fmt.Errorf("%w: negative logical size %d", ErrCorrupt, h.LogicalBytes)
 	}
 	return h, nil
 }

@@ -38,6 +38,10 @@ type ClientStats struct {
 	// PipelineRebuilds is the number of blocks whose write pipeline broke
 	// and was reconstructed by writing replicas directly.
 	PipelineRebuilds int64
+	// CorruptReads is the number of replicas that failed checksum
+	// verification during reads. Each one was reported to the NameNode for
+	// quarantine and the read failed over to another replica.
+	CorruptReads int64
 }
 
 // Client is a DFS client bound to one cluster node. It implements
@@ -62,6 +66,7 @@ type Client struct {
 	retryCount       atomic.Int64
 	readFailovers    atomic.Int64
 	pipelineRebuilds atomic.Int64
+	corruptReads     atomic.Int64
 
 	// obs, when set, receives live dfs.client.* counters and block latency
 	// histograms in addition to the atomic Stats fields.
@@ -129,6 +134,7 @@ func (c *Client) Stats() ClientStats {
 		Retries:          c.retryCount.Load(),
 		ReadFailovers:    c.readFailovers.Load(),
 		PipelineRebuilds: c.pipelineRebuilds.Load(),
+		CorruptReads:     c.corruptReads.Load(),
 	}
 }
 
@@ -331,7 +337,10 @@ func (r *fileReader) Close() error { return nil }
 
 // readBlock fetches a block, preferring the local replica, failing over
 // through the rest of the replica set, and retrying the whole set (with
-// backoff) when every replica failed transiently.
+// backoff) when every replica failed transiently. A replica that fails
+// checksum verification is treated exactly like a dead one — the read
+// fails over — and is additionally reported to the NameNode, which
+// quarantines the bad copy and re-replicates from a verified survivor.
 func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 	if c.obs != nil {
 		begin := time.Now()
@@ -345,6 +354,9 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 			order = append(order, dn)
 		}
 	}
+	// Replicas caught corrupt stay excluded for the remaining rounds:
+	// their damage is permanent, unlike a transiently unreachable node.
+	corrupt := make(map[string]bool)
 	var lastErr error
 	for round := 0; round < c.retries; round++ {
 		if round > 0 {
@@ -355,6 +367,9 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 			}
 		}
 		for i, dn := range order {
+			if corrupt[dn.ID] {
+				continue
+			}
 			api, err := c.transport.DataNode(dn)
 			if err != nil {
 				lastErr = err
@@ -368,6 +383,12 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 				}
 				return data, nil
 			}
+			if errors.Is(err, ErrCorruptBlock) {
+				corrupt[dn.ID] = true
+				c.corruptReads.Add(1)
+				c.obs.Inc("dfs.client.corrupt.reads")
+				c.reportBadReplica(loc.ID, dn)
+			}
 			lastErr = err
 		}
 	}
@@ -375,6 +396,17 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 		lastErr = fmt.Errorf("block %d has no replicas", loc.ID)
 	}
 	return nil, fmt.Errorf("all replicas of block %d failed: %w", loc.ID, lastErr)
+}
+
+// reportBadReplica tells the NameNode one replica failed verification,
+// best-effort: quarantine is an optimization for the cluster, not a
+// prerequisite for this read's failover.
+func (c *Client) reportBadReplica(id BlockID, dn DataNodeInfo) {
+	nn, err := c.transport.NameNode()
+	if err != nil {
+		return
+	}
+	_ = nn.ReportBadReplica(id, dn)
 }
 
 func (c *Client) stat(name string) (FileInfo, error) {

@@ -2,27 +2,37 @@ package dfs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"preemptsched/internal/obs"
 )
 
-// DataNode stores blocks and participates in write pipelines. It is safe
-// for concurrent use.
+// storedBlock is one replica at rest: the payload plus the per-chunk
+// CRC32C checksums computed when the bytes landed. Reads verify the
+// payload against the sums, so at-rest corruption is detected at the
+// first touch.
+type storedBlock struct {
+	data []byte
+	sums []uint32
+}
+
+// DataNode stores checksummed blocks and participates in write pipelines.
+// It is safe for concurrent use.
 type DataNode struct {
 	info      DataNodeInfo
 	transport Transport
 	obs       *obs.Registry
 
 	mu     sync.RWMutex
-	blocks map[BlockID][]byte
+	blocks map[BlockID]storedBlock
 	down   bool
 }
 
 // NewDataNode creates a DataNode that reaches pipeline peers through
 // transport.
 func NewDataNode(info DataNodeInfo, transport Transport) *DataNode {
-	return &DataNode{info: info, transport: transport, blocks: make(map[BlockID][]byte)}
+	return &DataNode{info: info, transport: transport, blocks: make(map[BlockID]storedBlock)}
 }
 
 // Instrument directs dfs.datanode.* operation counters into reg. A nil
@@ -53,16 +63,18 @@ func (d *DataNode) checkUp() error {
 	return nil
 }
 
-// WriteBlock implements DataNodeAPI: store locally, then forward to the
-// next pipeline stage. A pipeline failure after the local store leaves the
-// block under-replicated but readable, matching HDFS semantics.
+// WriteBlock implements DataNodeAPI: store locally with fresh checksums,
+// then forward to the next pipeline stage. A pipeline failure after the
+// local store leaves the block under-replicated but readable, matching
+// HDFS semantics.
 func (d *DataNode) WriteBlock(id BlockID, data []byte, pipeline []DataNodeInfo) error {
 	d.mu.Lock()
 	if err := d.checkUp(); err != nil {
 		d.mu.Unlock()
 		return err
 	}
-	d.blocks[id] = append([]byte(nil), data...)
+	copied := append([]byte(nil), data...)
+	d.blocks[id] = storedBlock{data: copied, sums: checksumChunks(copied)}
 	reg := d.obs
 	d.mu.Unlock()
 	reg.Inc("dfs.datanode.block.writes")
@@ -81,20 +93,25 @@ func (d *DataNode) WriteBlock(id BlockID, data []byte, pipeline []DataNodeInfo) 
 	return nil
 }
 
-// ReadBlock implements DataNodeAPI.
+// ReadBlock implements DataNodeAPI: the stored payload is re-verified
+// against its checksums before a single byte leaves the node.
 func (d *DataNode) ReadBlock(id BlockID) ([]byte, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.checkUp(); err != nil {
 		return nil, err
 	}
-	data, ok := d.blocks[id]
+	b, ok := d.blocks[id]
 	if !ok {
 		return nil, fmt.Errorf("dfs: datanode %s: block %d: %w", d.info.ID, id, ErrBlockMissing)
 	}
+	if err := verifyChunks(b.data, b.sums); err != nil {
+		d.obs.Inc("dfs.datanode.corrupt.reads")
+		return nil, fmt.Errorf("dfs: datanode %s: block %d: %w", d.info.ID, id, err)
+	}
 	d.obs.Inc("dfs.datanode.block.reads")
-	d.obs.Add("dfs.datanode.bytes.read", int64(len(data)))
-	return append([]byte(nil), data...), nil
+	d.obs.Add("dfs.datanode.bytes.read", int64(len(b.data)))
+	return append([]byte(nil), b.data...), nil
 }
 
 // DeleteBlock implements DataNodeAPI.
@@ -106,6 +123,57 @@ func (d *DataNode) DeleteBlock(id BlockID) error {
 	}
 	delete(d.blocks, id)
 	return nil
+}
+
+// VerifyBlock re-checks one stored block against its checksums without
+// returning the payload: nil for intact, ErrBlockMissing for absent,
+// ErrCorruptBlock identity for damaged. The scrubber's unit of work.
+func (d *DataNode) VerifyBlock(id BlockID) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	b, ok := d.blocks[id]
+	if !ok {
+		return fmt.Errorf("dfs: datanode %s: block %d: %w", d.info.ID, id, ErrBlockMissing)
+	}
+	if err := verifyChunks(b.data, b.sums); err != nil {
+		return fmt.Errorf("dfs: datanode %s: block %d: %w", d.info.ID, id, err)
+	}
+	return nil
+}
+
+// BlockIDs returns the IDs of all stored blocks, sorted — the payload of
+// a block report.
+func (d *DataNode) BlockIDs() []BlockID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]BlockID, 0, len(d.blocks))
+	for id := range d.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CorruptStoredBlock flips one bit of a stored block's payload without
+// touching its checksums — the at-rest bit-rot the fault injector and the
+// integrity tests drive. It reports whether the block existed. bit indexes
+// into the payload's bits and is clamped by modulo.
+func (d *DataNode) CorruptStoredBlock(id BlockID, bit int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.blocks[id]
+	if !ok || len(b.data) == 0 {
+		return false
+	}
+	if bit < 0 {
+		bit = -bit
+	}
+	bit %= len(b.data) * 8
+	b.data[bit/8] ^= 1 << (bit % 8)
+	return true
 }
 
 // BlockCount returns the number of stored blocks.
@@ -121,7 +189,7 @@ func (d *DataNode) StoredBytes() int64 {
 	defer d.mu.RUnlock()
 	var n int64
 	for _, b := range d.blocks {
-		n += int64(len(b))
+		n += int64(len(b.data))
 	}
 	return n
 }

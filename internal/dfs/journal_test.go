@@ -1,0 +1,242 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"preemptsched/internal/storage"
+)
+
+// journaledCluster builds an in-process cluster whose NameNode write-ahead
+// logs into store.
+func journaledCluster(t *testing.T, store storageStore, nodes, repl int) *Cluster {
+	t.Helper()
+	c := testCluster(t, nodes, repl)
+	if _, err := c.NameNode.AttachJournal(store); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// recoverNameNode replays store into a fresh NameNode and reconciles the
+// block map with a full block report from every DataNode, returning the
+// recovered node.
+func recoverNameNode(t *testing.T, store storageStore, dns []*DataNode) *NameNode {
+	t.Helper()
+	nn := NewNameNode(3)
+	if _, err := nn.AttachJournal(store); err != nil {
+		t.Fatal(err)
+	}
+	for _, dn := range dns {
+		stale, err := nn.BlockReport(dn.Info(), dn.BlockIDs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range stale {
+			_ = dn.DeleteBlock(id)
+		}
+	}
+	return nn
+}
+
+// TestJournalReplayMatchesLiveNameNode: a workload of creates, writes,
+// overwrites, and deletes replayed from the journal plus block reports
+// must reproduce the live NameNode's metadata byte-for-byte.
+func TestJournalReplayMatchesLiveNameNode(t *testing.T) {
+	store := storage.NewMemStore()
+	c := journaledCluster(t, store, 3, 3)
+	client := c.ClientAt(0)
+
+	for i := 0; i < 4; i++ {
+		writeFile(t, client, fmt.Sprintf("/j/%d", i), randomData(500*(i+1)))
+	}
+	writeFile(t, client, "/j/1", randomData(900)) // overwrite
+	if err := client.Remove("/j/2"); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := recoverNameNode(t, store, c.DataNodes)
+	want, got := c.NameNode.MetadataDigest(), recovered.MetadataDigest()
+	if want == "" {
+		t.Fatal("live digest empty")
+	}
+	if got != want {
+		t.Fatalf("recovered metadata diverges\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestJournalTornTailTolerated: a damaged LAST record is a torn final
+// write — recovery stops at the preceding mutation. Damage in the middle
+// of the log is real loss and must be fatal.
+func TestJournalTornTailTolerated(t *testing.T) {
+	store := storage.NewMemStore()
+	c := journaledCluster(t, store, 1, 1)
+	client := c.ClientAt(0)
+	writeFile(t, client, "/a", randomData(10))
+	writeFile(t, client, "/b", randomData(10))
+
+	edits, err := store.List(editsPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) < 4 {
+		t.Fatalf("expected at least 4 edits, have %d", len(edits))
+	}
+
+	// Damage the tail record (garbage bytes, so the CRC check fails).
+	last := edits[len(edits)-1]
+	w, _ := store.Create(last)
+	w.Write([]byte("torn"))
+	w.Close()
+
+	nn := NewNameNode(1)
+	replayed, err := nn.AttachJournal(store)
+	if err != nil {
+		t.Fatalf("torn tail was fatal: %v", err)
+	}
+	if replayed != len(edits)-1 {
+		t.Errorf("replayed %d records, want %d (all but the torn tail)", replayed, len(edits)-1)
+	}
+
+	// Now damage a middle record of a fresh copy of the log: fatal.
+	mid := edits[1]
+	w, _ = store.Create(mid)
+	w.Write([]byte("hole"))
+	w.Close()
+	if _, err := NewNameNode(1).AttachJournal(store); !errors.Is(err, ErrJournalCorrupt) {
+		t.Errorf("mid-log damage = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// TestJournalSequenceGapFatal: a missing record in the middle of the log
+// means silent loss; recovery must refuse rather than skip it.
+func TestJournalSequenceGapFatal(t *testing.T) {
+	store := storage.NewMemStore()
+	c := journaledCluster(t, store, 1, 1)
+	client := c.ClientAt(0)
+	writeFile(t, client, "/a", randomData(10))
+	writeFile(t, client, "/b", randomData(10))
+
+	edits, err := store.List(editsPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Remove(edits[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNameNode(1).AttachJournal(store); !errors.Is(err, ErrJournalCorrupt) {
+		t.Errorf("sequence gap = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// TestFsimageCheckpointPrunesAndRecovers: SaveCheckpoint must prune the
+// edits it covers, and recovery from the snapshot plus the surviving tail
+// must reproduce the live metadata.
+func TestFsimageCheckpointPrunesAndRecovers(t *testing.T) {
+	store := storage.NewMemStore()
+	c := journaledCluster(t, store, 2, 2)
+	client := c.ClientAt(0)
+	writeFile(t, client, "/pre", randomData(50))
+	if err := c.NameNode.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	edits, err := store.List(editsPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) != 0 {
+		t.Errorf("checkpoint left %d covered edits behind: %v", len(edits), edits)
+	}
+	images, err := store.List(fsimagePrefix)
+	if err != nil || len(images) != 1 {
+		t.Fatalf("images = %v, %v; want exactly one", images, err)
+	}
+
+	// Edits after the snapshot bridge it to the present.
+	writeFile(t, client, "/post", randomData(50))
+	recovered := recoverNameNode(t, store, c.DataNodes)
+	if got, want := recovered.MetadataDigest(), c.NameNode.MetadataDigest(); got != want {
+		t.Fatalf("recovered metadata diverges\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestFsimageFallbackToOlderImage: a corrupt newest fsimage must not
+// prevent recovery when an older image plus the intervening edits still
+// cover the history.
+func TestFsimageFallbackToOlderImage(t *testing.T) {
+	store := storage.NewMemStore()
+	c := journaledCluster(t, store, 1, 1)
+	client := c.ClientAt(0)
+	writeFile(t, client, "/a", randomData(10))
+	if err := c.NameNode.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, client, "/b", randomData(10))
+
+	// Plant a newer, damaged image. The post-checkpoint edits are still on
+	// disk, so falling back to the older image loses nothing.
+	seq := c.NameNode.journal.seq
+	w, _ := store.Create(fsimageName(seq))
+	w.Write([]byte("not an fsimage"))
+	w.Close()
+
+	recovered := recoverNameNode(t, store, c.DataNodes)
+	if got, want := recovered.MetadataDigest(), c.NameNode.MetadataDigest(); got != want {
+		t.Fatalf("fallback recovery diverges\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestAutoCheckpointEvery: with SetCheckpointEvery(k), fsimages appear on
+// their own and the edit log stays bounded, while recovery still lands on
+// identical metadata.
+func TestAutoCheckpointEvery(t *testing.T) {
+	store := storage.NewMemStore()
+	c := journaledCluster(t, store, 2, 2)
+	c.NameNode.SetCheckpointEvery(5)
+	client := c.ClientAt(0)
+	for i := 0; i < 6; i++ {
+		writeFile(t, client, fmt.Sprintf("/auto/%d", i), randomData(40))
+	}
+	images, err := store.List(fsimagePrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) == 0 {
+		t.Fatal("no automatic fsimage saved")
+	}
+	edits, err := store.List(editsPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) >= 18 {
+		t.Errorf("edit log not pruned: %d records survive with checkpoint-every-5", len(edits))
+	}
+	recovered := recoverNameNode(t, store, c.DataNodes)
+	if got, want := recovered.MetadataDigest(), c.NameNode.MetadataDigest(); got != want {
+		t.Fatalf("recovered metadata diverges\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestAttachJournalGuards: attaching requires a fresh NameNode and rejects
+// double attachment.
+func TestAttachJournalGuards(t *testing.T) {
+	nn := NewNameNode(1)
+	if err := nn.Register(DataNodeInfo{ID: "dn-0", Addr: "dn-0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.Create("/dirty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.AttachJournal(storage.NewMemStore()); err == nil {
+		t.Error("journal attached to a namenode with existing state")
+	}
+
+	fresh := NewNameNode(1)
+	if _, err := fresh.AttachJournal(storage.NewMemStore()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.AttachJournal(storage.NewMemStore()); err == nil {
+		t.Error("second journal attachment accepted")
+	}
+}

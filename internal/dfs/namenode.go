@@ -25,6 +25,18 @@ type NameNode struct {
 	// clock supplies wall time for the liveness view; tests override it.
 	clock func() time.Time
 	obs   *obs.Registry
+	// journal, when attached, write-ahead-logs every namespace mutation so
+	// a restarted NameNode replays to identical metadata (replica locations
+	// are not journaled; block reports reconcile them, as in HDFS).
+	journal *Journal
+	// ckptEvery > 0 saves an fsimage snapshot automatically after that many
+	// journaled edits; editsSinceCkpt counts toward the next snapshot.
+	ckptEvery      int
+	editsSinceCkpt int
+	// heal is the transport self-healing operations (re-replication after a
+	// bad-replica report) copy blocks through; nil disables healing, leaving
+	// quarantined blocks under-replicated until a scrub or sweep.
+	heal Transport
 }
 
 type fileEntry struct {
@@ -64,6 +76,15 @@ func (n *NameNode) SetClock(clock func() time.Time) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.clock = clock
+}
+
+// AttachTransport supplies the transport self-healing operations use to
+// copy blocks between DataNodes (re-replication after ReportBadReplica).
+// Without it, bad replicas are still quarantined but not re-replicated.
+func (n *NameNode) AttachTransport(t Transport) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.heal = t
 }
 
 // Register implements NameNodeAPI.
@@ -192,6 +213,9 @@ func (n *NameNode) Create(path string) ([]BlockLocation, error) {
 		}
 		stale = old.info.Blocks
 	}
+	if err := n.logEditLocked(editRecord{Op: editCreate, Path: path}); err != nil {
+		return nil, &PathError{Op: "create", Path: path, Err: err}
+	}
 	n.files[path] = &fileEntry{info: FileInfo{Path: path}, open: true}
 	n.obs.Inc("dfs.namenode.creates")
 	return stale, nil
@@ -210,6 +234,9 @@ func (n *NameNode) AddBlock(path, preferred string) (BlockLocation, error) {
 	}
 	if len(n.nodeOrder) == 0 {
 		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: ErrNoDataNodes}
+	}
+	if err := n.logEditLocked(editRecord{Op: editAddBlock, Path: path, Block: n.nextBlock}); err != nil {
+		return BlockLocation{}, &PathError{Op: "addblock", Path: path, Err: err}
 	}
 	loc := BlockLocation{ID: n.nextBlock, Replicas: n.placeReplicas(preferred)}
 	n.nextBlock++
@@ -237,6 +264,155 @@ func (n *NameNode) ReportBlock(path string, id BlockID, replicas []DataNodeInfo)
 		}
 	}
 	return &PathError{Op: "reportblock", Path: path, Err: ErrUnknownBlock}
+}
+
+// findBlockLocked scans the namespace for a block by ID, returning its
+// path and location. Callers must hold n.mu. Paths are walked in sorted
+// order so lookups are deterministic.
+func (n *NameNode) findBlockLocked(id BlockID) (string, *BlockLocation, bool) {
+	paths := make([]string, 0, len(n.files))
+	for path := range n.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f := n.files[path]
+		for bi := range f.info.Blocks {
+			if f.info.Blocks[bi].ID == id {
+				return path, &f.info.Blocks[bi], true
+			}
+		}
+	}
+	return "", nil, false
+}
+
+// ReportBadReplica implements NameNodeAPI: a reader or scrubber caught one
+// replica of a block failing checksum verification. The copy is
+// quarantined — dropped from the block map and deleted from the node —
+// and, when a healing transport is attached, the block is re-replicated
+// from a verified surviving replica onto a fresh target. Reads of a
+// corrupt replica thus behave exactly like reads of a dead one: fail
+// over, report, self-heal.
+func (n *NameNode) ReportBadReplica(id BlockID, bad DataNodeInfo) error {
+	n.mu.Lock()
+	_, loc, ok := n.findBlockLocked(id)
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("dfs: bad-replica report for block %d: %w", id, ErrUnknownBlock)
+	}
+	held := false
+	for ri, r := range loc.Replicas {
+		if r.ID == bad.ID {
+			loc.Replicas = append(loc.Replicas[:ri], loc.Replicas[ri+1:]...)
+			held = true
+			break
+		}
+	}
+	if !held {
+		// Already quarantined (another reader or the scrubber won the
+		// race); reporting is idempotent.
+		n.mu.Unlock()
+		return nil
+	}
+	survivors := append([]DataNodeInfo(nil), loc.Replicas...)
+	var target DataNodeInfo
+	haveTarget := false
+	if len(survivors) > 0 {
+		target, haveTarget = n.pickTargetLocked(survivors)
+	}
+	heal := n.heal
+	reg := n.obs
+	n.mu.Unlock()
+
+	deltas := map[string]int64{"dfs.namenode.replicas.quarantined": 1}
+	if len(survivors) == 0 {
+		deltas["dfs.namenode.corrupt.lost"] = 1
+	}
+
+	if heal != nil {
+		// Evict the bad copy first so the node itself is a legal target for
+		// the fresh verified copy.
+		if api, err := heal.DataNode(bad); err == nil {
+			_ = api.DeleteBlock(id)
+		}
+		if haveTarget {
+			healed := false
+			// copyBlock reads through DataNode.ReadBlock, which verifies
+			// checksums — a source replica that is itself corrupt fails the
+			// copy, and the next survivor is tried.
+			for _, src := range survivors {
+				if err := copyBlock(heal, id, src, target); err == nil {
+					healed = true
+					break
+				}
+			}
+			if healed {
+				n.mu.Lock()
+				if _, cur, ok := n.findBlockLocked(id); ok {
+					dup := false
+					for _, r := range cur.Replicas {
+						if r.ID == target.ID {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						cur.Replicas = append(cur.Replicas, target)
+					}
+				}
+				n.mu.Unlock()
+				deltas["dfs.namenode.corrupt.rereplicated"] = 1
+			} else {
+				deltas["dfs.namenode.corrupt.degraded"] = 1
+			}
+		} else if len(survivors) > 0 {
+			deltas["dfs.namenode.corrupt.degraded"] = 1
+		}
+	}
+	reg.AddN(deltas)
+	return nil
+}
+
+// BlockReport implements NameNodeAPI: a DataNode announces every block it
+// holds. Known blocks gain the node as a replica (how a journal-recovered
+// NameNode, whose edit log deliberately omits replica locations,
+// reconciles its block map); blocks the namespace no longer references
+// are returned for the reporter to delete.
+func (n *NameNode) BlockReport(dn DataNodeInfo, blocks []BlockID) ([]BlockID, error) {
+	if dn.ID == "" {
+		return nil, errors.New("dfs: block report with empty ID")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.registerLocked(dn)
+
+	// Index every referenced block once, then walk the report.
+	known := make(map[BlockID]*BlockLocation)
+	for _, f := range n.files {
+		for bi := range f.info.Blocks {
+			known[f.info.Blocks[bi].ID] = &f.info.Blocks[bi]
+		}
+	}
+	var stale []BlockID
+	for _, id := range blocks {
+		loc, ok := known[id]
+		if !ok {
+			stale = append(stale, id)
+			continue
+		}
+		dup := false
+		for _, r := range loc.Replicas {
+			if r.ID == dn.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			loc.Replicas = append(loc.Replicas, dn)
+		}
+	}
+	n.obs.Inc("dfs.namenode.block.reports")
+	return stale, nil
 }
 
 // placeReplicas chooses up to n.replication distinct DataNodes, putting the
@@ -280,6 +456,9 @@ func (n *NameNode) Complete(path string, size int64) error {
 	if size < 0 {
 		return &PathError{Op: "complete", Path: path, Err: fmt.Errorf("negative size %d", size)}
 	}
+	if err := n.logEditLocked(editRecord{Op: editComplete, Path: path, Size: size}); err != nil {
+		return &PathError{Op: "complete", Path: path, Err: err}
+	}
 	f.info.Size = size
 	f.info.Complete = true
 	f.open = false
@@ -307,6 +486,9 @@ func (n *NameNode) Delete(path string) (FileInfo, error) {
 	f, ok := n.files[path]
 	if !ok {
 		return FileInfo{}, &PathError{Op: "delete", Path: path, Err: ErrNotFound}
+	}
+	if err := n.logEditLocked(editRecord{Op: editDelete, Path: path}); err != nil {
+		return FileInfo{}, &PathError{Op: "delete", Path: path, Err: err}
 	}
 	delete(n.files, path)
 	return cloneInfo(f.info), nil

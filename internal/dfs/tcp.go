@@ -27,6 +27,7 @@ type rpcRequest struct {
 	Block     BlockID
 	Data      []byte
 	Pipeline  []DataNodeInfo
+	Blocks    []BlockID
 }
 
 // rpcResponse is the union of all response payloads. Err carries the
@@ -41,6 +42,7 @@ type rpcResponse struct {
 	Info    FileInfo
 	Names   []string
 	Data    []byte
+	Blocks  []BlockID
 }
 
 // setErr flattens err into the response, preserving sentinel identity via
@@ -161,6 +163,12 @@ func dispatchNameNode(nn NameNodeAPI, req *rpcRequest) rpcResponse {
 	case "List":
 		names, err := nn.List(req.Prefix)
 		resp.Names = names
+		resp.setErr(err)
+	case "ReportBadReplica":
+		resp.setErr(nn.ReportBadReplica(req.Block, req.DN))
+	case "BlockReport":
+		stale, err := nn.BlockReport(req.DN, req.Blocks)
+		resp.Blocks = stale
 		resp.setErr(err)
 	default:
 		resp.Err = fmt.Sprintf("dfs: unknown namenode method %q", req.Method)
@@ -380,6 +388,19 @@ func (n *tcpNameNode) List(prefix string) ([]string, error) {
 		return nil, err
 	}
 	return resp.Names, nil
+}
+
+func (n *tcpNameNode) ReportBadReplica(id BlockID, bad DataNodeInfo) error {
+	_, err := n.peer.call(&rpcRequest{Method: "ReportBadReplica", Block: id, DN: bad})
+	return err
+}
+
+func (n *tcpNameNode) BlockReport(dn DataNodeInfo, blocks []BlockID) ([]BlockID, error) {
+	resp, err := n.peer.call(&rpcRequest{Method: "BlockReport", DN: dn, Blocks: blocks})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blocks, nil
 }
 
 type tcpDataNode struct{ peer *tcpPeer }

@@ -74,6 +74,9 @@ func NewCluster(n, replication int) (*Cluster, error) {
 	t := NewInProcTransport()
 	nn := NewNameNode(replication)
 	t.SetNameNode(nn)
+	// Self-healing after bad-replica reports copies blocks over the same
+	// in-process transport the clients use.
+	nn.AttachTransport(t)
 	c := &Cluster{NameNode: nn, Transport: t}
 	for i := 0; i < n; i++ {
 		info := DataNodeInfo{ID: fmt.Sprintf("dn-%d", i), Addr: fmt.Sprintf("dn-%d", i)}

@@ -82,6 +82,16 @@ type NameNodeAPI interface {
 	// List returns the complete files whose path begins with prefix,
 	// sorted.
 	List(prefix string) ([]string, error)
+	// ReportBadReplica flags one replica of a block as corrupt (detected by
+	// a reader's or scrubber's checksum verification). The NameNode
+	// quarantines the copy — removes it from the block map and deletes it —
+	// and re-replicates the block from a verified surviving replica.
+	ReportBadReplica(id BlockID, bad DataNodeInfo) error
+	// BlockReport announces the full set of blocks a DataNode holds
+	// (registering the node if unknown). The NameNode reconciles its block
+	// map — attaching the node to known blocks — and returns the IDs the
+	// namespace no longer references, for the DataNode to delete.
+	BlockReport(dn DataNodeInfo, blocks []BlockID) ([]BlockID, error)
 }
 
 // DataNodeAPI is the block-transfer protocol.
@@ -132,6 +142,10 @@ var (
 	// ErrUnknownBlock denotes a replica report for a block the file does
 	// not contain.
 	ErrUnknownBlock = errors.New("block not in file")
+	// ErrCorruptBlock denotes a stored replica whose bytes no longer match
+	// their checksums. Readers treat it like a dead replica: fail over and
+	// report the bad copy so the NameNode quarantines and re-replicates it.
+	ErrCorruptBlock = errors.New("block failed checksum verification")
 )
 
 // errCodes maps sentinel errors to stable wire codes (satellite of the
@@ -150,6 +164,7 @@ var errCodes = []struct {
 	{6, ErrBlockMissing},
 	{7, ErrNodeDown},
 	{8, ErrUnknownBlock},
+	{9, ErrCorruptBlock},
 }
 
 // errToCode finds the wire code for err's sentinel, if any.
@@ -190,7 +205,7 @@ func IsTransient(err error) bool {
 	if err == nil {
 		return false
 	}
-	for _, permanent := range []error{ErrNotFound, ErrIncomplete, ErrFileOpen, ErrSealed, ErrUnknownBlock} {
+	for _, permanent := range []error{ErrNotFound, ErrIncomplete, ErrFileOpen, ErrSealed, ErrUnknownBlock, ErrCorruptBlock} {
 		if errors.Is(err, permanent) {
 			return false
 		}

@@ -54,6 +54,20 @@ type Plan struct {
 	// trigger a NameNode decommission sweep).
 	OnCrash func(id string)
 
+	// BitFlipRate is the per-replica-write probability that the block's
+	// bytes rot at rest AFTER landing: one bit of the stored payload is
+	// flipped underneath its checksums, the silent disk corruption the
+	// integrity machinery exists to catch. The write itself succeeds — the
+	// damage is only visible to checksum verification on a later read or
+	// scrub.
+	BitFlipRate float64
+	// BitFlipMaxPerBlock caps how many replicas of any one block may be
+	// bit-flipped. Zero means DefaultBitFlipMaxPerBlock (1), which with
+	// 3-way replication guarantees a strict minority of each block's
+	// replicas is corrupt, so every read can still fail over to a clean
+	// copy.
+	BitFlipMaxPerBlock int
+
 	// CreateFailRate is the per-operation probability that a store Create
 	// fails outright (the checkpoint dump cannot even start).
 	CreateFailRate float64
@@ -64,6 +78,20 @@ type Plan struct {
 	// TornWriteBytes is how many bytes a torn writer accepts before
 	// failing. Zero means DefaultTornWriteBytes.
 	TornWriteBytes int64
+	// SilentTruncateRate is the per-Create probability that the returned
+	// writer silently drops everything past SilentTruncateBytes: unlike a
+	// torn write, every Write and the Close SUCCEED, so the caller believes
+	// the object was fully published. Only end-to-end verification (image
+	// CRC trailers, restore manifests) can catch it.
+	SilentTruncateRate float64
+	// SilentTruncateBytes is how many bytes a silently truncating writer
+	// keeps. Zero means DefaultTornWriteBytes.
+	SilentTruncateBytes int64
+	// StoreCrashAfterCreates, when > 0, kills the wrapped store after that
+	// many successful Creates: every later operation fails. Wrapped around
+	// a NameNode's journal store, this is a NameNode process dying between
+	// journal records mid-workload.
+	StoreCrashAfterCreates int
 	// StoreDelay is added latency per store operation.
 	StoreDelay time.Duration
 }
@@ -71,6 +99,10 @@ type Plan struct {
 // DefaultTornWriteBytes is how much of a torn write lands before the tear
 // when the plan does not say otherwise.
 const DefaultTornWriteBytes int64 = 64 << 10
+
+// DefaultBitFlipMaxPerBlock keeps at-rest corruption to one replica per
+// block unless the plan says otherwise.
+const DefaultBitFlipMaxPerBlock = 1
 
 // Injector is the seeded decision source shared by all wrappers of one
 // scenario. It is safe for concurrent use.
@@ -83,6 +115,12 @@ type Injector struct {
 	crashed    map[string]bool
 	crashSeen  int
 	rpcTargets map[string]bool
+	// flips counts bit-flipped replicas per block, enforcing
+	// BitFlipMaxPerBlock.
+	flips map[int64]int
+	// createSeen / storeDead drive StoreCrashAfterCreates.
+	createSeen int
+	storeDead  bool
 }
 
 // NewInjector builds the decision source for plan.
@@ -92,6 +130,7 @@ func NewInjector(plan Plan) *Injector {
 		counters: metrics.NewCounters(),
 		rng:      rand.New(rand.NewSource(plan.Seed)),
 		crashed:  make(map[string]bool),
+		flips:    make(map[int64]int),
 	}
 	if len(plan.RPCErrorNodes) > 0 {
 		in.rpcTargets = make(map[string]bool, len(plan.RPCErrorNodes))
@@ -145,6 +184,59 @@ func (in *Injector) nodeCrashed(id string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.crashed[id]
+}
+
+// noteBitFlip decides whether the replica of block just written should
+// rot at rest, respecting the per-block flip cap, and returns the bit to
+// flip. All decisions come from the seeded PRNG, so a scenario flips the
+// same bits of the same blocks every run.
+func (in *Injector) noteBitFlip(block int64) (bit int, ok bool) {
+	if in.plan.BitFlipRate <= 0 {
+		return 0, false
+	}
+	max := in.plan.BitFlipMaxPerBlock
+	if max <= 0 {
+		max = DefaultBitFlipMaxPerBlock
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.flips[block] >= max {
+		return 0, false
+	}
+	if in.plan.BitFlipRate < 1 && in.rng.Float64() >= in.plan.BitFlipRate {
+		return 0, false
+	}
+	in.flips[block]++
+	bit = in.rng.Intn(1 << 20)
+	return bit, true
+}
+
+// noteCreate records one successful store Create and reports whether the
+// store has now crashed (StoreCrashAfterCreates reached).
+func (in *Injector) noteCreate() bool {
+	if in.plan.StoreCrashAfterCreates <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.storeDead {
+		return true
+	}
+	in.createSeen++
+	if in.createSeen >= in.plan.StoreCrashAfterCreates {
+		in.storeDead = true
+	}
+	return false
+}
+
+// storeCrashed reports whether StoreCrashAfterCreates has fired.
+func (in *Injector) storeCrashed() bool {
+	if in.plan.StoreCrashAfterCreates <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.storeDead
 }
 
 // noteWrite records a block write accepted by id and decides whether this

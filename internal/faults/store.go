@@ -24,6 +24,9 @@ var _ storage.Store = (*faultStore)(nil)
 
 func (s *faultStore) Create(name string) (io.WriteCloser, error) {
 	delay(s.in.plan.StoreDelay)
+	if s.in.noteCreate() {
+		return nil, s.in.inject("store-crash-ops", name)
+	}
 	if s.in.roll(s.in.plan.CreateFailRate) {
 		return nil, s.in.inject("store-create-errors", name)
 	}
@@ -39,26 +42,46 @@ func (s *faultStore) Create(name string) (io.WriteCloser, error) {
 		s.in.counters.Add("torn-writes", 1)
 		return &tornWriter{inner: w, in: s.in, name: name, left: limit}, nil
 	}
+	if s.in.roll(s.in.plan.SilentTruncateRate) {
+		limit := s.in.plan.SilentTruncateBytes
+		if limit <= 0 {
+			limit = DefaultTornWriteBytes
+		}
+		s.in.counters.Add("silent-truncations", 1)
+		return &silentTruncateWriter{inner: w, left: limit}, nil
+	}
 	return w, nil
 }
 
 func (s *faultStore) Open(name string) (io.ReadCloser, error) {
 	delay(s.in.plan.StoreDelay)
+	if s.in.storeCrashed() {
+		return nil, s.in.inject("store-crash-ops", name)
+	}
 	return s.inner.Open(name)
 }
 
 func (s *faultStore) Remove(name string) error {
 	delay(s.in.plan.StoreDelay)
+	if s.in.storeCrashed() {
+		return s.in.inject("store-crash-ops", name)
+	}
 	return s.inner.Remove(name)
 }
 
 func (s *faultStore) Size(name string) (int64, error) {
 	delay(s.in.plan.StoreDelay)
+	if s.in.storeCrashed() {
+		return 0, s.in.inject("store-crash-ops", name)
+	}
 	return s.inner.Size(name)
 }
 
 func (s *faultStore) List(prefix string) ([]string, error) {
 	delay(s.in.plan.StoreDelay)
+	if s.in.storeCrashed() {
+		return nil, s.in.inject("store-crash-ops", prefix)
+	}
 	return s.inner.List(prefix)
 }
 
@@ -95,4 +118,35 @@ func (w *tornWriter) Close() error {
 	// torn object must never look successfully published.
 	_ = w.inner.Close()
 	return w.in.inject("torn-write-closes", w.name)
+}
+
+// silentTruncateWriter keeps the first left bytes and silently discards
+// the rest: every Write reports full success and Close publishes the
+// truncated object. The nastiest storage failure mode — only end-to-end
+// verification downstream can notice.
+type silentTruncateWriter struct {
+	inner io.WriteCloser
+	left  int64
+}
+
+func (w *silentTruncateWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return len(p), nil
+	}
+	keep := p
+	if int64(len(keep)) > w.left {
+		keep = keep[:w.left]
+	}
+	if _, err := w.inner.Write(keep); err != nil {
+		// Even the organic error is swallowed: the writer lies to the end.
+		w.left = 0
+		return len(p), nil
+	}
+	w.left -= int64(len(keep))
+	return len(p), nil
+}
+
+func (w *silentTruncateWriter) Close() error {
+	_ = w.inner.Close()
+	return nil
 }

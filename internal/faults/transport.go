@@ -116,6 +116,20 @@ func (n *faultNameNode) List(prefix string) ([]string, error) {
 	return n.inner.List(prefix)
 }
 
+func (n *faultNameNode) ReportBadReplica(id dfs.BlockID, bad dfs.DataNodeInfo) error {
+	if err := n.pre("reportbadreplica"); err != nil {
+		return err
+	}
+	return n.inner.ReportBadReplica(id, bad)
+}
+
+func (n *faultNameNode) BlockReport(dn dfs.DataNodeInfo, blocks []dfs.BlockID) ([]dfs.BlockID, error) {
+	if err := n.pre("blockreport"); err != nil {
+		return nil, err
+	}
+	return n.inner.BlockReport(dn, blocks)
+}
+
 // faultDataNode injects failures ahead of DataNode calls: random per-op
 // errors, the configured crash-at-Nth-block-write, and permanent death
 // after the crash.
@@ -138,6 +152,14 @@ func (d *faultDataNode) pre(op string) error {
 	return nil
 }
 
+// blockCorrupter is implemented by *dfs.DataNode: flip one stored payload
+// bit underneath its checksums. Only reachable through the in-process
+// transport, where the wrapper holds the concrete node — which is exactly
+// where the bit-flip chaos scenarios run.
+type blockCorrupter interface {
+	CorruptStoredBlock(id dfs.BlockID, bit int) bool
+}
+
 func (d *faultDataNode) WriteBlock(id dfs.BlockID, data []byte, pipeline []dfs.DataNodeInfo) error {
 	if err := d.pre("writeblock"); err != nil {
 		return err
@@ -145,7 +167,21 @@ func (d *faultDataNode) WriteBlock(id dfs.BlockID, data []byte, pipeline []dfs.D
 	if d.in.noteWrite(d.id) {
 		return d.in.inject("crashed-writes", d.id)
 	}
-	return d.inner.WriteBlock(id, data, pipeline)
+	if err := d.inner.WriteBlock(id, data, pipeline); err != nil {
+		return err
+	}
+	// At-rest bit rot: the write (and its pipeline forwarding) succeeded;
+	// only THIS node's stored copy decays. Pipeline peers took their own
+	// independent roll when the forwarded write passed through their
+	// wrappers.
+	if bc, ok := d.inner.(blockCorrupter); ok {
+		if bit, flip := d.in.noteBitFlip(int64(id)); flip {
+			if bc.CorruptStoredBlock(id, bit) {
+				d.in.counters.Add("bit-flips", 1)
+			}
+		}
+	}
+	return nil
 }
 
 func (d *faultDataNode) ReadBlock(id dfs.BlockID) ([]byte, error) {

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// FileStore is a Store backed by one directory of real files — the
+// durable backing the journaled NameNode needs to survive a process
+// crash (MemStore dies with the process). Object names are query-escaped
+// into flat file names, so logical names with '/' (e.g. "edits/42") need
+// no directory management.
+//
+// Publishing is atomic: Create writes to a hidden temp file and Close
+// fsyncs then renames it into place. A crash mid-write leaves only a
+// temp file, which opens as "not exist" — exactly the torn-tail
+// semantics the journal's recovery relies on.
+type FileStore struct {
+	dir string
+	seq atomic.Uint64 // distinguishes concurrent temp files
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+var _ Store = (*FileStore)(nil)
+
+const tempPrefix = ".tmp-"
+
+func (s *FileStore) path(name string) string {
+	return filepath.Join(s.dir, url.QueryEscape(name))
+}
+
+type fileWriter struct {
+	f     *os.File
+	final string
+	done  bool
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+func (w *fileWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(w.f.Name())
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	if err := os.Rename(w.f.Name(), w.final); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	return nil
+}
+
+// Create implements Store.
+func (s *FileStore) Create(name string) (io.WriteCloser, error) {
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%d-%s", tempPrefix, s.seq.Add(1), url.QueryEscape(name)))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	return &fileWriter{f: f, final: s.path(name)}, nil
+}
+
+// Open implements Store.
+func (s *FileStore) Open(name string) (io.ReadCloser, error) {
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &NotExistError{Name: name}
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// Remove implements Store.
+func (s *FileStore) Remove(name string) error {
+	err := os.Remove(s.path(name))
+	if os.IsNotExist(err) {
+		return &NotExistError{Name: name}
+	}
+	return err
+}
+
+// Size implements Store.
+func (s *FileStore) Size(name string) (int64, error) {
+	fi, err := os.Stat(s.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, &NotExistError{Name: name}
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// List implements Store.
+func (s *FileStore) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), tempPrefix) {
+			continue
+		}
+		name, err := url.QueryUnescape(e.Name())
+		if err != nil || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

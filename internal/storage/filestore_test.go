@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Create("edits/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Open("edits/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if n, err := s.Size("edits/42"); err != nil || n != 7 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	if err := s.Remove("edits/42"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("edits/42"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open after remove = %v, want ErrNotExist", err)
+	}
+	if err := s.Remove("edits/42"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove = %v, want ErrNotExist", err)
+	}
+}
+
+// TestFileStorePublishOnClose: an object must be completely invisible —
+// to Open, Size, and List — until Close, and double Close is harmless.
+// This is what guarantees a crash mid-record leaves no torn journal entry.
+func TestFileStorePublishOnClose(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Create("edits/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("half a record"))
+	if _, err := s.Open("edits/1"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("unclosed object visible to Open: %v", err)
+	}
+	if names, _ := s.List(""); len(names) != 0 {
+		t.Errorf("unclosed object visible to List: %v", names)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if names, _ := s.List("edits/"); len(names) != 1 || names[0] != "edits/1" {
+		t.Errorf("List = %v after close", names)
+	}
+}
+
+// TestFileStoreCrashLeavesOnlyTemp: simulating a crash by abandoning the
+// writer, the directory holds only a temp file that a recovering store
+// never lists, and the same name can be re-created cleanly.
+func TestFileStoreCrashLeavesOnlyTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Create("edits/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("about to crash"))
+	// Process dies here: the writer is never closed.
+
+	recovered, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := recovered.List(""); len(names) != 0 {
+		t.Errorf("crash leftovers listed: %v", names)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tempPrefix) {
+			temps++
+		}
+	}
+	if temps != 1 {
+		t.Errorf("%d temp files on disk, want exactly 1 abandoned", temps)
+	}
+
+	w2, err := recovered.Create("edits/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Write([]byte("retry"))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := recovered.Open("edits/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "retry" {
+		t.Errorf("re-created object reads %q", data)
+	}
+}
+
+// TestFileStoreOverwriteAtomic: overwriting swaps content atomically — a
+// reader opened before the overwrite keeps the old bytes, and the name
+// never disappears in between.
+func TestFileStoreOverwriteAtomic(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(content string) {
+		w, err := s.Create("obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write([]byte(content))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("v1")
+	old, err := s.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	write("v2")
+	data, _ := io.ReadAll(old)
+	if string(data) != "v1" {
+		t.Errorf("pre-overwrite reader sees %q, want v1", data)
+	}
+	fresh, err := s.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(fresh)
+	fresh.Close()
+	if string(data) != "v2" {
+		t.Errorf("post-overwrite reader sees %q, want v2", data)
+	}
+}
+
+// TestFileStoreEscapesNames: slashes and other filesystem-hostile
+// characters in object names must not escape the root directory.
+func TestFileStoreEscapesNames(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "../escape/attempt: 100%"
+	w, err := s.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("x"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("object landed outside the root: %v", entries)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "..", "escape")); !os.IsNotExist(err) {
+		t.Error("path traversal escaped the store directory")
+	}
+	names, err := s.List("../escape")
+	if err != nil || len(names) != 1 || names[0] != name {
+		t.Errorf("List round-trips escaped name as %v, %v", names, err)
+	}
+}

@@ -1,6 +1,7 @@
 package yarn
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"time"
@@ -240,6 +241,12 @@ func (am *AppMaster) restoreOrFallback(t *taskRun, n *NodeManager, at sim.Time) 
 			return
 		}
 		am.c.res.RestoreFailures++
+		if errors.Is(err, checkpoint.ErrVerifyFailed) {
+			// The manifest caught stored bytes differing from what the dump
+			// published — the verified-restore rung: walk back the chain to
+			// the newest ancestor that still verifies.
+			am.c.res.RestoreVerifyFailures++
+		}
 		am.dropTipImage(t, n)
 		if t.hasImage {
 			am.c.res.RestoreFallbacks++
@@ -268,6 +275,7 @@ func (am *AppMaster) dropTipImage(t *taskRun, n *NodeManager) {
 	tip := t.chain[len(t.chain)-1]
 	t.chain = t.chain[:len(t.chain)-1]
 	_ = n.store.Remove(tip.name)
+	_ = n.store.Remove(checkpoint.ManifestName(tip.name))
 	t.imageBytes -= tip.bytes
 	am.c.addImageBytes(-tip.bytes)
 	if len(t.chain) == 0 {
@@ -287,8 +295,10 @@ func (am *AppMaster) discardImages(t *taskRun, n *NodeManager) {
 		return
 	}
 	if err := checkpoint.RemoveChain(n.store, t.imageName); err != nil {
-		// Chain walking requires readable images; remove at least the tip.
+		// Chain walking requires readable images; remove at least the tip
+		// and its manifest.
 		_ = n.store.Remove(t.imageName)
+		_ = n.store.Remove(checkpoint.ManifestName(t.imageName))
 	}
 	am.c.addImageBytes(-t.imageBytes)
 	t.imageBytes = 0
@@ -425,7 +435,7 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 	if incremental {
 		am.c.res.IncrementalCheckpoints++
 	}
-	am.c.maybeCorrupt(n.dfsCli, name)
+	am.c.afterDump(n.dfsCli, name)
 	t.process = nil // the frozen process lives on only as the image
 
 	if incremental {
@@ -474,6 +484,7 @@ func (am *AppMaster) maybeCompact(t *taskRun, n *NodeManager, now sim.Time) {
 		// Cleanup is best effort: a failed removal leaks the old chain
 		// but must not fail the task.
 		_ = n.store.Remove(old)
+		_ = n.store.Remove(checkpoint.ManifestName(old))
 	}
 	n.device.ReserveWrite(now, info.LogicalBytes)
 	am.c.sampleDFSUsage()
@@ -507,7 +518,7 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 	if incremental {
 		am.c.res.IncrementalCheckpoints++
 	}
-	am.c.maybeCorrupt(n.dfsCli, preName)
+	am.c.afterDump(n.dfsCli, preName)
 	if incremental {
 		am.recordDeltaImage(t, preName, info.LogicalBytes)
 	} else {
@@ -559,7 +570,7 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 			am.killFallback(t, n, lost, at)
 			return
 		}
-		am.c.maybeCorrupt(n.dfsCli, deltaName)
+		am.c.afterDump(n.dfsCli, deltaName)
 		t.process = nil
 		am.recordDeltaImage(t, deltaName, dinfo.LogicalBytes)
 		t.imageName = deltaName

@@ -100,6 +100,103 @@ func TestChaosCrashAndRPCDrops(t *testing.T) {
 	}
 }
 
+// TestChaosBitRotConvergence is the headline integrity scenario: with
+// BitFlipRate=1 and the default one-flip-per-block budget, every block
+// written to the DFS decays on exactly one of its three replicas — a
+// strict minority — while the dump-counted scrubber sweeps the cluster.
+// The run must complete with clean-run results (reads and restores fail
+// over past the rot, nothing degrades to a kill), and one Result
+// snapshot must prove both the accounting (every injected flip detected
+// and quarantined, every quarantine healed) and the convergence (the
+// end-of-run verification scrub finds zero corrupt replicas).
+func TestChaosBitRotConvergence(t *testing.T) {
+	jobs := mixedWorkload(t)
+	mkCfg := func() Config {
+		cfg := chaosConfig()
+		cfg.Replication = 3
+		return cfg
+	}
+
+	ref, err := Run(mkCfg(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Checkpoints == 0 || ref.Restores == 0 {
+		t.Fatalf("reference run exercised no checkpoint cycle: %d dumps, %d restores",
+			ref.Checkpoints, ref.Restores)
+	}
+
+	cfg := mkCfg()
+	cfg.ScrubEveryNDumps = 2
+	cfg.Faults = &faults.Plan{Seed: 13, BitFlipRate: 1}
+	r, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("bit-rot run did not complete: %v", err)
+	}
+
+	// Every read and restore succeeded: full completion, clean checksums.
+	if r.TasksCompleted != countTasks(jobs) {
+		t.Errorf("completed %d of %d tasks", r.TasksCompleted, countTasks(jobs))
+	}
+	for id, want := range ref.TaskChecksums {
+		if got := r.TaskChecksums[id]; got != want {
+			t.Errorf("task %v checksum %x != clean run %x", id, got, want)
+		}
+	}
+	if r.Checkpoints == 0 || r.Restores == 0 {
+		t.Errorf("bit-rot run lost the checkpoint cycle: %d dumps, %d restores", r.Checkpoints, r.Restores)
+	}
+
+	// Zero corruption-attributable fallbacks: with bit rot as the only
+	// fault mode, nothing may degrade to a kill, fail a restore, or lose a
+	// block outright.
+	if r.FallbackKills != 0 || r.RestoreVerifyFailures != 0 {
+		t.Errorf("corruption leaked into the degradation ladder: %d fallback kills, %d verify failures",
+			r.FallbackKills, r.RestoreVerifyFailures)
+	}
+	if r.CorruptDegraded != 0 || r.CorruptLost != 0 {
+		t.Errorf("quarantines not fully healed: %d degraded, %d lost", r.CorruptDegraded, r.CorruptLost)
+	}
+
+	// The accounting must close from one snapshot: flips were injected,
+	// each detection (reader checksum miss or scrubber find) became a
+	// quarantine, and each quarantine was healed by re-replication.
+	snap := r.Metrics
+	injected := snap.Counter("faults.injected.bit-flips")
+	if injected == 0 {
+		t.Fatal("BitFlipRate=1 injected nothing")
+	}
+	detected := r.CorruptReads + r.ScrubCorruptFound
+	if detected == 0 {
+		t.Fatal("injected bit rot was never detected")
+	}
+	if detected > injected {
+		t.Errorf("detected %d corrupt replicas but only %d flips injected", detected, injected)
+	}
+	if r.ReplicasQuarantined != detected {
+		t.Errorf("quarantined %d, detected %d — detections must map 1:1 to quarantines",
+			r.ReplicasQuarantined, detected)
+	}
+	if r.CorruptReReplicated != r.ReplicasQuarantined {
+		t.Errorf("re-replicated %d of %d quarantines", r.CorruptReReplicated, r.ReplicasQuarantined)
+	}
+	if got := snap.Counter("dfs.namenode.replicas.quarantined"); got != r.ReplicasQuarantined {
+		t.Errorf("registry quarantine counter %d != Result %d", got, r.ReplicasQuarantined)
+	}
+
+	// Convergence, proven from the same snapshot: the end-of-run
+	// verification scrub (after one healing pass) found nothing left.
+	if r.ScrubRuns == 0 {
+		t.Fatal("scrubber never ran")
+	}
+	if r.FinalScrubCorrupt != 0 {
+		t.Errorf("cluster did not converge: final scrub still found %d corrupt replicas", r.FinalScrubCorrupt)
+	}
+	if g := snap.Gauges["yarn.scrub.final.corrupt"]; g != 0 {
+		t.Errorf("yarn.scrub.final.corrupt gauge = %v, want 0", g)
+	}
+}
+
 // TestChaosDeterminism: the same seed must reproduce the same chaos run
 // bit for bit — same fault counts, same makespan.
 func TestChaosDeterminism(t *testing.T) {

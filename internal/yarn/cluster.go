@@ -80,6 +80,11 @@ func (c *Cluster) buildDFS(repl int) error {
 		view = faults.WrapTransport(inner, c.injector)
 	}
 	c.dfsView = view
+	// Self-healing (re-replication after a bad-replica report) runs over
+	// the same faulted view every other component uses, so healing copies
+	// are subject to the same injected chaos as the traffic that found the
+	// corruption.
+	nn.AttachTransport(view)
 
 	c.dfsc = &dfs.Cluster{NameNode: nn, Transport: inner}
 	for i := 0; i < c.cfg.Nodes; i++ {
@@ -95,10 +100,19 @@ func (c *Cluster) buildDFS(repl int) error {
 	return nil
 }
 
+// afterDump runs the per-dump hooks: the corruption-injection knob and
+// the dump-counted scrub cadence.
+func (c *Cluster) afterDump(cli *dfs.Client, name string) {
+	c.dumps++
+	c.maybeCorrupt(cli, name)
+	if c.cfg.ScrubEveryNDumps > 0 && c.dumps%c.cfg.ScrubEveryNDumps == 0 {
+		c.scrubAll()
+	}
+}
+
 // maybeCorrupt implements the failure-injection knob: flips one byte of
 // the freshly written image when this is the configured Nth dump.
 func (c *Cluster) maybeCorrupt(cli *dfs.Client, name string) {
-	c.dumps++
 	if c.cfg.CorruptNthDump == 0 || c.dumps != c.cfg.CorruptNthDump {
 		return
 	}
@@ -121,6 +135,23 @@ func (c *Cluster) maybeCorrupt(cli *dfs.Client, name string) {
 		return
 	}
 	_ = w.Close()
+}
+
+// scrubAll runs one integrity scrub pass over every DataNode: corrupt
+// replicas are evicted, reported to the NameNode, and re-replicated from
+// verified copies, so the cluster converges back to zero corrupt
+// replicas. Sweep totals land in the Result.
+func (c *Cluster) scrubAll() {
+	nn, err := c.dfsView.NameNode()
+	if err != nil {
+		return
+	}
+	for _, dn := range c.dfsc.DataNodes {
+		res := dn.ScrubOnce(nn)
+		c.res.ScrubRuns++
+		c.res.ScrubBlocksChecked += int64(res.Checked)
+		c.res.ScrubCorruptFound += int64(res.Corrupt)
+	}
 }
 
 // Run executes jobs on a freshly assembled framework under cfg and returns
@@ -195,6 +226,17 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	}
 
 	end := c.engine.Run()
+	// Drain residual bit rot before the books close: one healing pass
+	// catches replicas flipped after the last cadence scrub, then a second
+	// pass counts what is still corrupt. FinalScrubCorrupt == 0 is the
+	// one-snapshot proof that the cluster converged to zero corrupt
+	// replicas.
+	if cfg.ScrubEveryNDumps > 0 {
+		c.scrubAll()
+		before := c.res.ScrubCorruptFound
+		c.scrubAll()
+		c.res.FinalScrubCorrupt = c.res.ScrubCorruptFound - before
+	}
 	c.res.Makespan = time.Duration(end)
 	for _, n := range c.nodes {
 		n.settleEnergy(end)
@@ -204,6 +246,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		c.res.DFSRetries += st.Retries
 		c.res.ReadFailovers += st.ReadFailovers
 		c.res.PipelineRebuilds += st.PipelineRebuilds
+		c.res.CorruptReads += st.CorruptReads
 	}
 	if c.injector != nil {
 		c.res.FaultsInjected = c.injector.Counters().Snapshot()

@@ -82,6 +82,14 @@ type Config struct {
 	// 0 disables injection.
 	CorruptNthDump int
 
+	// ScrubEveryNDumps, when positive, runs one integrity scrub pass over
+	// every DataNode after each N checkpoint dumps: all stored blocks are
+	// re-verified against their checksums, corrupt replicas are evicted,
+	// reported, and re-replicated from clean copies. Counting dumps instead
+	// of wall time keeps scrubbing inside the virtual clock — the emulation
+	// equivalent of cmd/dfs's -scrub-interval ticker. 0 disables scrubbing.
+	ScrubEveryNDumps int
+
 	// Tracer, when non-nil, records per-task checkpoint/restore lifecycle
 	// spans (policy-decision → dump → queue-wait → restore) in virtual
 	// time, exportable as a Chrome trace_event file. Nil disables tracing
@@ -163,6 +171,8 @@ func (c Config) Validate() error {
 			{"NameNodeErrorRate", c.Faults.NameNodeErrorRate},
 			{"CreateFailRate", c.Faults.CreateFailRate},
 			{"TornWriteRate", c.Faults.TornWriteRate},
+			{"BitFlipRate", c.Faults.BitFlipRate},
+			{"SilentTruncateRate", c.Faults.SilentTruncateRate},
 		} {
 			if r.v < 0 || r.v > 1 {
 				return fmt.Errorf("yarn: fault %s %v outside [0,1]", r.name, r.v)
@@ -222,6 +232,10 @@ type Result struct {
 	// RestoreRestarts counts tasks restarted from scratch after every
 	// image in their chain proved unusable.
 	RestoreRestarts int
+	// RestoreVerifyFailures counts restore attempts rejected because the
+	// stored image bytes did not match the dump's manifest (the verified-
+	// restore rung of the ladder). Included in RestoreFailures.
+	RestoreVerifyFailures int
 	// DumpFailures counts checkpoint dumps (full, incremental, or
 	// pre-copy) that failed against the store.
 	DumpFailures int
@@ -235,6 +249,26 @@ type Result struct {
 	DFSRetries       int64
 	ReadFailovers    int64
 	PipelineRebuilds int64
+	// CorruptReads counts replicas that failed checksum verification
+	// during client reads; each was reported for quarantine and the read
+	// failed over to a clean copy.
+	CorruptReads int64
+	// Integrity-pipeline totals, mirrored from the dfs.namenode.* and
+	// dfs.scrub.* counters: replicas quarantined after bad-replica
+	// reports, how many of those were healed by re-replication from a
+	// verified copy (vs left under-replicated or lost outright), and the
+	// scrubber's sweep totals.
+	ReplicasQuarantined int64
+	CorruptReReplicated int64
+	CorruptDegraded     int64
+	CorruptLost         int64
+	ScrubRuns           int64
+	ScrubBlocksChecked  int64
+	ScrubCorruptFound   int64
+	// FinalScrubCorrupt is what the end-of-run verification scrub still
+	// found after a healing pass: zero proves the cluster converged back
+	// to zero corrupt replicas. Only meaningful when ScrubEveryNDumps > 0.
+	FinalScrubCorrupt int64
 	// BlocksReReplicated and BlocksLost come from decommissions of
 	// crashed DataNodes.
 	BlocksReReplicated int

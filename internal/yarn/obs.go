@@ -119,6 +119,14 @@ func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfe
 // Result.Metrics. Called whether or not the run completed, so aborted runs
 // still carry their telemetry.
 func (c *Cluster) finishMetrics() {
+	// The quarantine/re-replication pipeline counts at the NameNode and
+	// the scrubber counts at the DataNodes; mirror those registry counters
+	// into the Result so callers get the integrity story without scraping.
+	pre := c.reg.Snapshot()
+	c.res.ReplicasQuarantined = pre.Counter("dfs.namenode.replicas.quarantined")
+	c.res.CorruptReReplicated = pre.Counter("dfs.namenode.corrupt.rereplicated")
+	c.res.CorruptDegraded = pre.Counter("dfs.namenode.corrupt.degraded")
+	c.res.CorruptLost = pre.Counter("dfs.namenode.corrupt.lost")
 	deltas := map[string]int64{
 		"yarn.preemptions":             int64(c.res.Preemptions),
 		"yarn.kills":                   int64(c.res.Kills),
@@ -131,6 +139,7 @@ func (c *Cluster) finishMetrics() {
 		"yarn.restore.failures":        int64(c.res.RestoreFailures),
 		"yarn.restore.fallbacks":       int64(c.res.RestoreFallbacks),
 		"yarn.restore.restarts":        int64(c.res.RestoreRestarts),
+		"yarn.restore.verify.failures": int64(c.res.RestoreVerifyFailures),
 		"yarn.dump.failures":           int64(c.res.DumpFailures),
 		"yarn.fallback.kills":          int64(c.res.FallbackKills),
 		"yarn.tasks.completed":         int64(c.res.TasksCompleted),
@@ -143,6 +152,7 @@ func (c *Cluster) finishMetrics() {
 	}
 	c.reg.AddN(deltas)
 	c.reg.SetGauge("yarn.makespan.seconds", c.res.Makespan.Seconds())
+	c.reg.SetGauge("yarn.scrub.final.corrupt", float64(c.res.FinalScrubCorrupt))
 	c.reg.SetGauge("yarn.peak.image.bytes", float64(c.res.PeakImageBytes))
 	c.reg.SetGauge("yarn.dfs.stored.bytes", float64(c.res.DFSStoredBytes))
 	c.reg.SetGauge("yarn.energy.kwh", c.res.EnergyKWh)
