@@ -143,17 +143,19 @@ func run() error {
 		cfg.Tracer = tracer
 	}
 	if *metricsAddr != "" {
-		addr, err := obs.ServeMetrics(*metricsAddr, reg, "preemptsched")
+		addr, stop, err := obs.ServeMetrics(*metricsAddr, reg, "preemptsched")
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
+		defer stop()
 		fmt.Printf("metrics: http://%s/metrics (text), /metrics.json (JSON)\n", addr)
 	}
 	if *pprofAddr != "" {
-		addr, err := obs.ServePprof(*pprofAddr)
+		addr, stop, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
 			return fmt.Errorf("pprof endpoint: %w", err)
 		}
+		defer stop()
 		fmt.Printf("pprof:   http://%s/debug/pprof/\n", addr)
 	}
 

@@ -38,23 +38,32 @@ import (
 	"preemptsched/internal/storage"
 )
 
-// serveObs starts the optional metrics and pprof endpoints of a daemon.
-func serveObs(metricsAddr, pprofAddr string, reg *obs.Registry) error {
-	if metricsAddr != "" {
-		addr, err := obs.ServeMetrics(metricsAddr, reg, "preemptsched")
-		if err != nil {
-			return fmt.Errorf("metrics endpoint: %w", err)
+// serveObs starts the optional metrics and pprof endpoints of a daemon
+// and returns a stop function that shuts both down.
+func serveObs(metricsAddr, pprofAddr string, reg *obs.Registry) (func(), error) {
+	var stops []func()
+	stopAll := func() {
+		for _, stop := range stops {
+			stop()
 		}
+	}
+	if metricsAddr != "" {
+		addr, stop, err := obs.ServeMetrics(metricsAddr, reg, "preemptsched")
+		if err != nil {
+			return stopAll, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		stops = append(stops, stop)
 		fmt.Printf("metrics on http://%s/metrics\n", addr)
 	}
 	if pprofAddr != "" {
-		addr, err := obs.ServePprof(pprofAddr)
+		addr, stop, err := obs.ServePprof(pprofAddr)
 		if err != nil {
-			return fmt.Errorf("pprof endpoint: %w", err)
+			return stopAll, fmt.Errorf("pprof endpoint: %w", err)
 		}
+		stops = append(stops, stop)
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", addr)
 	}
-	return nil
+	return stopAll, nil
 }
 
 func main() {
@@ -112,9 +121,11 @@ func runNameNode(args []string) error {
 		nn.SetCheckpointEvery(*fsimageEvery)
 		fmt.Printf("journal attached at %s (%d edits replayed)\n", *journalDir, replayed)
 	}
-	if err := serveObs(*metricsAddr, *pprofAddr, reg); err != nil {
+	stopObs, err := serveObs(*metricsAddr, *pprofAddr, reg)
+	if err != nil {
 		return err
 	}
+	defer stopObs()
 	// Self-healing after bad-replica reports and the liveness monitor's
 	// re-replication both copy blocks over this transport.
 	transport := dfs.NewTCPTransport(l.Addr().String())
@@ -186,9 +197,11 @@ func runDataNode(args []string) error {
 	dn := dfs.NewDataNode(info, transport)
 	reg := obs.NewRegistry()
 	dn.Instrument(reg)
-	if err := serveObs(*metricsAddr, *pprofAddr, reg); err != nil {
+	stopObs, err := serveObs(*metricsAddr, *pprofAddr, reg)
+	if err != nil {
 		return err
 	}
+	defer stopObs()
 	// The startup block report lets a journal-recovered namenode relearn
 	// where this node's replicas live; periodic reports reconcile drift and
 	// garbage-collect replicas the namespace no longer references.

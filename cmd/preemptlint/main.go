@@ -1,0 +1,113 @@
+// Command preemptlint runs the repo's static-analysis suite
+// (internal/lint) over the named package patterns and reports every
+// violated invariant.
+//
+// Usage:
+//
+//	preemptlint [-json] [packages...]
+//
+// With no patterns it analyzes ./... from the enclosing module root.
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+// or load errors (a package that fails to type-check is a load error —
+// the build gate owns compile failures, not the linter).
+//
+// With -json each finding is printed as one JSON object per line:
+//
+//	{"analyzer":"lockio","pos":"internal/dfs/tcp.go:41:3","message":"..."}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"preemptsched/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the machine-readable record shape: the position is
+// flattened to the conventional file:line:col string.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("preemptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: preemptlint [-json] [packages...]\n\nanalyzers: %s\n", lint.Names(lint.All()))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "preemptlint:", err)
+		return 2
+	}
+	modRoot, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "preemptlint:", err)
+		return 2
+	}
+
+	units, err := lint.LoadPatterns(modRoot, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "preemptlint:", err)
+		return 2
+	}
+	diags, err := lint.Run(units, lint.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "preemptlint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			rec := jsonDiag{
+				Analyzer: d.Analyzer,
+				Pos:      relPos(modRoot, d.Pos.String()),
+				Message:  d.Message,
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(stderr, "preemptlint:", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", relPos(modRoot, d.Pos.String()), d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPos rewrites an absolute file:line:col position relative to the
+// module root, keeping output stable across checkouts.
+func relPos(modRoot, pos string) string {
+	prefix := modRoot + string(filepath.Separator)
+	if strings.HasPrefix(pos, prefix) {
+		return strings.TrimPrefix(pos, prefix)
+	}
+	return pos
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfHosting runs the real driver over the whole module: the tree
+// must be clean (exit 0, no output). This is the CLI-level twin of
+// internal/lint's TestRepoIsLintClean.
+func TestSelfHosting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput checks the -json record shape on a clean run (no
+// records) and the encoder on fabricated diagnostics via printJSON.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean -json run should emit no records, got:\n%s", stdout.String())
+	}
+}
+
+func TestJSONRecordShape(t *testing.T) {
+	rec := jsonDiag{Analyzer: "lockio", Pos: "internal/dfs/tcp.go:41:3", Message: "held"}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]string
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"analyzer", "pos", "message"} {
+		if decoded[key] == "" {
+			t.Errorf("record %s is missing key %q", data, key)
+		}
+	}
+	if len(decoded) != 3 {
+		t.Errorf("record %s should have exactly analyzer/pos/message", data)
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: preemptlint") {
+		t.Errorf("usage text missing from stderr:\n%s", stderr.String())
+	}
+}
+
+func TestRelPos(t *testing.T) {
+	root := filepath.FromSlash("/work/repo")
+	in := filepath.Join(root, "internal", "dfs", "tcp.go") + ":12:1"
+	want := filepath.Join("internal", "dfs", "tcp.go") + ":12:1"
+	if got := relPos(root, in); got != want {
+		t.Errorf("relPos = %q, want %q", got, want)
+	}
+	if got := relPos(root, "elsewhere/x.go:1:1"); got != "elsewhere/x.go:1:1" {
+		t.Errorf("relPos should leave foreign paths alone, got %q", got)
+	}
+}

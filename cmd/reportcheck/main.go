@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"preemptsched/internal/faults"
 	"preemptsched/internal/obs"
 )
 
@@ -82,7 +83,7 @@ func checkIntegrity(doc []byte) error {
 		return fmt.Errorf("integrity: run did not complete: %s", rep.AbortReason)
 	}
 	in := rep.Integrity
-	injected := rep.Counts["faults.injected.bit-flips"]
+	injected := rep.Counts["faults.injected."+faults.ModeBitFlips]
 	detected := in.CorruptReads + in.ScrubCorruptFound
 	switch {
 	case injected == 0:

@@ -85,12 +85,18 @@ func Serve(l net.Listener, nn NameNodeAPI, dn DataNodeAPI) error {
 		conn, err := l.Accept()
 		if err != nil {
 			// Shut down every open connection so the handler goroutines
-			// unblock from their pending reads instead of leaking.
+			// unblock from their pending reads instead of leaking. Snapshot
+			// under the lock, close outside it: a Close that blocks must
+			// not stall the handlers' own delete(conns, conn) bookkeeping.
 			mu.Lock()
+			open := make([]net.Conn, 0, len(conns))
 			for c := range conns {
-				c.Close()
+				open = append(open, c)
 			}
 			mu.Unlock()
+			for _, c := range open {
+				c.Close()
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
@@ -211,9 +217,17 @@ type tcpPeer struct {
 	c       *tcpConn
 }
 
+// call holds p.mu for the whole exchange: the gob encoder/decoder pair
+// is stateful and the connection carries one request at a time, so the
+// mutex IS the request pipeline. The I/O itself lives in callLocked,
+// which requires the caller to hold p.mu.
 func (p *tcpPeer) call(req *rpcRequest) (*rpcResponse, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.callLocked(req)
+}
+
+func (p *tcpPeer) callLocked(req *rpcRequest) (*rpcResponse, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if p.c == nil {
@@ -247,11 +261,14 @@ func (p *tcpPeer) call(req *rpcRequest) (*rpcResponse, error) {
 }
 
 func (p *tcpPeer) close() {
+	// Detach under the lock, close outside it: Close on a connection with
+	// an RPC in flight must not deadlock against call's critical section.
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.c != nil {
-		p.c.conn.Close()
-		p.c = nil
+	c := p.c
+	p.c = nil
+	p.mu.Unlock()
+	if c != nil {
+		c.conn.Close()
 	}
 }
 

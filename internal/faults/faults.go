@@ -27,6 +27,26 @@ import (
 // and retry logic can tell sabotage from organic failures.
 var ErrInjected = errors.New("faults: injected failure")
 
+// Fault-mode counter names. Each injected fault increments the counter of
+// its mode; the cluster emulation mirrors them into the run report under
+// "faults.injected.<mode>". The names are dotted lowercase so the mirrored
+// form satisfies the repo's metric-name contract (see internal/lint,
+// metricname) and so reportcheck and dashboards can address them directly.
+const (
+	ModeNodeCrashes       = "node.crashes"
+	ModeStoreCrashOps     = "store.crash.ops"
+	ModeStoreCreateErrors = "store.create.errors"
+	ModeTornWrites        = "torn.writes"
+	ModeSilentTruncations = "silent.truncations"
+	ModeTornWriteWrites   = "torn.write.writes"
+	ModeTornWriteCloses   = "torn.write.closes"
+	ModeNameNodeRPCErrors = "namenode.rpc.errors"
+	ModeDeadNodeRPCs      = "dead.node.rpcs"
+	ModeDataNodeRPCErrors = "datanode.rpc.errors"
+	ModeCrashedWrites     = "crashed.writes"
+	ModeBitFlips          = "bit.flips"
+)
+
 // Plan configures a fault scenario. The zero value injects nothing.
 type Plan struct {
 	// Seed feeds the PRNG behind every probabilistic decision.
@@ -163,6 +183,7 @@ func (in *Injector) roll(p float64) bool {
 // inject counts one fault of the given mode and returns the error to
 // surface.
 func (in *Injector) inject(mode string, detail string) error {
+	//lint:ignore metricname mode is always one of the dotted Mode* constants above; the indirection is the injector's whole API
 	in.counters.Add(mode, 1)
 	return fmt.Errorf("%w: %s (%s)", ErrInjected, mode, detail)
 }
@@ -258,7 +279,7 @@ func (in *Injector) noteWrite(id string) bool {
 	}
 	in.crashed[id] = true
 	in.mu.Unlock()
-	in.counters.Add("node-crashes", 1)
+	in.counters.Add(ModeNodeCrashes, 1)
 	if in.plan.OnCrash != nil {
 		in.plan.OnCrash(id)
 	}

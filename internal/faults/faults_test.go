@@ -137,7 +137,7 @@ func TestCrashAtNthWrite(t *testing.T) {
 		t.Fatalf("OnCrash calls = %v, want exactly [dn-1]", crashed)
 	}
 	c := in.Counters()
-	if c.Get("node-crashes") != 1 || c.Get("dead-node-rpcs") == 0 {
+	if c.Get(ModeNodeCrashes) != 1 || c.Get(ModeDeadNodeRPCs) == 0 {
 		t.Fatalf("counters: %s", c)
 	}
 }
@@ -158,7 +158,7 @@ func TestTornWriteNeverPublishes(t *testing.T) {
 	if err := w.Close(); !errors.Is(err, ErrInjected) {
 		t.Fatalf("close of torn write = %v, want injected failure", err)
 	}
-	if in.Counters().Get("torn-writes") != 1 {
+	if in.Counters().Get(ModeTornWrites) != 1 {
 		t.Fatalf("counters: %s", in.Counters())
 	}
 }
@@ -171,7 +171,7 @@ func TestCreateFailRate(t *testing.T) {
 	if _, err := st.Create("obj"); !errors.Is(err, ErrInjected) {
 		t.Fatalf("create = %v, want injected failure", err)
 	}
-	if in.Counters().Get("store-create-errors") != 1 {
+	if in.Counters().Get(ModeStoreCreateErrors) != 1 {
 		t.Fatalf("counters: %s", in.Counters())
 	}
 }

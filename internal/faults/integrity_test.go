@@ -52,7 +52,7 @@ func TestBitFlipStrictMinorityAndScrubHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	flips := in.Counters().Get("bit-flips")
+	flips := in.Counters().Get(ModeBitFlips)
 	if flips == 0 {
 		t.Fatal("BitFlipRate=1 injected no bit flips")
 	}
@@ -147,7 +147,7 @@ func TestSilentTruncationLiesToTheWriter(t *testing.T) {
 	if size != 64 {
 		t.Fatalf("stored %d bytes, want silent truncation to 64", size)
 	}
-	if in.Counters().Get("silent-truncations") == 0 {
+	if in.Counters().Get(ModeSilentTruncations) == 0 {
 		t.Fatalf("counters: %s", in.Counters())
 	}
 }
@@ -178,7 +178,7 @@ func TestStoreCrashAfterCreates(t *testing.T) {
 	if _, err := st.List(""); !errors.Is(err, ErrInjected) {
 		t.Fatalf("post-crash list = %v, want injected failure", err)
 	}
-	if in.Counters().Get("store-crash-ops") == 0 {
+	if in.Counters().Get(ModeStoreCrashOps) == 0 {
 		t.Fatalf("counters: %s", in.Counters())
 	}
 }
@@ -232,7 +232,7 @@ func TestNameNodeCrashRecoveryMatchesControl(t *testing.T) {
 	if failedAt <= 0 {
 		t.Fatalf("workload failed at %d; want a crash after some progress", failedAt)
 	}
-	if in.Counters().Get("store-crash-ops") == 0 {
+	if in.Counters().Get(ModeStoreCrashOps) == 0 {
 		t.Fatal("journal store never crashed")
 	}
 

@@ -25,10 +25,10 @@ var _ storage.Store = (*faultStore)(nil)
 func (s *faultStore) Create(name string) (io.WriteCloser, error) {
 	delay(s.in.plan.StoreDelay)
 	if s.in.noteCreate() {
-		return nil, s.in.inject("store-crash-ops", name)
+		return nil, s.in.inject(ModeStoreCrashOps, name)
 	}
 	if s.in.roll(s.in.plan.CreateFailRate) {
-		return nil, s.in.inject("store-create-errors", name)
+		return nil, s.in.inject(ModeStoreCreateErrors, name)
 	}
 	w, err := s.inner.Create(name)
 	if err != nil {
@@ -39,7 +39,7 @@ func (s *faultStore) Create(name string) (io.WriteCloser, error) {
 		if limit <= 0 {
 			limit = DefaultTornWriteBytes
 		}
-		s.in.counters.Add("torn-writes", 1)
+		s.in.counters.Add(ModeTornWrites, 1)
 		return &tornWriter{inner: w, in: s.in, name: name, left: limit}, nil
 	}
 	if s.in.roll(s.in.plan.SilentTruncateRate) {
@@ -47,7 +47,7 @@ func (s *faultStore) Create(name string) (io.WriteCloser, error) {
 		if limit <= 0 {
 			limit = DefaultTornWriteBytes
 		}
-		s.in.counters.Add("silent-truncations", 1)
+		s.in.counters.Add(ModeSilentTruncations, 1)
 		return &silentTruncateWriter{inner: w, left: limit}, nil
 	}
 	return w, nil
@@ -56,7 +56,7 @@ func (s *faultStore) Create(name string) (io.WriteCloser, error) {
 func (s *faultStore) Open(name string) (io.ReadCloser, error) {
 	delay(s.in.plan.StoreDelay)
 	if s.in.storeCrashed() {
-		return nil, s.in.inject("store-crash-ops", name)
+		return nil, s.in.inject(ModeStoreCrashOps, name)
 	}
 	return s.inner.Open(name)
 }
@@ -64,7 +64,7 @@ func (s *faultStore) Open(name string) (io.ReadCloser, error) {
 func (s *faultStore) Remove(name string) error {
 	delay(s.in.plan.StoreDelay)
 	if s.in.storeCrashed() {
-		return s.in.inject("store-crash-ops", name)
+		return s.in.inject(ModeStoreCrashOps, name)
 	}
 	return s.inner.Remove(name)
 }
@@ -72,7 +72,7 @@ func (s *faultStore) Remove(name string) error {
 func (s *faultStore) Size(name string) (int64, error) {
 	delay(s.in.plan.StoreDelay)
 	if s.in.storeCrashed() {
-		return 0, s.in.inject("store-crash-ops", name)
+		return 0, s.in.inject(ModeStoreCrashOps, name)
 	}
 	return s.inner.Size(name)
 }
@@ -80,7 +80,7 @@ func (s *faultStore) Size(name string) (int64, error) {
 func (s *faultStore) List(prefix string) ([]string, error) {
 	delay(s.in.plan.StoreDelay)
 	if s.in.storeCrashed() {
-		return nil, s.in.inject("store-crash-ops", prefix)
+		return nil, s.in.inject(ModeStoreCrashOps, prefix)
 	}
 	return s.inner.List(prefix)
 }
@@ -97,7 +97,7 @@ type tornWriter struct {
 
 func (w *tornWriter) Write(p []byte) (int, error) {
 	if w.torn {
-		return 0, w.in.inject("torn-write-writes", w.name)
+		return 0, w.in.inject(ModeTornWriteWrites, w.name)
 	}
 	if int64(len(p)) <= w.left {
 		w.left -= int64(len(p))
@@ -106,7 +106,7 @@ func (w *tornWriter) Write(p []byte) (int, error) {
 	n, _ := w.inner.Write(p[:w.left])
 	w.left = 0
 	w.torn = true
-	return n, w.in.inject("torn-write-writes", w.name)
+	return n, w.in.inject(ModeTornWriteWrites, w.name)
 }
 
 func (w *tornWriter) Close() error {
@@ -117,7 +117,7 @@ func (w *tornWriter) Close() error {
 	// Close the inner writer to release resources, but report failure: a
 	// torn object must never look successfully published.
 	_ = w.inner.Close()
-	return w.in.inject("torn-write-closes", w.name)
+	return w.in.inject(ModeTornWriteCloses, w.name)
 }
 
 // silentTruncateWriter keeps the first left bytes and silently discards

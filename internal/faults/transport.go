@@ -48,7 +48,7 @@ var _ dfs.NameNodeAPI = (*faultNameNode)(nil)
 func (n *faultNameNode) pre(op string) error {
 	delay(n.in.plan.RPCDelay)
 	if n.in.roll(n.in.plan.NameNodeErrorRate) {
-		return n.in.inject("namenode-rpc-errors", op)
+		return n.in.inject(ModeNameNodeRPCErrors, op)
 	}
 	return nil
 }
@@ -144,10 +144,10 @@ var _ dfs.DataNodeAPI = (*faultDataNode)(nil)
 func (d *faultDataNode) pre(op string) error {
 	delay(d.in.plan.RPCDelay)
 	if d.in.nodeCrashed(d.id) {
-		return d.in.inject("dead-node-rpcs", d.id+" "+op)
+		return d.in.inject(ModeDeadNodeRPCs, d.id+" "+op)
 	}
 	if d.in.rpcEligible(d.id) && d.in.roll(d.in.plan.RPCErrorRate) {
-		return d.in.inject("datanode-rpc-errors", d.id+" "+op)
+		return d.in.inject(ModeDataNodeRPCErrors, d.id+" "+op)
 	}
 	return nil
 }
@@ -165,7 +165,7 @@ func (d *faultDataNode) WriteBlock(id dfs.BlockID, data []byte, pipeline []dfs.D
 		return err
 	}
 	if d.in.noteWrite(d.id) {
-		return d.in.inject("crashed-writes", d.id)
+		return d.in.inject(ModeCrashedWrites, d.id)
 	}
 	if err := d.inner.WriteBlock(id, data, pipeline); err != nil {
 		return err
@@ -177,7 +177,7 @@ func (d *faultDataNode) WriteBlock(id dfs.BlockID, data []byte, pipeline []dfs.D
 	if bc, ok := d.inner.(blockCorrupter); ok {
 		if bit, flip := d.in.noteBitFlip(int64(id)); flip {
 			if bc.CorruptStoredBlock(id, bit) {
-				d.in.counters.Add("bit-flips", 1)
+				d.in.counters.Add(ModeBitFlips, 1)
 			}
 		}
 	}

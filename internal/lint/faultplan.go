@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FaultPlan sanity-checks fault-injection configuration at construction:
+// every *Rate field of a faults.Plan literal must be a probability in
+// [0,1] (a rate of 5 silently saturates to "always", which reads like a
+// tuned experiment but isn't), and Seed must not be derived from the
+// wall clock — a time-seeded chaos run can never be replayed, which
+// defeats the point of recording the seed in the run report.
+var FaultPlan = &Analyzer{
+	Name: "faultplan",
+	Doc:  "fault Plan rates must be literal probabilities in [0,1]; seeds must be reproducible",
+	Run:  runFaultPlan,
+}
+
+const faultsPkg = modulePrefix + "/internal/faults"
+
+func runFaultPlan(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[n]
+				if !ok || !typeIs(tv.Type, faultsPkg, "Plan") {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					checkFaultField(pass, key.Name, kv.Value)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					tv, ok := pass.Info.Types[sel.X]
+					if !ok || !typeIs(tv.Type, faultsPkg, "Plan") {
+						continue
+					}
+					checkFaultField(pass, sel.Sel.Name, n.Rhs[i])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFaultField validates one Plan field value: rates must be constant
+// probabilities in [0,1], seeds must not come from the wall clock.
+func checkFaultField(pass *Pass, field string, value ast.Expr) {
+	switch {
+	case strings.HasSuffix(field, "Rate"):
+		tv, ok := pass.Info.Types[value]
+		if !ok || tv.Value == nil {
+			return
+		}
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		if v < 0 || v > 1 {
+			pass.Reportf(value.Pos(), "fault rate %s = %v is outside [0,1]: rates are probabilities, not counts or percentages", field, v)
+		}
+	case field == "Seed":
+		if pos, fn := wallClockSource(pass.Info, value); fn != "" {
+			pass.Reportf(pos, "fault seed derived from %s: a wall-clock seed makes the chaos run unreplayable — use a fixed literal or a flag", fn)
+		}
+	}
+}
+
+// wallClockSource finds a time.Now-family call inside e, returning its
+// position and name.
+func wallClockSource(info *types.Info, e ast.Expr) (pos token.Pos, name string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pos, name = sel.Pos(), "time."+fn.Name()
+		}
+		return name == ""
+	})
+	return pos, name
+}

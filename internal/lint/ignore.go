@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. The full form is
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason text
+//
+// matching the staticcheck convention, so editors and humans need only
+// one habit.
+const ignorePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzers map[string]bool
+	// line is the line the comment sits on.
+	line int
+	// standalone reports whether the comment occupies its own line (no
+	// code before it), in which case it also covers the next line.
+	standalone bool
+}
+
+// ignoreIndex maps file → directives, plus the diagnostics produced for
+// malformed directives.
+type ignoreIndex struct {
+	byFile    map[string][]directive
+	malformed []Diagnostic
+}
+
+// buildIgnoreIndex scans every file of every unit for suppression
+// directives. A directive missing its reason (or naming no analyzer) is
+// itself a diagnostic — suppressions must say why, or they rot.
+func buildIgnoreIndex(units []*Unit) *ignoreIndex {
+	idx := &ignoreIndex{byFile: make(map[string][]directive)}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						idx.malformed = append(idx.malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\" (the reason is mandatory)",
+						})
+						continue
+					}
+					set := make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							set[name] = true
+						}
+					}
+					idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], directive{
+						analyzers:  set,
+						line:       pos.Line,
+						standalone: standaloneComment(u.Fset, f, c),
+					})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// standaloneComment reports whether c is the first thing on its line,
+// i.e. no declaration or statement of f starts before it on that line.
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos() < c.Pos() && fset.Position(n.Pos()).Line == line {
+			// Something syntactic starts on this line before the
+			// comment: it is a trailing comment.
+			if _, isFile := n.(*ast.File); !isFile {
+				first = false
+			}
+		}
+		return first
+	})
+	return first
+}
+
+// suppressed reports whether d is covered by a directive: one on the
+// same line, or a standalone directive on the previous line.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	for _, dir := range idx.byFile[d.Pos.Filename] {
+		if !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.line == d.Pos.Line {
+			return true
+		}
+		if dir.standalone && dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

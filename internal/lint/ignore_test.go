@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectives exercises the //lint:ignore contract end to end
+// on testdata/src/ignore/a: same-line and standalone next-line
+// suppression remove findings, a directive naming a different analyzer
+// does not, a trailing directive covers only its own line, and a
+// directive without a reason is itself a diagnostic.
+func TestIgnoreDirectives(t *testing.T) {
+	units := loadTestdata(t, []tdPkg{{"ignore/a", "ignoretest/a"}})
+	diags, err := Run(units, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var sentinel, malformed []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "sentinelerr":
+			sentinel = append(sentinel, d)
+		case "lint":
+			malformed = append(malformed, d)
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	// Two sentinelerr findings survive: the one under a directive naming
+	// another analyzer, and the one on the line after a trailing (non
+	// standalone) directive. All properly suppressed ones are gone.
+	if len(sentinel) != 2 {
+		t.Fatalf("sentinelerr diagnostics = %d, want 2:\n%s", len(sentinel), renderDiags(diags))
+	}
+	for _, d := range sentinel {
+		src := sourceLine(t, d.Pos.Filename, d.Pos.Line)
+		if strings.Contains(src, "//lint:ignore sentinelerr") {
+			t.Errorf("finding survived on a line carrying its own directive: %s", d)
+		}
+	}
+
+	// The reasonless directive is exactly one framework diagnostic.
+	if len(malformed) != 1 {
+		t.Fatalf("malformed-directive diagnostics = %d, want 1:\n%s", len(malformed), renderDiags(diags))
+	}
+	if !strings.Contains(malformed[0].Message, "the reason is mandatory") {
+		t.Errorf("malformed message %q should say the reason is mandatory", malformed[0].Message)
+	}
+	if src := sourceLine(t, malformed[0].Pos.Filename, malformed[0].Pos.Line); !strings.Contains(src, "//lint:ignore sentinelerr") {
+		t.Errorf("malformed diagnostic points at %q, want the reasonless directive line", src)
+	}
+}
+
+// TestIgnoreSuppressedLinesAbsent is the structural counterpart: no
+// diagnostic surviving Run may be one the ignore index considers
+// suppressed.
+func TestIgnoreSuppressedLinesAbsent(t *testing.T) {
+	units := loadTestdata(t, []tdPkg{{"ignore/a", "ignoretest/a"}})
+	diags, err := Run(units, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	idx := buildIgnoreIndex(units)
+	for _, d := range diags {
+		if d.Analyzer == "lint" {
+			continue
+		}
+		if idx.suppressed(d) {
+			t.Errorf("suppressed diagnostic leaked through Run: %s", d)
+		}
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func sourceLine(t *testing.T, file string, line int) string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("read %s: %v", file, err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if line < 1 || line > len(lines) {
+		t.Fatalf("%s has no line %d", file, line)
+	}
+	return lines[line-1]
+}

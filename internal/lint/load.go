@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Unit is one loaded, type-checked package ready for analysis.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module from
+// source, with no dependency on golang.org/x/tools. Imports inside the
+// module are resolved against the module root and type-checked
+// recursively (cached, so shared dependencies are checked once per run);
+// standard-library imports are delegated to the gc source importer,
+// which type-checks GOROOT from source and therefore needs no compiled
+// export data and no network.
+type Loader struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	modPath string
+	modRoot string
+	// cache holds module packages type-checked as dependencies, so the
+	// dfs.Transport seen while analyzing yarn is the same type object
+	// every other importer of dfs sees.
+	cache map[string]*types.Package
+}
+
+// NewLoader returns a loader for the module rooted at modRoot with
+// module path modPath.
+func NewLoader(modRoot, modPath string) *Loader {
+	// The source importer would otherwise shell out to cgo for packages
+	// like net; the pure-Go fallbacks type-check identically for
+	// analysis purposes and work in hermetic environments.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		modPath: modPath,
+		modRoot: modRoot,
+		cache:   make(map[string]*types.Package),
+	}
+}
+
+// Fset returns the loader's file set (shared by every unit it loads).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// resolved against the module root, everything else goes to the source
+// importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if p, ok := l.cache[path]; ok {
+			return p, nil
+		}
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+		pkg, _, _, err := l.check(path, dir, false)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// check parses dir's non-test Go files (respecting build constraints)
+// and type-checks them under importPath. withInfo records full type
+// information, needed only for packages under analysis.
+func (l *Loader) check(importPath, dir string, withInfo bool) (*types.Package, []*ast.File, *types.Info, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: resolve %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if withInfo {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	return pkg, files, info, nil
+}
+
+// LoadDir loads the single package in dir under the given import path,
+// with full type information. Used by the analyzer tests to load
+// testdata packages (which `go list` deliberately cannot see) and by the
+// self-hosting check.
+func (l *Loader) LoadDir(dir, importPath string) (*Unit, error) {
+	pkg, files, info, err := l.check(importPath, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadPatterns expands package patterns (e.g. "./...") with `go list`
+// and loads every matched package with full type information. The
+// subprocess is the one concession to the go tool: pattern expansion and
+// build-constraint resolution belong to it, the type-checking stays
+// in-process.
+func LoadPatterns(modRoot string, patterns []string) ([]*Unit, error) {
+	modPath, err := ModulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"list", "-json=Dir,ImportPath"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	l := NewLoader(modRoot, modPath)
+	units := make([]*Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		u, err := l.LoadDir(p.Dir, p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// ModuleRoot walks up from dir to the nearest go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path from modRoot/go.mod.
+func ModulePath(modRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", modRoot)
+}

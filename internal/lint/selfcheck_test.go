@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the self-hosting gate: the full analyzer suite
+// over the entire module must report nothing. Every deliberate exception
+// in the tree carries a //lint:ignore with a reason; anything else is a
+// regression against the invariants this package encodes.
+//
+// This is also the test that keeps `go run ./cmd/preemptlint ./...`
+// exiting 0 in CI without CI having to interpret linter output.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	units, err := LoadPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := Run(units, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  ")
+			b.WriteString(d.String())
+		}
+		t.Errorf("the tree is not lint-clean; fix the site or add a reasoned //lint:ignore:%s", b.String())
+	}
+}

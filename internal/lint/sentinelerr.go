@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelErr flags ==/!= comparisons and switch dispatch on the repo's
+// sentinel errors (dfs.Err*, checkpoint.Err*, faults.ErrInjected, ...).
+// Errors that crossed the TCP transport are rehydrated as wrappers
+// (rpcError, PathError, fmt.Errorf %w chains), so identity comparison
+// silently stops matching the moment a call goes remote or gains
+// context; errors.Is is the only comparison that survives wrapping.
+//
+// The one legitimate home for identity comparison — an error type's own
+// `Is(error) bool` method, where the target is compared by definition —
+// is exempt.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "sentinel errors must be matched with errors.Is, not ==/!= or switch",
+	Run:  runSentinelErr,
+}
+
+// isSentinel reports whether obj is a package-level `var ErrX = ...` of
+// type error declared anywhere in this module.
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	path := v.Pkg().Path()
+	if path != modulePrefix && !strings.HasPrefix(path, modulePrefix+"/") {
+		return false
+	}
+	// Package level: the parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return types.Identical(v.Type(), types.Universe.Lookup("error").Type())
+}
+
+// isErrorIsMethod reports whether fd is an `Is(error) bool` method — the
+// errors.Is protocol hook, whose body must compare identities.
+func isErrorIsMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	ft := fd.Type
+	return ft.Params != nil && len(ft.Params.List) == 1 &&
+		ft.Results != nil && len(ft.Results.List) == 1
+}
+
+func runSentinelErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isErrorIsMethod(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						obj := usedObject(pass.Info, side)
+						if obj != nil && isSentinel(obj) {
+							pass.Reportf(n.Pos(), "%s compared with %s: use errors.Is — wire-decoded and wrapped errors never compare identical", obj.Name(), n.Op)
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					tagType, ok := pass.Info.Types[n.Tag]
+					if !ok || !types.Identical(tagType.Type, types.Universe.Lookup("error").Type()) {
+						return true
+					}
+					for _, stmt := range n.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							obj := usedObject(pass.Info, e)
+							if obj != nil && isSentinel(obj) {
+								pass.Reportf(e.Pos(), "switch dispatch on sentinel %s: use errors.Is — wire-decoded and wrapped errors never compare identical", obj.Name())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

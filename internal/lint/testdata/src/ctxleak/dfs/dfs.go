@@ -1,0 +1,47 @@
+// Package dfs is ctxleak testdata loaded under the import path
+// preemptsched/internal/dfs, one of the long-running server packages.
+package dfs
+
+import (
+	"context"
+	"sync"
+)
+
+func orphan() {
+	go func() { // want "goroutine has no cancellation path"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func orphanNamed() {
+	go spin() // want "goroutine has no cancellation path"
+}
+
+func spin() {}
+
+func stoppable(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+func ctxAware(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func namedWithChannel(stop chan struct{}) {
+	go waitFor(stop)
+}
+
+func waitFor(stop chan struct{}) { <-stop }

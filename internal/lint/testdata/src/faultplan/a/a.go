@@ -1,0 +1,29 @@
+// Package a is faultplan testdata: rates must be literal probabilities
+// in [0,1] and seeds must be reproducible.
+package a
+
+import (
+	"time"
+
+	"preemptsched/internal/faults"
+)
+
+func plans() faults.Plan {
+	p := faults.Plan{
+		Seed:           42,
+		RPCErrorRate:   0.05, // in range
+		BitFlipRate:    1.5,  // want "is outside [0,1]"
+		CreateFailRate: -0.1, // want "is outside [0,1]"
+	}
+	p.TornWriteRate = 2 // want "is outside [0,1]"
+	bad := faults.Plan{
+		Seed: time.Now().UnixNano(), // want "seed derived from time.Now"
+	}
+	_ = bad
+	return p
+}
+
+// boundaries are inclusive: 0 and 1 are valid probabilities.
+func boundaries() faults.Plan {
+	return faults.Plan{RPCErrorRate: 0, NameNodeErrorRate: 1}
+}

@@ -1,0 +1,38 @@
+// Package a is suppression testdata for the //lint:ignore directive:
+// same-line coverage, standalone next-line coverage, analyzer-name
+// scoping, and the mandatory reason.
+package a
+
+import "preemptsched/internal/dfs"
+
+// suppressedSameLine carries the directive on the offending line itself.
+func suppressedSameLine(err error) bool {
+	return err == dfs.ErrNotFound //lint:ignore sentinelerr exercising same-line suppression
+}
+
+// suppressedNextLine carries a standalone directive above the offending
+// line.
+func suppressedNextLine(err error) bool {
+	//lint:ignore sentinelerr exercising standalone next-line suppression
+	return err == dfs.ErrNotFound
+}
+
+// wrongAnalyzer names a different analyzer: the sentinelerr finding
+// survives.
+func wrongAnalyzer(err error) bool {
+	//lint:ignore metricname directive names another analyzer on purpose
+	return err == dfs.ErrNotFound
+}
+
+// trailingDirectiveScope: a trailing directive covers only its own line,
+// not the next one.
+func trailingDirectiveScope(err error) bool {
+	ok := err == dfs.ErrSealed //lint:ignore sentinelerr trailing form covers this line only
+	return ok && err == dfs.ErrSealed
+}
+
+// missingReason exercises the malformed-directive diagnostic: no reason.
+//lint:ignore sentinelerr
+func missingReason(err error) bool {
+	return err != nil
+}

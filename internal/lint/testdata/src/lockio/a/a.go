@@ -1,0 +1,70 @@
+// Package a is lockio testdata: I/O while holding a mutex acquired in
+// the same function is flagged; release-then-act patterns are not.
+package a
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	conns map[net.Conn]bool
+}
+
+func (s *server) closeUnderLock() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close() // want "Conn.Close called while s.mu is held"
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) ioUnderDeferredUnlock(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = os.ReadFile(path) // want "os.ReadFile called while"
+}
+
+func (s *server) dialUnderRLock() {
+	s.rw.RLock()
+	_, _ = net.Dial("tcp", "localhost:0") // want "net.Dial called while s.rw is held"
+	s.rw.RUnlock()
+}
+
+// snapshotThenClose is the repo's canonical fix: plan under the lock,
+// act outside it. No findings.
+func (s *server) snapshotThenClose() {
+	s.mu.Lock()
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	for _, c := range open {
+		c.Close()
+	}
+}
+
+// earlyUnlockBranch releases before the I/O on every path. No findings.
+func (s *server) earlyUnlockBranch(f *os.File, ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		f.Close()
+		return
+	}
+	s.mu.Unlock()
+	f.Close()
+}
+
+// lockFreeIO never takes the lock: plain I/O is not this analyzer's
+// business.
+func lockFreeIO(path string) {
+	f, err := os.Open(path)
+	if err == nil {
+		f.Close()
+	}
+}

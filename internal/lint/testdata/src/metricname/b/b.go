@@ -1,0 +1,10 @@
+// Package b is metricname testdata for the cross-package duplicate
+// check: it emits a counter package a already owns.
+package b
+
+import "preemptsched/internal/obs"
+
+func record(r *obs.Registry) {
+	r.Inc("app.requests.total") // want "also emitted by metricnametest/a"
+	r.Inc("b.only.counter")     // unique to this package
+}

@@ -1,0 +1,54 @@
+// Package a is sentinelerr testdata: identity comparison and switch
+// dispatch on module sentinels must be flagged; errors.Is and Is methods
+// must not.
+package a
+
+import (
+	"errors"
+	"io"
+
+	"preemptsched/internal/dfs"
+	"preemptsched/internal/faults"
+)
+
+func classify(err error) string {
+	if err == dfs.ErrNotFound { // want "ErrNotFound compared with =="
+		return "missing"
+	}
+	if err != dfs.ErrCorruptBlock { // want "ErrCorruptBlock compared with !="
+		return "other"
+	}
+	if err == faults.ErrInjected { // want "ErrInjected compared with =="
+		return "sabotage"
+	}
+	return ""
+}
+
+func dispatch(err error) string {
+	switch err {
+	case dfs.ErrNoDataNodes: // want "switch dispatch on sentinel ErrNoDataNodes"
+		return "nodes"
+	case nil:
+		return "ok"
+	}
+	return ""
+}
+
+// correct uses errors.Is: no findings.
+func correct(err error) bool {
+	return errors.Is(err, dfs.ErrNotFound) || errors.Is(err, dfs.ErrSealed)
+}
+
+// stdlibSentinels are out of scope: io.EOF identity comparison is a
+// documented stdlib idiom and not this module's contract.
+func stdlibSentinels(err error) bool {
+	return err == io.EOF
+}
+
+type notFoundAlias struct{ error }
+
+// Is implements the errors.Is protocol, where comparing the target's
+// identity is the entire point — exempt.
+func (notFoundAlias) Is(target error) bool {
+	return target == dfs.ErrNotFound
+}

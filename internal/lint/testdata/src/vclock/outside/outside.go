@@ -1,0 +1,37 @@
+// Package outside is vclock testdata for a package NOT in the always-on
+// set: only functions taking the simulator's clock types are in scope.
+package outside
+
+import (
+	"time"
+
+	"preemptsched/internal/sim"
+)
+
+// handler takes sim.Time, so its body is simulation code wherever the
+// package lives.
+func handler(now sim.Time) sim.Time {
+	_ = time.Now() // want "wall clock in virtual-time code: time.Now"
+	return now
+}
+
+// engineUser takes a *sim.Engine: same rule.
+func engineUser(eng *sim.Engine) {
+	time.Sleep(time.Millisecond) // want "wall clock in virtual-time code: time.Sleep"
+	_ = eng
+}
+
+// plain takes no sim types; wall-clock use is legal here.
+func plain() time.Time {
+	return time.Now()
+}
+
+// launcher itself is out of scope, but the literal it builds takes the
+// virtual clock, so the literal's body is in scope.
+func launcher() func(sim.Time) {
+	_ = time.Now() // legal: launcher is not simulation code
+	return func(now sim.Time) {
+		_ = time.Since(time.Time{}) // want "wall clock in virtual-time code: time.Since"
+		_ = now
+	}
+}

@@ -1,0 +1,25 @@
+// Package sched is vclock testdata loaded under the import path
+// preemptsched/internal/sched, so the whole package is in scope.
+package sched
+
+import "time"
+
+var epoch = time.Now() // want "wall clock in virtual-time code: time.Now"
+
+func tick() time.Duration {
+	start := time.Now()          // want "wall clock in virtual-time code: time.Now"
+	time.Sleep(time.Millisecond) // want "wall clock in virtual-time code: time.Sleep"
+	return time.Since(start)     // want "wall clock in virtual-time code: time.Since"
+}
+
+func timers() {
+	_ = time.After(time.Second)  // want "wall clock in virtual-time code: time.After"
+	t := time.NewTimer(0)        // want "wall clock in virtual-time code: time.NewTimer"
+	_ = t
+}
+
+// durations only touches time.Duration arithmetic, which the virtual
+// clock deliberately reuses — no findings.
+func durations(d time.Duration) time.Duration {
+	return 2*d + 50*time.Millisecond
+}

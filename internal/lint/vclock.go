@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VClock flags wall-clock usage (time.Now, time.Since, timers, sleeps)
+// in code that must run on the simulator's virtual clock: everything in
+// internal/sched and internal/sim, plus any function — in any package —
+// that takes one of the simulator's clock types (sim.Time, *sim.Engine,
+// *sim.Timer) as a parameter. One stray time.Now in those paths silently
+// couples the Alg. 1/Alg. 2 overhead estimates to host speed, and the
+// divergence only shows up as unreproducible runs.
+var VClock = &Analyzer{
+	Name: "vclock",
+	Doc:  "virtual-time code must not read the wall clock (time.Now/Since/timers)",
+	Run:  runVClock,
+}
+
+// vclockPackages are analyzed whole: their code is definitionally inside
+// the simulation.
+var vclockPackages = map[string]bool{
+	modulePrefix + "/internal/sched": true,
+	modulePrefix + "/internal/sim":   true,
+}
+
+// simPackage is the virtual-clock provider; parameters naming its types
+// mark a function as simulation code wherever it lives (the mini-YARN
+// emulation's sim.Time handlers, for example).
+const simPackage = modulePrefix + "/internal/sim"
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the wall clock. time.Duration arithmetic is fine — the virtual
+// clock deliberately reuses it.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runVClock(pass *Pass) error {
+	wholePkg := vclockPackages[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if wholePkg || takesSimClock(pass.Info, fd.Type) {
+				reportWallClock(pass, fd.Body)
+			} else {
+				// Function literals may take the virtual clock even when
+				// their enclosing function does not (event handlers
+				// passed to Engine.ScheduleAt).
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					lit, ok := n.(*ast.FuncLit)
+					if ok && takesSimClock(pass.Info, lit.Type) {
+						reportWallClock(pass, lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		if wholePkg {
+			// Package-level declarations (var x = time.Now(), default
+			// struct fields) count too.
+			for _, decl := range f.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok {
+					reportWallClock(pass, gd)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// takesSimClock reports whether the function type names a sim package
+// type among its parameters. sim.Time is an alias of time.Duration, so
+// the check is syntactic on the parameter's type expression — exactly
+// what a reader sees in the signature.
+func takesSimClock(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	found := false
+	for _, field := range ft.Params.List {
+		ast.Inspect(field.Type, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || found {
+				return !found
+			}
+			if x, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == simPackage {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// reportWallClock flags every reference to a wall-clock function of
+// package time under n, skipping nested function literals that take the
+// virtual clock (they are checked on their own) — everything else nested
+// still executes on the simulation path of the enclosing function.
+func reportWallClock(pass *Pass, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "wall clock in virtual-time code: time.%s breaks deterministic simulation; use the sim engine's clock", fn.Name())
+		return true
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -149,36 +150,47 @@ func (r *Registry) Handler(namespace string) http.Handler {
 }
 
 // ServeMetrics starts an HTTP server for the registry on addr in a
-// background goroutine and returns the bound address (useful with ":0").
-// The server lives until the process exits; daemons that want graceful
-// shutdown can build their own server around Handler.
-func ServeMetrics(addr string, r *Registry, namespace string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
-	srv := &http.Server{Handler: r.Handler(namespace)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+// background goroutine and returns the bound address (useful with ":0")
+// and a stop function that closes the server and waits for the serve
+// goroutine to exit.
+func ServeMetrics(addr string, r *Registry, namespace string) (string, func(), error) {
+	return serveBackground(addr, r.Handler(namespace))
 }
 
 // ServePprof starts a net/http/pprof endpoint on addr in a background
-// goroutine and returns the bound address. The handlers are registered on
-// a private mux, so importing obs does not pollute http.DefaultServeMux.
-func ServePprof(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// goroutine and returns the bound address and a stop function. The
+// handlers are registered on a private mux, so importing obs does not
+// pollute http.DefaultServeMux.
+func ServePprof(addr string) (string, func(), error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return serveBackground(addr, mux)
+}
+
+// serveBackground binds addr, serves handler on a tracked goroutine, and
+// returns the bound address plus a stop function that closes the server
+// and waits for the goroutine — no serve loop outlives its owner.
+func serveBackground(addr string, handler http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: handler}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	stop := func() {
+		_ = srv.Close()
+		wg.Wait()
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 // chromeEvent is one Chrome trace_event record.

@@ -813,6 +813,7 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 	cand := s.candidateFor(v, now)
 	action := core.DecidePreemption(s.cfg.Policy, cand, n.device, now)
 	if s.reg != nil {
+		//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
 		s.reg.Inc("sched.policy.decision." + action.String())
 	}
 

@@ -62,10 +62,10 @@ func TestChaosCrashAndRPCDrops(t *testing.T) {
 		}
 	}
 
-	if r.FaultsInjected == nil || r.FaultsInjected["node-crashes"] != 1 {
+	if r.FaultsInjected == nil || r.FaultsInjected[faults.ModeNodeCrashes] != 1 {
 		t.Fatalf("injected faults: %v, want exactly one node crash", r.FaultsInjected)
 	}
-	if r.FaultsInjected["datanode-rpc-errors"] == 0 {
+	if r.FaultsInjected[faults.ModeDataNodeRPCErrors] == 0 {
 		t.Errorf("no RPC errors injected despite 10%% drop rate: %v", r.FaultsInjected)
 	}
 	// The faults must have been absorbed by visible resilience work.
@@ -77,10 +77,10 @@ func TestChaosCrashAndRPCDrops(t *testing.T) {
 	// mirrored under faults.injected.*, with the absorption work visible as
 	// live dfs.client.* counters that agree with the Result's tallies.
 	snap := r.Metrics
-	if got := snap.Counter("faults.injected.node-crashes"); got != 1 {
-		t.Errorf("faults.injected.node-crashes = %d, want 1", got)
+	if got := snap.Counter("faults.injected."+faults.ModeNodeCrashes); got != 1 {
+		t.Errorf("faults.injected.node.crashes = %d, want 1", got)
 	}
-	if snap.Counter("faults.injected.datanode-rpc-errors") == 0 {
+	if snap.Counter("faults.injected."+faults.ModeDataNodeRPCErrors) == 0 {
 		t.Error("registry snapshot missed the injected RPC errors")
 	}
 	if got := snap.Counter("dfs.client.retries"); got != int64(r.DFSRetries) {
@@ -162,7 +162,7 @@ func TestChaosBitRotConvergence(t *testing.T) {
 	// each detection (reader checksum miss or scrubber find) became a
 	// quarantine, and each quarantine was healed by re-replication.
 	snap := r.Metrics
-	injected := snap.Counter("faults.injected.bit-flips")
+	injected := snap.Counter("faults.injected."+faults.ModeBitFlips)
 	if injected == 0 {
 		t.Fatal("BitFlipRate=1 injected nothing")
 	}
@@ -273,10 +273,10 @@ func TestDumpFailureDegradesToKill(t *testing.T) {
 	// the Preemption Manager absorbed by degrading to a kill: each dump
 	// attempt performs a single store Create, so the two counters match.
 	snap := r.Metrics
-	injected := snap.Counter("faults.injected.store-create-errors")
+	injected := snap.Counter("faults.injected."+faults.ModeStoreCreateErrors)
 	failures := snap.Counter("yarn.dump.failures")
 	if injected == 0 || injected != failures {
-		t.Errorf("injected store-create-errors (%d) != absorbed dump failures (%d)", injected, failures)
+		t.Errorf("injected store.create.errors (%d) != absorbed dump failures (%d)", injected, failures)
 	}
 	if got := snap.Counter("yarn.fallback.kills"); got != int64(r.FallbackKills) {
 		t.Errorf("yarn.fallback.kills = %d, Result.FallbackKills = %d", got, r.FallbackKills)
@@ -310,10 +310,10 @@ func TestPreCopyDumpFailureDegradesToKill(t *testing.T) {
 	}
 
 	snap := r.Metrics
-	injected := snap.Counter("faults.injected.store-create-errors")
+	injected := snap.Counter("faults.injected."+faults.ModeStoreCreateErrors)
 	failures := snap.Counter("yarn.dump.failures")
 	if injected == 0 || injected != failures {
-		t.Errorf("injected store-create-errors (%d) != absorbed dump failures (%d)", injected, failures)
+		t.Errorf("injected store.create.errors (%d) != absorbed dump failures (%d)", injected, failures)
 	}
 }
 
@@ -347,9 +347,9 @@ func TestTornDumpDegradesGracefully(t *testing.T) {
 	// With TornWriteRate=1 every dump's image writer tears exactly once, so
 	// injected tears and absorbed dump failures must agree.
 	snap := r.Metrics
-	injected := snap.Counter("faults.injected.torn-writes")
+	injected := snap.Counter("faults.injected."+faults.ModeTornWrites)
 	failures := snap.Counter("yarn.dump.failures")
 	if injected == 0 || injected != failures {
-		t.Errorf("injected torn-writes (%d) != absorbed dump failures (%d)", injected, failures)
+		t.Errorf("injected torn.writes (%d) != absorbed dump failures (%d)", injected, failures)
 	}
 }

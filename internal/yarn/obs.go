@@ -18,6 +18,7 @@ func nodeName(id int) string { return "node-" + strconv.Itoa(id) }
 // counter keyed by the chosen action and an instant span on the victim's
 // track carrying the unsaved progress and the Algorithm 1 estimate.
 func (c *Cluster) recordDecision(t *taskRun, n *NodeManager, action core.PreemptAction, now sim.Time) {
+	//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
 	c.reg.Inc("yarn.policy.decision." + action.String())
 	if c.tracer == nil {
 		return
@@ -36,6 +37,7 @@ func (c *Cluster) recordDump(t *taskRun, n *NodeManager, image string, bytes int
 	c.reg.ObserveDuration("yarn.dump.queue.seconds", time.Duration(start-now))
 	c.reg.ObserveDuration("yarn.dump.write.seconds", time.Duration(done-start))
 	c.reg.ObserveDuration("yarn.dump.total.seconds", time.Duration(done-now))
+	//lint:ignore metricname per-node gauge: the node id is part of the series identity
 	c.reg.MaxGauge(fmt.Sprintf("yarn.node.%d.ckpt.queue.peak.seconds", n.id), time.Duration(start-now).Seconds())
 	if c.tracer == nil {
 		return
