@@ -11,6 +11,8 @@
 package preemptsched_test
 
 import (
+	"io"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -215,3 +217,25 @@ func BenchmarkFig12bIOOverhead(b *testing.B) {
 	b.ReportMetric(cellF(b, ioT, 0, 1), "hdd_basic_io_pct")
 	b.ReportMetric(cellF(b, ioT, 0, 2), "hdd_adaptive_io_pct")
 }
+
+// benchRunAll regenerates the entire evaluation at the given pool width.
+// Each iteration drops the memo cache first, so ns/op is the true cost
+// of a cold full evaluation — the quantity BENCH_baseline.json tracks
+// and cmd/benchdiff gates. The Sequential/parallel pair is the harness's
+// own speedup benchmark: BenchmarkRunAll (one worker per CPU) against
+// BenchmarkRunAllSequential (the pre-pool behaviour).
+func benchRunAll(b *testing.B, parallel int) {
+	o := benchOptions()
+	o.Parallel = parallel
+	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
+		if err := experiments.RunAll(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+
+func BenchmarkRunAll(b *testing.B) { benchRunAll(b, 0) }

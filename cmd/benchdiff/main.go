@@ -1,0 +1,264 @@
+// Command benchdiff records `go test -bench` runs as JSON snapshots and
+// gates regressions against a checked-in baseline, so the benchmark
+// trajectory of the evaluation harness accumulates instead of scrolling
+// away in CI logs.
+//
+// Emit a snapshot (reads benchmark text from a file or stdin):
+//
+//	go test -bench . -benchtime=1x -run '^$' ./... | benchdiff -emit BENCH_2026-08-06.json -label 2026-08-06
+//
+// Compare a snapshot against the baseline (exit 1 on any wall-time
+// regression beyond -max-regress, default 20%):
+//
+//	benchdiff -baseline BENCH_baseline.json BENCH_2026-08-06.json
+//
+// Snapshots record per-benchmark wall time (ns/op) and every custom
+// metric the benchmark reported (the headline quantity of each paper
+// figure — waste percentages, normalized response times, kWh), so a
+// compare also surfaces drift in the measured science, not just speed.
+// Metric drift is reported by default and fatal under -strict-metrics;
+// the experiment pipeline is seed-deterministic, so on identical inputs
+// any metric drift is a real behaviour change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the BENCH_*.json format (schema 1).
+type Snapshot struct {
+	SchemaVersion int         `json:"schema_version"`
+	Label         string      `json:"label,omitempty"`
+	GoMaxProcs    int         `json:"go_max_procs"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	emit := flag.String("emit", "", "parse benchmark text (arg or stdin) and write a JSON snapshot to this path")
+	label := flag.String("label", "", "label recorded in an emitted snapshot (e.g. the date)")
+	baseline := flag.String("baseline", "", "baseline snapshot to compare the argument snapshot against")
+	maxRegress := flag.Float64("max-regress", 0.20, "fail when a benchmark's ns/op exceeds baseline by more than this fraction")
+	metricTol := flag.Float64("metric-tol", 1e-6, "relative tolerance before a custom metric counts as drifted")
+	strictMetrics := flag.Bool("strict-metrics", false, "treat custom-metric drift as a failure, not a warning")
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		return emitSnapshot(*emit, *label, flag.Arg(0))
+	case *baseline != "":
+		if flag.NArg() != 1 {
+			return fmt.Errorf("usage: benchdiff -baseline base.json current.json")
+		}
+		return compare(*baseline, flag.Arg(0), *maxRegress, *metricTol, *strictMetrics)
+	default:
+		return fmt.Errorf("one of -emit or -baseline is required")
+	}
+}
+
+// benchLine matches one `go test -bench` result:
+//
+//	BenchmarkFig3a-8   1   123456 ns/op   12.30 kill_waste_pct   4.50 chk_nvm_waste_pct
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+
+// parseBench extracts result lines from `go test -bench` output.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		b.Iters, _ = strconv.ParseInt(m[3], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		fields := strings.Fields(m[5])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "B/op" || unit == "allocs/op" || unit == "MB/s" {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func emitSnapshot(outPath, label, inPath string) error {
+	var in io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	benchmarks, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found in input")
+	}
+	sort.Slice(benchmarks, func(i, j int) bool { return benchmarks[i].Name < benchmarks[j].Name })
+	snap := Snapshot{SchemaVersion: 1, Label: label, GoMaxProcs: runtime.GOMAXPROCS(0), Benchmarks: benchmarks}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(benchmarks), outPath)
+	reportSpeedup(snap)
+	return nil
+}
+
+// reportSpeedup prints the parallel-harness headline when both RunAll
+// variants are in the snapshot.
+func reportSpeedup(snap Snapshot) {
+	var seq, par *Benchmark
+	for i := range snap.Benchmarks {
+		switch snap.Benchmarks[i].Name {
+		case "BenchmarkRunAllSequential":
+			seq = &snap.Benchmarks[i]
+		case "BenchmarkRunAll":
+			par = &snap.Benchmarks[i]
+		}
+	}
+	if seq != nil && par != nil && par.NsPerOp > 0 {
+		fmt.Printf("benchdiff: RunAll parallel speedup %.2fx over sequential (GOMAXPROCS=%d)\n",
+			seq.NsPerOp/par.NsPerOp, snap.GoMaxProcs)
+	}
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.SchemaVersion != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema_version %d", path, snap.SchemaVersion)
+	}
+	return &snap, nil
+}
+
+func compare(basePath, curPath string, maxRegress, metricTol float64, strictMetrics bool) error {
+	base, err := loadSnapshot(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadSnapshot(curPath)
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	var regressions, drifts []string
+	matched := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("  new      %-45s %12.0f ns/op\n", c.Name, c.NsPerOp)
+			continue
+		}
+		matched++
+		delete(baseBy, c.Name)
+		ratio := math.Inf(1)
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		mark := "  ok      "
+		if ratio > 1+maxRegress {
+			mark = "  REGRESS "
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx, limit %.2fx)",
+				c.Name, b.NsPerOp, c.NsPerOp, ratio, 1+maxRegress))
+		} else if ratio < 1/(1+maxRegress) {
+			mark = "  faster  "
+		}
+		fmt.Printf("%s%-45s %12.0f -> %12.0f ns/op (%.2fx)\n", mark, c.Name, b.NsPerOp, c.NsPerOp, ratio)
+		for name, bv := range b.Metrics {
+			cv, ok := c.Metrics[name]
+			if !ok {
+				drifts = append(drifts, fmt.Sprintf("%s: metric %s disappeared", c.Name, name))
+				continue
+			}
+			den := math.Abs(bv)
+			if den == 0 {
+				den = 1
+			}
+			if math.Abs(cv-bv)/den > metricTol {
+				drifts = append(drifts, fmt.Sprintf("%s: %s %.6g -> %.6g", c.Name, name, bv, cv))
+			}
+		}
+	}
+	for name := range baseBy {
+		drifts = append(drifts, fmt.Sprintf("%s: present in baseline, missing from current run", name))
+	}
+	sort.Strings(drifts)
+
+	fmt.Printf("benchdiff: %d benchmarks compared against %s", matched, basePath)
+	if base.Label != "" {
+		fmt.Printf(" (label %q)", base.Label)
+	}
+	fmt.Println()
+	reportSpeedup(*cur)
+	for _, d := range drifts {
+		fmt.Println("  drift:", d)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d wall-time regressions beyond %.0f%%:\n  %s",
+			len(regressions), 100*maxRegress, strings.Join(regressions, "\n  "))
+	}
+	if strictMetrics && len(drifts) > 0 {
+		return fmt.Errorf("%d metric drifts under -strict-metrics", len(drifts))
+	}
+	return nil
+}

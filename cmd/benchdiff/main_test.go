@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: preemptsched
+BenchmarkRunAllSequential 	       1	4000000000 ns/op	         1.000 gomaxprocs
+BenchmarkRunAll-8         	       1	1000000000 ns/op	         8.000 gomaxprocs
+BenchmarkFig3a            	       2	 123456789 ns/op	        12.30 kill_waste_pct	     1024 B/op	      10 allocs/op
+PASS
+ok  	preemptsched	5.1s
+`
+
+func TestParseBench(t *testing.T) {
+	benchmarks, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benchmarks))
+	}
+	seq := benchmarks[0]
+	if seq.Name != "BenchmarkRunAllSequential" || seq.Iters != 1 || seq.NsPerOp != 4e9 {
+		t.Errorf("sequential line parsed as %+v", seq)
+	}
+	if seq.Metrics["gomaxprocs"] != 1 {
+		t.Errorf("custom metric lost: %+v", seq.Metrics)
+	}
+	par := benchmarks[1]
+	if par.Name != "BenchmarkRunAll" || par.Procs != 8 {
+		t.Errorf("GOMAXPROCS suffix mishandled: %+v", par)
+	}
+	fig := benchmarks[2]
+	if fig.Metrics["kill_waste_pct"] != 12.30 {
+		t.Errorf("figure metric lost: %+v", fig.Metrics)
+	}
+	if _, ok := fig.Metrics["B/op"]; ok {
+		t.Error("allocation units recorded as custom metrics")
+	}
+}
+
+func emitTo(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	in := filepath.Join(dir, name+".txt")
+	if err := os.WriteFile(in, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, name+".json")
+	if err := emitSnapshot(out, name, in); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEmitAndCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := emitTo(t, dir, "base", benchOutput)
+
+	snap, err := loadSnapshot(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != 1 || len(snap.Benchmarks) != 3 || snap.Label != "base" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for i := 1; i < len(snap.Benchmarks); i++ {
+		if snap.Benchmarks[i-1].Name > snap.Benchmarks[i].Name {
+			t.Fatal("snapshot benchmarks not sorted by name")
+		}
+	}
+
+	// Identical run: no regression at any threshold.
+	cur := emitTo(t, dir, "same", benchOutput)
+	if err := compare(base, cur, 0.20, 1e-6, true); err != nil {
+		t.Errorf("identical snapshots failed compare: %v", err)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := emitTo(t, dir, "base", benchOutput)
+	slower := strings.Replace(benchOutput, "123456789 ns/op", "999999999 ns/op", 1)
+	cur := emitTo(t, dir, "slow", slower)
+	err := compare(base, cur, 0.20, 1e-6, false)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFig3a") {
+		t.Errorf("8x slowdown not flagged: %v", err)
+	}
+	// A generous threshold lets the same snapshot through.
+	if err := compare(base, cur, 10.0, 1e-6, false); err != nil {
+		t.Errorf("compare failed under 10x allowance: %v", err)
+	}
+}
+
+func TestCompareMetricDriftStrict(t *testing.T) {
+	dir := t.TempDir()
+	base := emitTo(t, dir, "base", benchOutput)
+	drifted := strings.Replace(benchOutput, "12.30 kill_waste_pct", "14.70 kill_waste_pct", 1)
+	cur := emitTo(t, dir, "drift", drifted)
+	// Wall time unchanged: default mode reports drift but passes.
+	if err := compare(base, cur, 0.20, 1e-6, false); err != nil {
+		t.Errorf("metric drift fatal without -strict-metrics: %v", err)
+	}
+	if err := compare(base, cur, 0.20, 1e-6, true); err == nil {
+		t.Error("metric drift ignored under -strict-metrics")
+	}
+}
+
+func TestEmitRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\nok preemptsched 0.1s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitSnapshot(filepath.Join(dir, "out.json"), "", in); err == nil {
+		t.Error("emit accepted input without benchmark lines")
+	}
+}
+
+func TestLoadSnapshotRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v9.json")
+	data, _ := json.Marshal(Snapshot{SchemaVersion: 9})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(path); err == nil {
+		t.Error("unknown schema version accepted")
+	}
+}
+
+func TestBaselineFileParses(t *testing.T) {
+	snap, err := loadSnapshot("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasSeq, hasPar bool
+	for _, b := range snap.Benchmarks {
+		switch b.Name {
+		case "BenchmarkRunAllSequential":
+			hasSeq = true
+		case "BenchmarkRunAll":
+			hasPar = true
+		}
+	}
+	if !hasSeq || !hasPar {
+		t.Error("checked-in baseline is missing the RunAll speedup pair")
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	clusterrun [-policy kill|checkpoint|adaptive|wait] [-storage hdd|ssd|nvm]
+//	           [-parallel N]
 //	           [-jobs N] [-tasks N] [-nodes N] [-slots N] [-seed S]
 //	           [-fault-rpc-rate P] [-fault-crash-node dn-K] [-fault-crash-after N]
 //	           [-fault-create-rate P] [-fault-torn-rate P] [-fault-seed S]
@@ -20,6 +21,14 @@
 // (-fault-truncate-rate); -scrub-every N runs a full integrity scrub of
 // every DataNode after each N checkpoint dumps, and the report's
 // "integrity" object carries the detection/repair counters.
+//
+// Sweep mode: -policy and -storage accept comma-separated lists; when the
+// cross product has more than one combination, clusterrun runs the whole
+// matrix on a bounded worker pool (-parallel, default one worker per CPU)
+// and prints a canonical policy-major summary table. Per-combination
+// reports land next to -report-json ("r.json" -> "r-kill-ssd.json").
+// The live-endpoint flags (-metrics-addr, -pprof-addr, -trace-out) apply
+// to single runs only.
 //
 // Observability flags:
 //
@@ -59,8 +68,9 @@ func main() {
 }
 
 func run() error {
-	policyFlag := flag.String("policy", "adaptive", "preemption policy: wait|kill|checkpoint|adaptive")
-	storageFlag := flag.String("storage", "nvm", "checkpoint storage: hdd|ssd|nvm")
+	policyFlag := flag.String("policy", "adaptive", "preemption policy (comma-separated list sweeps): wait|kill|checkpoint|adaptive")
+	storageFlag := flag.String("storage", "nvm", "checkpoint storage (comma-separated list sweeps): hdd|ssd|nvm")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = one per CPU, 1 = sequential)")
 	jobs := flag.Int("jobs", 40, "number of jobs (paper: 40)")
 	tasks := flag.Int("tasks", 7000, "total tasks (paper: ~7000)")
 	nodes := flag.Int("nodes", 8, "NodeManager count (paper: 8)")
@@ -87,52 +97,64 @@ func run() error {
 	reportJSON := flag.String("report-json", "", "write the machine-readable run report to this file")
 	flag.Parse()
 
-	policy, err := core.ParsePolicy(*policyFlag)
+	policies, err := parsePolicies(*policyFlag)
 	if err != nil {
 		return err
 	}
-	var kind storage.Kind
-	switch strings.ToLower(*storageFlag) {
-	case "hdd":
-		kind = storage.HDD
-	case "ssd":
-		kind = storage.SSD
-	case "nvm", "pmfs":
-		kind = storage.NVM
-	default:
-		return fmt.Errorf("unknown storage %q", *storageFlag)
-	}
-
-	wc := workload.DefaultFacebookConfig()
-	wc.Seed = *seed
-	wc.Jobs = *jobs
-	wc.TotalTasks = *tasks
-	jobSpecs, err := workload.Facebook(wc)
+	kinds, err := parseKinds(*storageFlag)
 	if err != nil {
 		return err
 	}
 
-	cfg := yarn.DefaultConfig(policy, kind)
-	cfg.Nodes = *nodes
-	cfg.ContainersPerNode = *slots
-	cfg.PreCopy = *preCopy
-	cfg.Program = *program
-	cfg.CompactChainAfter = *compactAfter
-	cfg.ScrubEveryNDumps = *scrubEvery
-	if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCrashNode != "" || *faultCreateRate > 0 ||
-		*faultTornRate > 0 || *faultBitFlipRate > 0 || *faultTruncateRate > 0 {
-		cfg.Faults = &faults.Plan{
-			Seed:               *faultSeed,
-			RPCErrorRate:       *faultRPCRate,
-			NameNodeErrorRate:  *faultNNRate,
-			CrashNode:          *faultCrashNode,
-			CrashAfterWrites:   *faultCrashAfter,
-			CreateFailRate:     *faultCreateRate,
-			TornWriteRate:      *faultTornRate,
-			BitFlipRate:        *faultBitFlipRate,
-			BitFlipMaxPerBlock: *faultBitFlipMax,
-			SilentTruncateRate: *faultTruncateRate,
+	// makeRun builds one combination's workload, config, and fault plan.
+	// Everything is constructed fresh per call — the framework writes
+	// through its job specs and fault injectors, so concurrent sweep
+	// combinations must not share them.
+	makeRun := func(policy core.Policy, kind storage.Kind) (yarn.Config, []cluster.JobSpec, error) {
+		wc := workload.DefaultFacebookConfig()
+		wc.Seed = *seed
+		wc.Jobs = *jobs
+		wc.TotalTasks = *tasks
+		jobSpecs, err := workload.Facebook(wc)
+		if err != nil {
+			return yarn.Config{}, nil, err
 		}
+		cfg := yarn.DefaultConfig(policy, kind)
+		cfg.Nodes = *nodes
+		cfg.ContainersPerNode = *slots
+		cfg.PreCopy = *preCopy
+		cfg.Program = *program
+		cfg.CompactChainAfter = *compactAfter
+		cfg.ScrubEveryNDumps = *scrubEvery
+		if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCrashNode != "" || *faultCreateRate > 0 ||
+			*faultTornRate > 0 || *faultBitFlipRate > 0 || *faultTruncateRate > 0 {
+			cfg.Faults = &faults.Plan{
+				Seed:               *faultSeed,
+				RPCErrorRate:       *faultRPCRate,
+				NameNodeErrorRate:  *faultNNRate,
+				CrashNode:          *faultCrashNode,
+				CrashAfterWrites:   *faultCrashAfter,
+				CreateFailRate:     *faultCreateRate,
+				TornWriteRate:      *faultTornRate,
+				BitFlipRate:        *faultBitFlipRate,
+				BitFlipMaxPerBlock: *faultBitFlipMax,
+				SilentTruncateRate: *faultTruncateRate,
+			}
+		}
+		return cfg, jobSpecs, nil
+	}
+
+	if len(policies)*len(kinds) > 1 {
+		if *metricsAddr != "" || *pprofAddr != "" || *traceOut != "" {
+			return fmt.Errorf("-metrics-addr, -pprof-addr and -trace-out apply to single runs, not sweeps")
+		}
+		return runSweepMode(sweepSpecs(policies, kinds), *parallel, makeRun, *reportJSON)
+	}
+
+	policy, kind := policies[0], kinds[0]
+	cfg, jobSpecs, err := makeRun(policy, kind)
+	if err != nil {
+		return err
 	}
 
 	reg := obs.NewRegistry()

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/obs"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/workload"
+	"preemptsched/internal/yarn"
+)
+
+// tinyMakeRun mirrors main's makeRun at test scale: everything built
+// fresh per call so concurrent sweep combinations share nothing.
+func tinyMakeRun(policy core.Policy, kind storage.Kind) (yarn.Config, []cluster.JobSpec, error) {
+	wc := workload.DefaultFacebookConfig()
+	wc.Seed = 21
+	wc.Jobs = 4
+	wc.TotalTasks = 32
+	jobs, err := workload.Facebook(wc)
+	if err != nil {
+		return yarn.Config{}, nil, err
+	}
+	cfg := yarn.DefaultConfig(policy, kind)
+	cfg.Nodes = 2
+	cfg.ContainersPerNode = 4
+	return cfg, jobs, nil
+}
+
+func testSpecs() []sweepSpec {
+	return sweepSpecs(
+		[]core.Policy{core.PolicyKill, core.PolicyAdaptive},
+		[]storage.Kind{storage.SSD, storage.NVM})
+}
+
+func runOne(spec sweepSpec) (*yarn.Result, error) {
+	cfg, jobs, err := tinyMakeRun(spec.policy, spec.kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = obs.NewRegistry()
+	return yarn.Run(cfg, jobs)
+}
+
+// TestSweepDeterministicAcrossParallelism: the canonical summary table is
+// byte-identical whether the matrix ran sequentially or on four workers.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	seq := sweepTable(runSweep(testSpecs(), 1, runOne)).String()
+	par := sweepTable(runSweep(testSpecs(), 4, runOne)).String()
+	if seq != par {
+		t.Errorf("sweep table differs between parallel=1 and parallel=4\n--- parallel=1 ---\n%s\n--- parallel=4 ---\n%s", seq, par)
+	}
+}
+
+// TestSweepOutcomeOrderCanonical: outcomes come back in spec order
+// (policy-major, storage-minor) regardless of completion order.
+func TestSweepOutcomeOrderCanonical(t *testing.T) {
+	specs := testSpecs()
+	outcomes := runSweep(specs, 4, runOne)
+	if len(outcomes) != len(specs) {
+		t.Fatalf("%d outcomes for %d specs", len(outcomes), len(specs))
+	}
+	for i, oc := range outcomes {
+		if oc.spec != specs[i] {
+			t.Errorf("outcome %d is %v/%s, want %v/%s", i,
+				oc.spec.policy, oc.spec.kind, specs[i].policy, specs[i].kind)
+		}
+		if oc.err != nil || oc.r == nil {
+			t.Errorf("outcome %d: r=%v err=%v", i, oc.r, oc.err)
+		}
+		if oc.r != nil && oc.r.Policy != oc.spec.policy {
+			t.Errorf("outcome %d: result policy %v under spec %v", i, oc.r.Policy, oc.spec.policy)
+		}
+	}
+}
+
+// TestSweepFailuresKeepMatrixRectangular: a failing combination aborts
+// its row only; every other combination still runs, and the table keeps
+// one row per spec.
+func TestSweepFailuresKeepMatrixRectangular(t *testing.T) {
+	specs := testSpecs()
+	outcomes := runSweep(specs, 4, func(spec sweepSpec) (*yarn.Result, error) {
+		if spec.policy == core.PolicyKill && spec.kind == storage.NVM {
+			return nil, fmt.Errorf("injected failure")
+		}
+		return runOne(spec)
+	})
+	tb := sweepTable(outcomes).String()
+	failed, ok := 0, 0
+	for _, oc := range outcomes {
+		if oc.err != nil {
+			failed++
+		} else if oc.r != nil {
+			ok++
+		}
+	}
+	if failed != 1 || ok != len(specs)-1 {
+		t.Errorf("failed=%d ok=%d, want 1 and %d", failed, ok, len(specs)-1)
+	}
+	if want := "aborted"; !strings.Contains(tb, want) {
+		t.Errorf("sweep table lacks an %q row:\n%s", want, tb)
+	}
+}
+
+// TestSweepReportsValidateAgainstSchema: every per-combination report a
+// parallel sweep writes conforms to docs/report.schema.json (schema v2).
+func TestSweepReportsValidateAgainstSchema(t *testing.T) {
+	schema, err := os.ReadFile(filepath.Join("..", "..", "docs", "report.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	outcomes := runSweep(testSpecs(), 4, runOne)
+	for _, oc := range outcomes {
+		if oc.err != nil || oc.r == nil {
+			t.Fatalf("%v/%s: %v", oc.spec.policy, oc.spec.kind, oc.err)
+		}
+		path := comboReportPath(filepath.Join(dir, "report.json"), oc.spec)
+		if err := writeReport(path, oc.r, oc.err); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateJSONSchemaBytes(schema, doc); err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+		}
+	}
+}
+
+func TestComboReportPath(t *testing.T) {
+	cases := []struct {
+		base string
+		spec sweepSpec
+		want string
+	}{
+		{"r.json", sweepSpec{core.PolicyAdaptive, storage.NVM}, "r-adaptive-nvm.json"},
+		{"out/run.json", sweepSpec{core.PolicyKill, storage.SSD}, "out/run-kill-ssd.json"},
+		{"noext", sweepSpec{core.PolicyCheckpoint, storage.HDD}, "noext-checkpoint-hdd"},
+		{"a.b/noext", sweepSpec{core.PolicyKill, storage.SSD}, "a.b/noext-kill-ssd"},
+	}
+	for _, c := range cases {
+		if got := comboReportPath(c.base, c.spec); got != c.want {
+			t.Errorf("comboReportPath(%q, %v/%s) = %q, want %q", c.base, c.spec.policy, c.spec.kind, got, c.want)
+		}
+	}
+}
+
+func TestParsePoliciesAndKinds(t *testing.T) {
+	ps, err := parsePolicies("kill, adaptive,checkpoint")
+	if err != nil || len(ps) != 3 || ps[0] != core.PolicyKill || ps[1] != core.PolicyAdaptive {
+		t.Errorf("parsePolicies = %v, %v", ps, err)
+	}
+	if _, err := parsePolicies("kill,bogus"); err == nil {
+		t.Error("parsePolicies accepted bogus policy")
+	}
+	ks, err := parseKinds("hdd,ssd, nvm,pmfs")
+	if err != nil || len(ks) != 4 || ks[2] != storage.NVM || ks[3] != storage.NVM {
+		t.Errorf("parseKinds = %v, %v", ks, err)
+	}
+	if _, err := parseKinds("ssd,floppy"); err == nil {
+		t.Error("parseKinds accepted bogus storage")
+	}
+}
+
+func TestSweepSpecsOrder(t *testing.T) {
+	specs := testSpecs()
+	want := []sweepSpec{
+		{core.PolicyKill, storage.SSD},
+		{core.PolicyKill, storage.NVM},
+		{core.PolicyAdaptive, storage.SSD},
+		{core.PolicyAdaptive, storage.NVM},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %v/%s, want %v/%s", i, specs[i].policy, specs[i].kind, want[i].policy, want[i].kind)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-scale default|paper] [-o report.txt] [-seed S]
+//	experiments [-scale default|paper] [-o report.txt] [-seed S] [-parallel N]
 package main
 
 import (
@@ -27,6 +27,7 @@ func run() error {
 	scale := flag.String("scale", "default", "input sizes: default (seconds) or paper (minutes)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = one per CPU, 1 = sequential); the report is byte-identical at every level")
 	flag.Parse()
 
 	var o experiments.Options
@@ -39,6 +40,7 @@ func run() error {
 		return fmt.Errorf("unknown scale %q (want default|paper)", *scale)
 	}
 	o.Seed = *seed
+	o.Parallel = *parallel
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

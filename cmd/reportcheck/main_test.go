@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"preemptsched/internal/faults"
+)
+
+// validReport is a minimal schema-v2 report as writeReport produces it,
+// including the zero-valued latency digests a run without checkpoints
+// still emits.
+func validReport() map[string]any {
+	digest := func() map[string]any {
+		return map[string]any{"count": 0, "p50": 0, "p95": 0, "p99": 0, "max": 0}
+	}
+	return map[string]any{
+		"schema_version":   2,
+		"policy":           "adaptive",
+		"storage":          "nvm",
+		"aborted":          false,
+		"makespan_seconds": 1234.5,
+		"counts":           map[string]any{"yarn.tasks.completed": 90},
+		"gauges":           map[string]any{"yarn.waste.core_hours": 1.5},
+		"policy_decisions": map[string]any{"checkpoint": 3},
+		"integrity": map[string]any{
+			"corrupt_reads":           0,
+			"replicas_quarantined":    0,
+			"corrupt_rereplicated":    0,
+			"corrupt_degraded":        0,
+			"corrupt_lost":            0,
+			"scrub_runs":              0,
+			"scrub_blocks_checked":    0,
+			"scrub_corrupt_found":     0,
+			"final_scrub_corrupt":     0,
+			"restore_verify_failures": 0,
+		},
+		"latencies_seconds": map[string]any{
+			"dump": digest(), "restore": digest(), "dfs_transfer": digest(),
+		},
+	}
+}
+
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const schemaPath = "../../docs/report.schema.json"
+
+func TestRunAcceptsValidReport(t *testing.T) {
+	path := writeJSON(t, "ok.json", validReport())
+	if err := run(schemaPath, path, false); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}
+
+func TestRunRejectsBrokenReports(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(map[string]any)
+	}{
+		{"missing-integrity", func(r map[string]any) { delete(r, "integrity") }},
+		{"missing-latency-key", func(r map[string]any) {
+			delete(r["latencies_seconds"].(map[string]any), "restore")
+		}},
+		{"unknown-policy", func(r map[string]any) { r["policy"] = "yolo" }},
+		{"negative-makespan", func(r map[string]any) { r["makespan_seconds"] = -1 }},
+		{"extra-top-level-field", func(r map[string]any) { r["vibes"] = "good" }},
+		{"wrong-type", func(r map[string]any) { r["aborted"] = "no" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := validReport()
+			c.mutate(rep)
+			path := writeJSON(t, c.name+".json", rep)
+			if err := run(schemaPath, path, false); err == nil {
+				t.Error("broken report validated")
+			}
+		})
+	}
+}
+
+func TestRunIntegrityContract(t *testing.T) {
+	chaos := func() map[string]any {
+		r := validReport()
+		r["counts"] = map[string]any{"faults.injected." + faults.ModeBitFlips: 4}
+		r["integrity"] = map[string]any{
+			"corrupt_reads":           3,
+			"replicas_quarantined":    4,
+			"corrupt_rereplicated":    4,
+			"corrupt_degraded":        0,
+			"corrupt_lost":            0,
+			"scrub_runs":              2,
+			"scrub_blocks_checked":    100,
+			"scrub_corrupt_found":     1,
+			"final_scrub_corrupt":     0,
+			"restore_verify_failures": 0,
+		}
+		return r
+	}
+
+	if err := run(schemaPath, writeJSON(t, "chaos.json", chaos()), true); err != nil {
+		t.Errorf("healthy chaos report rejected: %v", err)
+	}
+
+	aborted := chaos()
+	aborted["aborted"] = true
+	aborted["abort_reason"] = "node lost"
+	if err := run(schemaPath, writeJSON(t, "aborted.json", aborted), true); err == nil ||
+		!strings.Contains(err.Error(), "did not complete") {
+		t.Errorf("aborted chaos run: err = %v", err)
+	}
+
+	leaky := chaos()
+	leaky["integrity"].(map[string]any)["corrupt_lost"] = 1
+	if err := run(schemaPath, writeJSON(t, "leaky.json", leaky), true); err == nil {
+		t.Error("chaos run with lost blocks validated")
+	}
+
+	quiet := chaos()
+	quiet["counts"] = map[string]any{}
+	if err := run(schemaPath, writeJSON(t, "quiet.json", quiet), true); err == nil {
+		t.Error("integrity check passed with no injected faults")
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	if err := run("nope.schema.json", "nope.json", false); err == nil {
+		t.Error("missing schema accepted")
+	}
+	if err := run(schemaPath, "nope.json", false); err == nil {
+		t.Error("missing report accepted")
+	}
+}

@@ -6,58 +6,125 @@ import (
 	"preemptsched/internal/core"
 	"preemptsched/internal/sched"
 	"preemptsched/internal/storage"
+	"preemptsched/internal/trace"
 	"preemptsched/internal/yarn"
 )
 
 // Several figures share underlying runs (Fig. 3a/3b/3c all need the same
-// four simulations; Fig. 8-12 reuse framework runs). Runs are pure
-// functions of (Options, policy, kind), so they are memoized here. The
-// caches are package-level by design: they hold immutable results keyed by
-// value-comparable inputs and are guarded by a mutex.
+// four simulations; Fig. 8-12 reuse framework runs; all five Section 2
+// tables read one trace analysis). Runs are pure functions of
+// (Options, policy, kind), so they are memoized here. The caches are
+// package-level by design: they hold immutable results keyed by
+// value-comparable inputs.
+//
+// Under the parallel harness several figures request the same run at
+// once, so the memoization is singleflight-shaped: the first requester
+// of a key executes the run, later requesters block on its completion
+// channel and share the result. Shared runs therefore execute exactly
+// once at any -parallel level. Failed flights are evicted before their
+// channel closes, so waiters see the error but later callers retry —
+// runs are deterministic, which keeps the retry's error identical.
 type runKey struct {
 	opts   Options
 	policy core.Policy
 	kind   storage.Kind
 }
 
+// analysisKey identifies one Section 2 trace analysis.
+type analysisKey struct {
+	seed  int64
+	tasks int
+}
+
+// flight is one in-progress or completed run. val/err are written once,
+// before done is closed, and only read after <-done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// memo is a singleflight map from a comparable key to a result.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+func (c *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*flight[V])
+	}
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+	if f.err != nil {
+		c.mu.Lock()
+		delete(c.m, key)
+		c.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+func (c *memo[K, V]) reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}
+
 var (
-	cacheMu   sync.Mutex
-	simCache  = make(map[runKey]*sched.Result)
-	yarnCache = make(map[runKey]*yarn.Result)
+	simCache      memo[runKey, *sched.Result]
+	yarnCache     memo[runKey, *yarn.Result]
+	analysisCache memo[analysisKey, *trace.Analysis]
 )
 
+// cacheKey normalizes harness-only fields out of the memo key: Parallel
+// changes scheduling, never results, so every parallelism level shares
+// one memoized run.
+func (o Options) cacheKey() Options {
+	o.Parallel = 0
+	return o
+}
+
 func cachedSimRun(o Options, policy core.Policy, kind storage.Kind) (*sched.Result, error) {
-	key := runKey{opts: o, policy: policy, kind: kind}
-	cacheMu.Lock()
-	if r, ok := simCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	r, err := simRunUncached(o, policy, kind)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	simCache[key] = r
-	cacheMu.Unlock()
-	return r, nil
+	return simCache.do(runKey{opts: o.cacheKey(), policy: policy, kind: kind}, func() (*sched.Result, error) {
+		return simRunUncached(o, policy, kind)
+	})
 }
 
 func cachedYarnRun(o Options, policy core.Policy, kind storage.Kind) (*yarn.Result, error) {
-	key := runKey{opts: o, policy: policy, kind: kind}
-	cacheMu.Lock()
-	if r, ok := yarnCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	r, err := yarnRunUncached(o, policy, kind)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	yarnCache[key] = r
-	cacheMu.Unlock()
-	return r, nil
+	return yarnCache.do(runKey{opts: o.cacheKey(), policy: policy, kind: kind}, func() (*yarn.Result, error) {
+		return yarnRunUncached(o, policy, kind)
+	})
+}
+
+// traceAnalysis returns the memoized Section 2 analysis for the options'
+// trace. The key deliberately carries only the fields the trace depends
+// on, so options that differ elsewhere (e.g. Parallel) share the result.
+func (o Options) traceAnalysis() (*trace.Analysis, error) {
+	return analysisCache.do(analysisKey{seed: o.Seed, tasks: o.TraceTasks}, func() (*trace.Analysis, error) {
+		events, err := o.traceEvents()
+		if err != nil {
+			return nil, err
+		}
+		return trace.Analyze(events), nil
+	})
+}
+
+// ResetRunCache drops every memoized run. Benchmarks and determinism
+// tests call it so each measured pass pays the full cost of the
+// evaluation rather than reading a warm cache; it must not be called
+// concurrently with figure generation.
+func ResetRunCache() {
+	simCache.reset()
+	yarnCache.reset()
+	analysisCache.reset()
 }

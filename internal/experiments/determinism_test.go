@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"preemptsched/internal/metrics"
+)
+
+// The parallel harness's contract (DESIGN.md §11): the same seed produces
+// byte-identical rendered tables at every -parallel level. These tests
+// are the proof the pool is allowed to exist — each generator (and the
+// full RunAll report) is rendered from a cold cache strictly
+// sequentially and again with an eight-worker pool, and the outputs must
+// match byte for byte. Run with -race to also catch unsynchronized
+// access the equality check can't see.
+
+// tinyOptions shrinks inputs below testOptions: determinism only needs
+// equality, not statistically meaningful shapes, and the suite pays for
+// two full cold evaluations.
+func tinyOptions() Options {
+	o := Default()
+	o.TraceTasks = 4_000
+	o.SimJobs = 120
+	o.SimTasksPerJob = 3
+	o.YarnJobs = 6
+	o.YarnTasks = 60
+	return o
+}
+
+func renderTables(tbs ...*metrics.Table) string {
+	var sb strings.Builder
+	for _, tb := range tbs {
+		sb.WriteString(tb.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// oneTable adapts the common generator signature.
+func oneTable(f func(Options) (*metrics.Table, error)) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		tb, err := f(o)
+		if err != nil {
+			return "", err
+		}
+		return renderTables(tb), nil
+	}
+}
+
+// generators is every Fig*/Ext*/Table* entry point plus the full report.
+var generators = []struct {
+	name   string
+	render func(Options) (string, error)
+}{
+	{"Fig1a", oneTable(Fig1a)},
+	{"Fig1b", oneTable(Fig1b)},
+	{"Fig1c", oneTable(Fig1c)},
+	{"Table1", oneTable(Table1)},
+	{"Table2", oneTable(Table2)},
+	{"Fig2a", oneTable(Fig2a)},
+	{"Fig2b", oneTable(Fig2b)},
+	{"Table3", oneTable(Table3)},
+	{"Fig3a", oneTable(Fig3a)},
+	{"Fig3b", oneTable(Fig3b)},
+	{"Fig3c", oneTable(Fig3c)},
+	{"Fig4", func(o Options) (string, error) {
+		h, l, e, err := Fig4(o)
+		if err != nil {
+			return "", err
+		}
+		return renderTables(h, l, e), nil
+	}},
+	{"Fig5", oneTable(Fig5)},
+	{"Fig6", func(o Options) (string, error) {
+		h, l, e, err := Fig6(o)
+		if err != nil {
+			return "", err
+		}
+		return renderTables(h, l, e), nil
+	}},
+	{"Fig8a", oneTable(Fig8a)},
+	{"Fig8b", oneTable(Fig8b)},
+	{"Fig8c", oneTable(Fig8c)},
+	{"Fig9", oneTable(Fig9)},
+	{"Fig10", oneTable(Fig10)},
+	{"Fig11", func(o Options) (string, error) {
+		tbs, err := Fig11(o)
+		if err != nil {
+			return "", err
+		}
+		return renderTables(tbs...), nil
+	}},
+	{"Fig12", func(o Options) (string, error) {
+		cpuT, ioT, err := Fig12(o)
+		if err != nil {
+			return "", err
+		}
+		return renderTables(cpuT, ioT), nil
+	}},
+	{"ExtDisciplines", oneTable(ExtDisciplines)},
+	{"ExtPreCopy", oneTable(ExtPreCopy)},
+	{"ExtNVRAM", oneTable(ExtNVRAM)},
+	{"ExtEvictionThreshold", oneTable(ExtEvictionThreshold)},
+	{"SimSummary", oneTable(SimSummary)},
+	{"YarnSummary", oneTable(YarnSummary)},
+	{"RunAll", func(o Options) (string, error) {
+		var sb strings.Builder
+		if err := RunAll(o, &sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	}},
+}
+
+// renderAllAt renders every generator starting from a cold cache at the
+// given parallelism. Within the pass the memo cache warms progressively,
+// exactly as one harness invocation would experience it.
+func renderAllAt(t *testing.T, o Options, parallel int) map[string]string {
+	t.Helper()
+	ResetRunCache()
+	o.Parallel = parallel
+	out := make(map[string]string, len(generators))
+	for _, g := range generators {
+		s, err := g.render(o)
+		if err != nil {
+			t.Fatalf("parallel=%d %s: %v", parallel, g.name, err)
+		}
+		if s == "" {
+			t.Fatalf("parallel=%d %s rendered empty", parallel, g.name)
+		}
+		out[g.name] = s
+	}
+	return out
+}
+
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	o := tinyOptions()
+	seq := renderAllAt(t, o, 1)
+	par := renderAllAt(t, o, 8)
+	for _, g := range generators {
+		if seq[g.name] != par[g.name] {
+			t.Errorf("%s: output differs between -parallel=1 and -parallel=8\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+				g.name, seq[g.name], par[g.name])
+		}
+	}
+}
+
+// TestDeterminismReplay pins the replay half of the contract: the same
+// seed and parallelism rerun from a cold cache reproduces the full
+// report byte for byte.
+func TestDeterminismReplay(t *testing.T) {
+	o := tinyOptions()
+	render := func() string {
+		ResetRunCache()
+		o.Parallel = 8
+		var sb strings.Builder
+		if err := RunAll(o, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("two cold RunAll passes with the same seed differ")
+	}
+}
+
+// TestDeterminismSeedSensitivity guards against the trivial way the
+// determinism tests could pass: output that doesn't depend on the inputs
+// at all.
+func TestDeterminismSeedSensitivity(t *testing.T) {
+	o := tinyOptions()
+	ResetRunCache()
+	a, err := oneTable(Fig3a)(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Seed += 1
+	ResetRunCache()
+	b, err := oneTable(Fig3a)(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetRunCache()
+	if a == b {
+		t.Error("Fig3a identical under different seeds — determinism test is vacuous")
+	}
+}

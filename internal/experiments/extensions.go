@@ -14,19 +14,44 @@ import (
 // they quantify the repository's additions on the same one-day workload
 // the Fig. 3/5 simulations use.
 
-// simRunWith runs the trace workload with an arbitrary config mutation
-// applied on top of the standard sizing.
-func simRunWith(o Options, policy core.Policy, kind storage.Kind, mutate func(*sched.Config)) (*sched.Result, error) {
+// simSpecWith describes a trace-workload run with an arbitrary config
+// mutation applied on top of the standard sizing. Each spec regenerates
+// its own Jobs slice (the simulator writes through pointers into it), so
+// specs are safe to execute concurrently via sched.RunMany.
+func simSpecWith(o Options, policy core.Policy, kind storage.Kind, mutate func(*sched.Config)) (sched.RunSpec, error) {
 	jobs, err := o.simJobs()
 	if err != nil {
-		return nil, err
+		return sched.RunSpec{}, err
 	}
 	cfg := sched.DefaultConfig(policy, kind)
 	o.simCluster(jobs, &cfg)
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return sched.Run(cfg, jobs)
+	return sched.RunSpec{Config: cfg, Jobs: jobs}, nil
+}
+
+// simRunWith runs one such mutated configuration synchronously.
+func simRunWith(o Options, policy core.Policy, kind storage.Kind, mutate func(*sched.Config)) (*sched.Result, error) {
+	spec, err := simSpecWith(o, policy, kind, mutate)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Run(spec.Config, spec.Jobs)
+}
+
+// extSweep builds and executes one spec per mutation through the sharded
+// sweep, returning spec-ordered results.
+func extSweep(o Options, policy core.Policy, kind storage.Kind, mutations []func(*sched.Config)) ([]*sched.Result, error) {
+	specs := make([]sched.RunSpec, len(mutations))
+	for i, mutate := range mutations {
+		spec, err := simSpecWith(o, policy, kind, mutate)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return sched.RunMany(specs, o.workers())
 }
 
 // ExtDisciplines compares priority, fair-share, and capacity scheduling
@@ -35,12 +60,18 @@ func simRunWith(o Options, policy core.Policy, kind storage.Kind, mutate func(*s
 func ExtDisciplines(o Options) (*metrics.Table, error) {
 	tb := metrics.NewTable("Ext — Scheduling disciplines (adaptive, SSD)",
 		"discipline", "resp_low_s", "resp_med_s", "resp_high_s", "fairness_index", "preemptions")
-	for _, d := range []sched.Discipline{sched.DisciplinePriority, sched.DisciplineFairShare, sched.DisciplineCapacity} {
-		r, err := simRunWith(o, core.PolicyAdaptive, storage.SSD, func(c *sched.Config) { c.Discipline = d })
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(d.String(),
+	disciplines := []sched.Discipline{sched.DisciplinePriority, sched.DisciplineFairShare, sched.DisciplineCapacity}
+	mutations := make([]func(*sched.Config), len(disciplines))
+	for i, d := range disciplines {
+		d := d
+		mutations[i] = func(c *sched.Config) { c.Discipline = d }
+	}
+	results, err := extSweep(o, core.PolicyAdaptive, storage.SSD, mutations)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		tb.AddRow(disciplines[i].String(),
 			r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandMiddle), r.MeanResponse(cluster.BandProduction),
 			r.FairnessIndex(), r.Preemptions)
 	}
@@ -52,15 +83,31 @@ func ExtDisciplines(o Options) (*metrics.Table, error) {
 func ExtPreCopy(o Options) (*metrics.Table, error) {
 	tb := metrics.NewTable("Ext — Pre-copy checkpointing (basic policy)",
 		"storage", "mode", "resp_low_s", "overhead_core_h", "io_device_h")
+	// Stop-and-copy rows reuse the shared Fig. 3/5 runs; the pre-copy rows
+	// are a three-spec sharded sweep of their own.
+	var chkPairs []policyKind
 	for _, kind := range storageKinds {
+		chkPairs = append(chkPairs, policyKind{core.PolicyCheckpoint, kind})
+	}
+	warmSim(o, chkPairs)
+	specs := make([]sched.RunSpec, len(storageKinds))
+	for i, kind := range storageKinds {
+		spec, err := simSpecWith(o, core.PolicyCheckpoint, kind, func(c *sched.Config) { c.PreCopy = true })
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	pres, err := sched.RunMany(specs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range storageKinds {
 		stop, err := simRun(o, core.PolicyCheckpoint, kind)
 		if err != nil {
 			return nil, err
 		}
-		pre, err := simRunWith(o, core.PolicyCheckpoint, kind, func(c *sched.Config) { c.PreCopy = true })
-		if err != nil {
-			return nil, err
-		}
+		pre := pres[i]
 		tb.AddRow(kind.String(), "stop-and-copy", stop.MeanResponse(cluster.BandFree), stop.OverheadCPUHours, stop.IOBusyHours)
 		tb.AddRow(kind.String(), "pre-copy", pre.MeanResponse(cluster.BandFree), pre.OverheadCPUHours, pre.IOBusyHours)
 	}
@@ -89,15 +136,20 @@ func ExtNVRAM(o Options) (*metrics.Table, error) {
 func ExtEvictionThreshold(o Options) (*metrics.Table, error) {
 	tb := metrics.NewTable("Ext — Eviction threshold (kill policy, SSD)",
 		"max_evictions", "wasted_core_h", "resp_low_s", "resp_high_s", "preemptions")
-	for _, cap := range []int{0, 1, 2, 4} {
-		capv := cap
-		r, err := simRunWith(o, core.PolicyKill, storage.SSD, func(c *sched.Config) { c.MaxEvictionsPerTask = capv })
-		if err != nil {
-			return nil, err
-		}
+	caps := []int{0, 1, 2, 4}
+	mutations := make([]func(*sched.Config), len(caps))
+	for i, capv := range caps {
+		capv := capv
+		mutations[i] = func(c *sched.Config) { c.MaxEvictionsPerTask = capv }
+	}
+	results, err := extSweep(o, core.PolicyKill, storage.SSD, mutations)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		label := "unlimited"
-		if capv > 0 {
-			label = strconv.Itoa(capv)
+		if caps[i] > 0 {
+			label = strconv.Itoa(caps[i])
 		}
 		tb.AddRow(label, r.WastedCPUHours, r.MeanResponse(cluster.BandFree), r.MeanResponse(cluster.BandProduction), r.Preemptions)
 	}

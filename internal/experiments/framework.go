@@ -28,6 +28,7 @@ func yarnRunUncached(o Options, policy core.Policy, kind storage.Kind) (*yarn.Re
 // Fig8a regenerates framework CPU wastage: kill vs checkpointing on each
 // storage medium.
 func Fig8a(o Options) (*metrics.Table, error) {
+	warmYarn(o, killChkPairs())
 	tb := metrics.NewTable("Fig 8a — Resource wastage (framework)",
 		"policy", "wasted_core_hours", "waste_pct_of_usage")
 	kill, err := yarnRun(o, core.PolicyKill, storage.SSD)
@@ -47,6 +48,7 @@ func Fig8a(o Options) (*metrics.Table, error) {
 
 // Fig8b regenerates framework energy consumption.
 func Fig8b(o Options) (*metrics.Table, error) {
+	warmYarn(o, killChkPairs())
 	tb := metrics.NewTable("Fig 8b — Energy consumption (framework)", "policy", "energy_kwh")
 	kill, err := yarnRun(o, core.PolicyKill, storage.SSD)
 	if err != nil {
@@ -65,6 +67,7 @@ func Fig8b(o Options) (*metrics.Table, error) {
 
 // Fig8c regenerates per-class mean job response times on the framework.
 func Fig8c(o Options) (*metrics.Table, error) {
+	warmYarn(o, killChkPairs())
 	tb := metrics.NewTable("Fig 8c — Job response time (framework, seconds)",
 		"policy", "low_priority", "high_priority")
 	kill, err := yarnRun(o, core.PolicyKill, storage.SSD)
@@ -109,6 +112,7 @@ func cdfTable(title string, labels []string, results []*yarn.Result) *metrics.Ta
 // Fig9 regenerates the response-time CDF of kill vs checkpoint-based
 // preemption on the three media.
 func Fig9(o Options) (*metrics.Table, error) {
+	warmYarn(o, killChkPairs())
 	kill, err := yarnRun(o, core.PolicyKill, storage.SSD)
 	if err != nil {
 		return nil, err
@@ -129,6 +133,7 @@ func Fig9(o Options) (*metrics.Table, error) {
 // Fig10 regenerates basic vs adaptive mean response times per storage
 // medium on the framework.
 func Fig10(o Options) (*metrics.Table, error) {
+	warmYarn(o, basicAdaptivePairs())
 	tb := metrics.NewTable("Fig 10 — Basic vs adaptive preemption (framework, seconds)",
 		"storage", "policy", "low_priority", "high_priority")
 	for _, kind := range storageKinds {
@@ -149,6 +154,7 @@ func Fig10(o Options) (*metrics.Table, error) {
 // Fig11 regenerates the kill/basic/adaptive response-time CDFs per
 // storage medium.
 func Fig11(o Options) ([]*metrics.Table, error) {
+	warmYarn(o, paperMatrix())
 	kill, err := yarnRun(o, core.PolicyKill, storage.SSD)
 	if err != nil {
 		return nil, err
@@ -174,6 +180,7 @@ func Fig11(o Options) ([]*metrics.Table, error) {
 // Fig12 regenerates the checkpointing overhead panels: CPU overhead
 // (12a) and I/O overhead (12b) for basic vs adaptive on each medium.
 func Fig12(o Options) (cpuT, ioT *metrics.Table, err error) {
+	warmYarn(o, basicAdaptivePairs())
 	cpuT = metrics.NewTable("Fig 12a — CPU overhead of checkpointing (%)",
 		"storage", "basic", "adaptive")
 	ioT = metrics.NewTable("Fig 12b — I/O overhead of checkpointing (%)",
@@ -202,6 +209,7 @@ func Fig12(o Options) (cpuT, ioT *metrics.Table, err error) {
 // YarnSummary reports the absolute framework outcomes backing Figures
 // 8-12, for EXPERIMENTS.md.
 func YarnSummary(o Options) (*metrics.Table, error) {
+	warmYarn(o, paperMatrix())
 	tb := metrics.NewTable("Framework run summary",
 		"policy", "storage", "wasted_core_hours", "energy_kwh",
 		"resp_low_s", "resp_high_s", "preemptions", "kills", "checkpoints",

@@ -44,6 +44,13 @@ type Options struct {
 	// capacity. 1.8 reproduces the paper's setup, where 7,000 one-minute
 	// tasks over a twenty-minute window contend for 192 containers.
 	YarnLoadFactor float64
+	// Parallel bounds the harness worker pool that fans out independent
+	// (figure, policy, storage, scale) runs: 0 uses one worker per
+	// available CPU, 1 runs strictly sequentially. Each individual
+	// simulation stays single-threaded on its own virtual clock, and the
+	// rendered output is byte-identical at every level — see DESIGN.md
+	// §11 for the determinism contract.
+	Parallel int
 }
 
 // Default returns a laptop-quick configuration (seconds per experiment).
@@ -83,6 +90,9 @@ func (o Options) Validate() error {
 	}
 	if o.YarnLoadFactor <= 0 || o.YarnLoadFactor > 4 {
 		return fmt.Errorf("experiments: YarnLoadFactor=%v outside (0,4]", o.YarnLoadFactor)
+	}
+	if o.Parallel < 0 {
+		return fmt.Errorf("experiments: Parallel=%d negative", o.Parallel)
 	}
 	return nil
 }

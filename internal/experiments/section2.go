@@ -5,17 +5,15 @@ import (
 
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/metrics"
-	"preemptsched/internal/trace"
 )
 
 // Fig1a regenerates the preemption-rate timeline: per-day fraction of
 // scheduled tasks later preempted, per priority band.
 func Fig1a(o Options) (*metrics.Table, error) {
-	events, err := o.traceEvents()
+	a, err := o.traceAnalysis()
 	if err != nil {
 		return nil, err
 	}
-	a := trace.Analyze(events)
 	tb := metrics.NewTable("Fig 1a — Preemption rate timeline (per day)",
 		"day", "low_priority", "medium_priority", "high_priority")
 	for _, pt := range a.Timeline {
@@ -29,11 +27,10 @@ func Fig1a(o Options) (*metrics.Table, error) {
 
 // Fig1b regenerates the share of all preemptions by raw priority 0-11.
 func Fig1b(o Options) (*metrics.Table, error) {
-	events, err := o.traceEvents()
+	a, err := o.traceAnalysis()
 	if err != nil {
 		return nil, err
 	}
-	a := trace.Analyze(events)
 	total := 0
 	for _, n := range a.PreemptionsByPriority {
 		total += n
@@ -52,11 +49,10 @@ func Fig1b(o Options) (*metrics.Table, error) {
 // Fig1c regenerates the re-preemption frequency distribution: distinct
 // tasks per eviction count (1..9, >=10).
 func Fig1c(o Options) (*metrics.Table, error) {
-	events, err := o.traceEvents()
+	a, err := o.traceAnalysis()
 	if err != nil {
 		return nil, err
 	}
-	a := trace.Analyze(events)
 	tb := metrics.NewTable("Fig 1c — Preemption frequency distribution", "num_preemptions", "distinct_tasks")
 	for k, n := range a.EvictionFrequency {
 		label := fmt.Sprintf("%d", k+1)
@@ -70,11 +66,10 @@ func Fig1c(o Options) (*metrics.Table, error) {
 
 // Table1 regenerates preempted-task rates per priority band.
 func Table1(o Options) (*metrics.Table, error) {
-	events, err := o.traceEvents()
+	a, err := o.traceAnalysis()
 	if err != nil {
 		return nil, err
 	}
-	a := trace.Analyze(events)
 	tb := metrics.NewTable("Table 1 — Preempted tasks per priority band",
 		"priority_band", "num_tasks", "percent_preempted", "paper_pct")
 	paper := map[cluster.Band]float64{
@@ -98,11 +93,10 @@ func Table1(o Options) (*metrics.Table, error) {
 
 // Table2 regenerates preempted-task rates per latency-sensitivity class.
 func Table2(o Options) (*metrics.Table, error) {
-	events, err := o.traceEvents()
+	a, err := o.traceAnalysis()
 	if err != nil {
 		return nil, err
 	}
-	a := trace.Analyze(events)
 	paper := []float64{11.76, 18.87, 8.14, 14.80}
 	tb := metrics.NewTable("Table 2 — Preempted tasks per latency sensitivity",
 		"latency_class", "num_tasks", "percent_preempted", "paper_pct")

@@ -33,6 +33,7 @@ var storageKinds = []storage.Kind{storage.HDD, storage.SSD, storage.NVM}
 // Fig3a regenerates wasted CPU capacity under kill vs checkpoint-based
 // preemption on each storage medium.
 func Fig3a(o Options) (*metrics.Table, error) {
+	warmSim(o, killChkPairs())
 	tb := metrics.NewTable("Fig 3a — Resource wastage (trace-driven sim)",
 		"policy", "wasted_core_hours", "waste_pct_of_usage")
 	kill, err := simRun(o, core.PolicyKill, storage.SSD)
@@ -52,6 +53,7 @@ func Fig3a(o Options) (*metrics.Table, error) {
 
 // Fig3b regenerates total energy consumption for the same four policies.
 func Fig3b(o Options) (*metrics.Table, error) {
+	warmSim(o, killChkPairs())
 	tb := metrics.NewTable("Fig 3b — Energy consumption (trace-driven sim)",
 		"policy", "energy_kwh")
 	kill, err := simRun(o, core.PolicyKill, storage.SSD)
@@ -72,6 +74,7 @@ func Fig3b(o Options) (*metrics.Table, error) {
 // Fig3c regenerates per-band job response times normalized to the
 // kill-based policy.
 func Fig3c(o Options) (*metrics.Table, error) {
+	warmSim(o, killChkPairs())
 	kill, err := simRun(o, core.PolicyKill, storage.SSD)
 	if err != nil {
 		return nil, err
@@ -102,21 +105,30 @@ func norm(x, base float64) float64 {
 // sensitivityBandwidths is the paper's 1-5 GB/s sweep.
 var sensitivityBandwidths = []float64{1e9, 2e9, 3e9, 4e9, 5e9}
 
-// sensitivityRun executes the two-job k-means scenario of Section 3.3.3 on
-// a single-slot machine with the given policy and checkpoint bandwidth.
-func sensitivityRun(policy core.Policy, bw float64) (*sched.Result, error) {
-	jobs := workload.SensitivityScenario(time.Minute, 30*time.Second, cluster.GiB(5))
+// sensitivitySpec describes the two-job k-means scenario of Section
+// 3.3.3 on a single-slot machine with the given policy and checkpoint
+// bandwidth. Each spec generates its own Jobs slice: the simulator takes
+// pointers into the slice it is handed, so specs sharing one would
+// couple otherwise-independent runs.
+func sensitivitySpec(policy core.Policy, bw float64) sched.RunSpec {
 	cfg := sched.DefaultConfig(policy, storage.SSD)
 	cfg.Nodes = 1
 	cfg.NodeCapacity = cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(8)}
 	cfg.CustomBandwidth = bw
-	return sched.Run(cfg, jobs)
+	return sched.RunSpec{
+		Config: cfg,
+		Jobs:   workload.SensitivityScenario(time.Minute, 30*time.Second, cluster.GiB(5)),
+	}
 }
 
 // figSensitivity produces the three panels of Fig. 4 (policies wait, kill,
 // checkpoint) or Fig. 6 (plus adaptive): normalized high- and low-priority
-// response times and energy across checkpoint bandwidths.
-func figSensitivity(includeAdaptive bool) (high, low, energyT *metrics.Table, err error) {
+// response times and energy across checkpoint bandwidths. The bandwidth ×
+// policy sweep is a grid of independent single-machine simulations, so it
+// is sharded through sched.RunMany; rows are assembled from the
+// spec-ordered results, which RunMany guarantees are identical at every
+// parallelism level.
+func figSensitivity(o Options, includeAdaptive bool) (high, low, energyT *metrics.Table, err error) {
 	policies := []core.Policy{core.PolicyWait, core.PolicyKill, core.PolicyCheckpoint}
 	figure := "Fig 4"
 	if includeAdaptive {
@@ -131,15 +143,20 @@ func figSensitivity(includeAdaptive bool) (high, low, energyT *metrics.Table, er
 	low = metrics.NewTable(figure+"b — Low-priority normalized response vs bandwidth", cols...)
 	energyT = metrics.NewTable(figure+"c — Normalized energy vs bandwidth", cols...)
 
+	specs := make([]sched.RunSpec, 0, len(sensitivityBandwidths)*len(policies))
 	for _, bw := range sensitivityBandwidths {
-		kill, err := sensitivityRun(core.PolicyKill, bw)
-		if err != nil {
-			return nil, nil, nil, err
+		for _, p := range policies {
+			specs = append(specs, sensitivitySpec(p, bw))
 		}
-		wait, err := sensitivityRun(core.PolicyWait, bw)
-		if err != nil {
-			return nil, nil, nil, err
-		}
+	}
+	results, err := sched.RunMany(specs, o.workers())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	for i, bw := range sensitivityBandwidths {
+		row := results[i*len(policies) : (i+1)*len(policies)]
+		wait, kill := row[0], row[1]
 		baseHigh := kill.MeanResponse(cluster.BandProduction)
 		baseLow := kill.MeanResponse(cluster.BandFree)
 		baseEnergy := wait.EnergyKWh
@@ -147,11 +164,7 @@ func figSensitivity(includeAdaptive bool) (high, low, energyT *metrics.Table, er
 		rowH := []any{bw / 1e9}
 		rowL := []any{bw / 1e9}
 		rowE := []any{bw / 1e9}
-		for _, p := range policies {
-			r, err := sensitivityRun(p, bw)
-			if err != nil {
-				return nil, nil, nil, err
-			}
+		for _, r := range row {
 			rowH = append(rowH, norm(r.MeanResponse(cluster.BandProduction), baseHigh))
 			rowL = append(rowL, norm(r.MeanResponse(cluster.BandFree), baseLow))
 			rowE = append(rowE, norm(r.EnergyKWh, baseEnergy))
@@ -164,19 +177,20 @@ func figSensitivity(includeAdaptive bool) (high, low, energyT *metrics.Table, er
 }
 
 // Fig4 regenerates the wait/kill/checkpoint sensitivity sweep.
-func Fig4(Options) (highT, lowT, energyT *metrics.Table, err error) {
-	return figSensitivity(false)
+func Fig4(o Options) (highT, lowT, energyT *metrics.Table, err error) {
+	return figSensitivity(o, false)
 }
 
 // Fig6 regenerates the sweep including the adaptive policy.
-func Fig6(Options) (highT, lowT, energyT *metrics.Table, err error) {
-	return figSensitivity(true)
+func Fig6(o Options) (highT, lowT, energyT *metrics.Table, err error) {
+	return figSensitivity(o, true)
 }
 
 // Fig5 regenerates the adaptive-vs-basic comparison in the trace-driven
 // simulator: per-band response times of the adaptive policy normalized to
 // basic checkpoint-based preemption, one panel per storage medium.
 func Fig5(o Options) (*metrics.Table, error) {
+	warmSim(o, basicAdaptivePairs())
 	tb := metrics.NewTable("Fig 5 — Adaptive vs basic checkpointing (sim), response normalized to basic",
 		"storage", "policy", "low_priority", "medium_priority", "high_priority")
 	for _, kind := range storageKinds {
@@ -200,6 +214,7 @@ func Fig5(o Options) (*metrics.Table, error) {
 // SimSummary reports the absolute per-policy outcomes backing Figures 3
 // and 5, for EXPERIMENTS.md.
 func SimSummary(o Options) (*metrics.Table, error) {
+	warmSim(o, paperMatrix())
 	tb := metrics.NewTable("Trace-driven simulation summary",
 		"policy", "storage", "wasted_core_hours", "energy_kwh",
 		"resp_low_s", "resp_med_s", "resp_high_s", "preemptions", "kills", "checkpoints", "restores")

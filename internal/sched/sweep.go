@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"preemptsched/internal/cluster"
+)
+
+// RunSpec is one independent simulation in a sweep: a sized configuration
+// and the jobs it executes. Specs must not share Jobs slices — the
+// simulator takes pointers into the slice it is handed, so concurrent
+// runs over one slice would couple otherwise-independent virtual clocks.
+type RunSpec struct {
+	Config Config
+	Jobs   []cluster.JobSpec
+}
+
+// RunMany executes the given simulations, sharding them across up to
+// parallel goroutines (parallel <= 0 uses one per available CPU; 1 runs
+// sequentially). Each simulation remains single-threaded on its own
+// virtual clock — parallelism exists only between runs, never inside
+// one — so results[i] is byte-for-byte the result Run(specs[i]) would
+// produce, in spec order, at every parallelism level.
+//
+// On failure RunMany returns the error of the lowest-indexed failing
+// spec (the one a sequential sweep would hit first) alongside the
+// results gathered so far; results[i] is nil for specs that failed.
+func RunMany(specs []RunSpec, parallel int) ([]*Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	if parallel <= 1 {
+		for i, spec := range specs {
+			results[i], errs[i] = Run(spec.Config, spec.Jobs)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) {
+						return
+					}
+					results[i], errs[i] = Run(specs[i].Config, specs[i].Jobs)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
