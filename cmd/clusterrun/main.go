@@ -43,12 +43,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"preemptsched/internal/cluster"
@@ -211,7 +214,7 @@ func run() error {
 	if runErr != nil {
 		if *metricsLinger > 0 {
 			fmt.Printf("metrics endpoint lingering %v\n", *metricsLinger)
-			time.Sleep(*metricsLinger)
+			linger(*metricsLinger)
 		}
 		return fmt.Errorf("run aborted: %w", runErr)
 	}
@@ -257,9 +260,18 @@ func run() error {
 	}
 	if *metricsLinger > 0 {
 		fmt.Printf("\nmetrics endpoint lingering %v\n", *metricsLinger)
-		time.Sleep(*metricsLinger)
+		linger(*metricsLinger)
 	}
 	return nil
+}
+
+// linger keeps the metrics endpoint alive for d so a scraper can collect
+// the final run's series, returning early on SIGINT/SIGTERM instead of
+// making the operator ride out the full wait.
+func linger(d time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	_ = core.Sleep(ctx, d)
 }
 
 func writeTrace(tracer *obs.Tracer, path string) error {

@@ -31,12 +31,35 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"preemptsched/internal/dfs"
 	"preemptsched/internal/obs"
 	"preemptsched/internal/storage"
 )
+
+// closeOnSignal closes l when SIGINT/SIGTERM arrives, which makes
+// dfs.Serve return nil — a clean shutdown whose deferred stops (metrics
+// and pprof servers, transports, heartbeat/scrub tickers) actually run,
+// instead of the process dying with every listener and goroutine leaked.
+// The returned stop function cancels the watcher on the normal path.
+func closeOnSignal(l net.Listener) func() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Printf("%v received, shutting down\n", s)
+			l.Close()
+		case <-done:
+		}
+		signal.Stop(sig)
+	}()
+	return func() { close(done) }
+}
 
 // serveObs starts the optional metrics and pprof endpoints of a daemon
 // and returns a stop function that shuts both down.
@@ -138,6 +161,8 @@ func runNameNode(args []string) error {
 		defer close(stop)
 		go nn.RunLivenessMonitor(stop, *sweep, *maxAge, transport)
 	}
+	stopWatch := closeOnSignal(l)
+	defer stopWatch()
 	fmt.Printf("namenode listening on %s (replication %d)\n", l.Addr(), *replication)
 	return dfs.Serve(l, nn, nil)
 }
@@ -234,6 +259,8 @@ func runDataNode(args []string) error {
 	if *scrubEvery > 0 {
 		go dn.RunScrubber(stop, *scrubEvery, transport)
 	}
+	stopWatch := closeOnSignal(l)
+	defer stopWatch()
 	fmt.Printf("datanode %s listening on %s, registered at %s\n", *id, l.Addr(), *namenode)
 	return dfs.Serve(l, nil, dn)
 }
@@ -264,6 +291,7 @@ func runClient(cmd string, args []string) error {
 		}
 		n, err := io.Copy(dst, src)
 		if err != nil {
+			dst.Close() // abandon the half-written pipeline, don't leak it
 			return err
 		}
 		if err := dst.Close(); err != nil {

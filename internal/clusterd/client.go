@@ -1,0 +1,215 @@
+package clusterd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"preemptsched/internal/core"
+)
+
+// Client speaks the wire protocol over one lazily dialed, reused
+// connection. Every request runs under a deadline, transport failures
+// redial and retry with the shared capped-jitter backoff, and submit
+// retries honor the server's retry-after backpressure hint. Safe for
+// concurrent use; requests serialize on the connection.
+type Client struct {
+	addr    string
+	timeout time.Duration
+	retries int
+	backoff core.Backoff
+
+	connMu sync.Mutex
+	conn   net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRequestTimeout bounds each request round trip (dial, write, read).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithClientRetry sets the per-request attempt budget and backoff base.
+func WithClientRetry(attempts int, b core.Backoff) ClientOption {
+	return func(c *Client) {
+		if attempts > 0 {
+			c.retries = attempts
+		}
+		c.backoff = b
+	}
+}
+
+// WithClientSeed seeds the jitter source for reproducible pacing.
+func WithClientSeed(seed int64) ClientOption {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewClient returns a client for the daemon at addr. No I/O happens
+// until the first request.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:    addr,
+		timeout: 5 * time.Second,
+		retries: 5,
+		backoff: core.Backoff{Base: 20 * time.Millisecond, Cap: time.Second},
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) intn(n int64) int64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Int63n(n)
+}
+
+// exchange performs one request/response round trip under the configured
+// deadline, redialing once on a stale pooled connection — the same
+// one-redial pattern as the DFS tcpPeer. It holds connMu for the whole
+// exchange: the JSON encoder/decoder pair is stateful and the connection
+// carries one request at a time, so the mutex IS the request pipeline.
+// The I/O itself lives in exchangeLocked, which requires the caller to
+// hold connMu.
+func (c *Client) exchange(req *Request) (*Response, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.exchangeLocked(req)
+}
+
+func (c *Client) exchangeLocked(req *Request) (*Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+			if err != nil {
+				return nil, fmt.Errorf("clusterd: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+			c.dec = json.NewDecoder(bufio.NewReader(conn))
+			c.enc = json.NewEncoder(conn)
+		}
+		if c.timeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.timeout))
+		}
+		var resp Response
+		if err := c.enc.Encode(req); err == nil {
+			if err = c.dec.Decode(&resp); err == nil {
+				if c.timeout > 0 {
+					c.conn.SetDeadline(time.Time{})
+				}
+				return &resp, nil
+			}
+			lastErr = err
+		} else {
+			lastErr = err
+		}
+		c.conn.Close()
+		c.conn = nil
+	}
+	return nil, fmt.Errorf("clusterd: rpc to %s: %w", c.addr, lastErr)
+}
+
+// do runs one request with transport-level retries: each attempt is a
+// full deadline-bounded exchange, attempts are paced by the shared
+// backoff, and cancellation is honored between attempts.
+func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
+	var resp *Response
+	err := core.Retry(ctx, c.retries, c.backoff, c.intn, nil, nil, func() error {
+		var err error
+		resp, err = c.exchange(req)
+		return err
+	})
+	return resp, err
+}
+
+// Ping probes liveness and returns the daemon's state.
+func (c *Client) Ping(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, &Request{Op: "ping"})
+	if err != nil {
+		return "", err
+	}
+	return resp.State, nil
+}
+
+// Stats fetches the daemon's bookkeeping snapshot.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	resp, err := c.do(ctx, &Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("clusterd: stats response without stats (error %q)", resp.Error)
+	}
+	return resp.Stats, nil
+}
+
+// Submit offers one job, retrying transport failures and backpressure
+// rejections (pacing by the larger of the backoff delay and the server's
+// retry-after hint) until the attempt budget runs out. Hard rejections —
+// validation errors, a draining daemon — fail immediately: retrying them
+// cannot succeed. The returned Response carries the daemon-assigned job
+// ID on success; on a final backpressure rejection the Response is
+// returned alongside the error so callers can distinguish "queue full"
+// from a dead daemon.
+func (c *Client) Submit(ctx context.Context, jr JobRequest) (*Response, error) {
+	req := &Request{Op: "submit", Job: &jr}
+	var last *Response
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			d := c.backoff.Delay(attempt, c.intn)
+			if last != nil {
+				if ra := time.Duration(last.RetryAfterMS) * time.Millisecond; ra > d {
+					d = ra
+				}
+			}
+			if err := core.Sleep(ctx, d); err != nil {
+				if lastErr == nil {
+					lastErr = err
+				}
+				return last, lastErr
+			}
+		}
+		resp, err := c.exchange(req)
+		if err != nil {
+			last, lastErr = nil, err
+			continue
+		}
+		if resp.OK {
+			return resp, nil
+		}
+		if resp.RetryAfterMS <= 0 {
+			return resp, fmt.Errorf("clusterd: submit rejected: %s", resp.Error)
+		}
+		last, lastErr = resp, fmt.Errorf("clusterd: submit backpressured: %s", resp.Error)
+	}
+	return last, lastErr
+}
+
+// Close drops the pooled connection. Detach under the lock, close
+// outside it: a Close racing an in-flight request must not deadlock
+// against exchange's critical section.
+func (c *Client) Close() {
+	c.connMu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}

@@ -1,0 +1,493 @@
+package clusterd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/obs"
+	"preemptsched/internal/yarn"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Addr is the wire-protocol listen address ("127.0.0.1:0" for tests).
+	Addr string
+	// OpsAddr, when non-empty, serves /metrics, /healthz, /readyz, and
+	// pprof on a second listener via obs.ServeOps.
+	OpsAddr string
+
+	// QueueSize bounds the admission queue: submissions beyond it are
+	// rejected with a retry-after hint, never buffered. Defaults to 64.
+	QueueSize int
+	// MaxInFlight bounds how many admitted jobs the dispatcher hands to
+	// the engine before waiting for completions. Defaults to 256.
+	MaxInFlight int
+	// RetryAfter is the backpressure hint returned with queue-full
+	// rejections. Defaults to 100ms.
+	RetryAfter time.Duration
+
+	// Cluster shapes the underlying yarn.Service.
+	Cluster yarn.Config
+	// Metrics receives the daemon's and the cluster's telemetry; a
+	// private registry is built when nil.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 100 * time.Millisecond
+	}
+	return c
+}
+
+// queuedJob is one admitted-but-not-yet-dispatched job.
+type queuedJob struct {
+	spec cluster.JobSpec
+}
+
+// Daemon accepts job submissions on the wire protocol and runs them on a
+// yarn.Service. Its lifecycle is the drain state machine documented in
+// DESIGN.md §12: Serving → Draining (Shutdown called: no new admissions,
+// queued and running jobs finish) → Stopped.
+type Daemon struct {
+	cfg Config
+	reg *obs.Registry
+	svc *yarn.Service
+
+	ln       net.Listener
+	opsAddr  string
+	opsStop  func()
+	queue    chan queuedJob
+	inflight chan struct{}
+
+	mu          sync.Mutex
+	state       string
+	conns       map[net.Conn]struct{}
+	outstanding map[cluster.JobID]struct{}
+
+	// firstLossErr keeps the first dispatch failure for the shutdown
+	// error: "N jobs lost" alone is undebuggable.
+	firstLossErr atomic.Value
+
+	submitted       atomic.Int64
+	admitted        atomic.Int64
+	rejected        atomic.Int64
+	completed       atomic.Int64
+	doubleCompleted atomic.Int64
+	lost            atomic.Int64
+	nextID          atomic.Int64
+
+	acceptWG   sync.WaitGroup
+	connWG     sync.WaitGroup
+	dispatchWG sync.WaitGroup
+	samplerWG  sync.WaitGroup
+
+	samplerStop chan struct{}
+	done        chan struct{}
+
+	res      *yarn.Result
+	closeErr error
+}
+
+// Start boots the cluster service, binds the wire listener (and the ops
+// endpoint when configured), and begins admitting jobs.
+func Start(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg.Cluster.Metrics = reg
+	// Pre-register the invariant counters so a scraper sees an explicit
+	// zero rather than an absent series: "jobs.lost 0" is the soak's
+	// pass criterion and must be distinguishable from "never measured".
+	reg.Add("clusterd.jobs.lost", 0)
+	reg.Add("clusterd.jobs.double.completed", 0)
+
+	svc, err := yarn.NewService(cfg.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("clusterd: %w", err)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		svc.Close()
+		return nil, fmt.Errorf("clusterd: listen %s: %w", cfg.Addr, err)
+	}
+
+	d := &Daemon{
+		cfg:         cfg,
+		reg:         reg,
+		svc:         svc,
+		ln:          ln,
+		queue:       make(chan queuedJob, cfg.QueueSize),
+		inflight:    make(chan struct{}, cfg.MaxInFlight),
+		state:       StateServing,
+		conns:       make(map[net.Conn]struct{}),
+		outstanding: make(map[cluster.JobID]struct{}),
+		samplerStop: make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if cfg.OpsAddr != "" {
+		addr, stop, err := obs.ServeOps(cfg.OpsAddr, reg, "preemptsched", d.ready)
+		if err != nil {
+			ln.Close()
+			svc.Close()
+			return nil, err
+		}
+		d.opsAddr, d.opsStop = addr, stop
+	}
+	d.dispatchWG.Add(1)
+	go d.dispatch(d.queue, d.inflight)
+	d.samplerWG.Add(1)
+	go d.sample(d.samplerStop)
+	d.acceptWG.Add(1)
+	go d.acceptLoop(&d.acceptWG)
+	return d, nil
+}
+
+// Addr returns the bound wire-protocol address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// OpsAddr returns the bound ops endpoint address, or "" when disabled.
+func (d *Daemon) OpsAddr() string { return d.opsAddr }
+
+// ready reports whether the daemon is admitting jobs; /readyz flips to
+// 503 the instant draining starts, before the wire listener goes away.
+func (d *Daemon) ready() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == StateServing
+}
+
+// acceptLoop owns the wire listener until Shutdown closes it.
+func (d *Daemon) acceptLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		d.mu.Lock()
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.connWG.Add(1)
+		go d.handleConn(&d.connWG, conn)
+	}
+}
+
+// handleConn serves one client's request/response stream.
+func (d *Daemon) handleConn(wg *sync.WaitGroup, conn net.Conn) {
+	defer wg.Done()
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF, malformed stream, or forced close during stop
+		}
+		resp := d.handle(&req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (d *Daemon) handle(req *Request) Response {
+	switch req.Op {
+	case "ping":
+		return Response{OK: true, State: d.stateNow()}
+	case "submit":
+		return d.admit(req.Job)
+	case "stats":
+		st := d.Stats()
+		return Response{OK: true, State: st.State, Stats: &st}
+	default:
+		return Response{Error: fmt.Sprintf("clusterd: unknown op %q", req.Op), State: d.stateNow()}
+	}
+}
+
+func (d *Daemon) stateNow() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// admit is the admission decision: O(1) and non-blocking by
+// construction — validate, then either reserve a queue slot or reject
+// with a retry-after hint. It never waits on the engine, which is what
+// keeps the p99 admission latency inside the DESIGN.md §12 budget.
+func (d *Daemon) admit(jr *JobRequest) Response {
+	start := time.Now()
+	defer func() {
+		d.reg.ObserveDuration("clusterd.admission.seconds", time.Since(start))
+	}()
+	d.submitted.Add(1)
+	d.reg.Inc("clusterd.jobs.submitted")
+
+	if jr == nil {
+		d.rejected.Add(1)
+		d.reg.Inc("clusterd.jobs.rejected")
+		return Response{Error: "clusterd: submit without job", State: d.stateNow()}
+	}
+	if err := jr.validate(); err != nil {
+		d.rejected.Add(1)
+		d.reg.Inc("clusterd.jobs.rejected")
+		return Response{Error: err.Error(), State: d.stateNow()}
+	}
+
+	d.mu.Lock()
+	if d.state != StateServing {
+		state := d.state
+		d.mu.Unlock()
+		d.rejected.Add(1)
+		d.reg.Inc("clusterd.jobs.rejected")
+		return Response{Error: "clusterd: draining, not admitting", State: state}
+	}
+	id := cluster.JobID(d.nextID.Add(1))
+	spec := jr.spec(id)
+	select {
+	case d.queue <- queuedJob{spec: spec}:
+		d.outstanding[id] = struct{}{}
+		depth := len(d.queue)
+		d.mu.Unlock()
+		d.admitted.Add(1)
+		d.reg.Inc("clusterd.jobs.admitted")
+		d.reg.SetGauge("clusterd.queue.depth", float64(depth))
+		return Response{OK: true, JobID: int64(id), State: StateServing}
+	default:
+		d.mu.Unlock()
+		d.rejected.Add(1)
+		d.reg.Inc("clusterd.jobs.rejected")
+		return Response{
+			Error:        "clusterd: admission queue full",
+			RetryAfterMS: d.cfg.RetryAfter.Milliseconds(),
+			State:        StateServing,
+		}
+	}
+}
+
+func (jr *JobRequest) validate() error {
+	if jr.Tasks <= 0 {
+		return fmt.Errorf("clusterd: job needs at least one task, got %d", jr.Tasks)
+	}
+	if jr.DurationMS <= 0 {
+		return fmt.Errorf("clusterd: job needs a positive duration, got %dms", jr.DurationMS)
+	}
+	if p := cluster.Priority(jr.Priority); p < cluster.MinPriority || p > cluster.MaxPriority {
+		return fmt.Errorf("clusterd: priority %d outside [%d,%d]", jr.Priority, cluster.MinPriority, cluster.MaxPriority)
+	}
+	return nil
+}
+
+// spec materializes the wire job as a JobSpec under the daemon-assigned
+// ID. Submit instants stay zero: the service stamps them with virtual
+// now at admission.
+func (jr *JobRequest) spec(id cluster.JobID) cluster.JobSpec {
+	foot := jr.MemFootprintBytes
+	if foot <= 0 {
+		foot = cluster.GiB(1)
+	}
+	j := cluster.JobSpec{ID: id, Priority: cluster.Priority(jr.Priority), User: jr.User}
+	for i := 0; i < jr.Tasks; i++ {
+		j.Tasks = append(j.Tasks, cluster.TaskSpec{
+			ID:           cluster.TaskID{Job: id, Index: int32(i)},
+			Priority:     j.Priority,
+			User:         j.User,
+			Demand:       cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(2)},
+			MemFootprint: foot,
+			Duration:     time.Duration(jr.DurationMS) * time.Millisecond,
+		})
+	}
+	return j
+}
+
+// dispatch moves admitted jobs from the queue into the engine, holding an
+// in-flight token per job so at most MaxInFlight are outstanding. The
+// token is released by the job's completion callback, so a stalled engine
+// backs pressure up through the queue to rejections at the edge.
+func (d *Daemon) dispatch(queue <-chan queuedJob, inflight chan struct{}) {
+	defer d.dispatchWG.Done()
+	for qj := range queue {
+		inflight <- struct{}{}
+		d.reg.SetGauge("clusterd.queue.depth", float64(len(queue)))
+		id := qj.spec.ID
+		err := d.svc.Submit(qj.spec, func(done yarn.JobDone) {
+			<-inflight
+			d.complete(done.ID)
+		})
+		if err != nil {
+			// Admitted but unrunnable: the job is lost. This cannot happen
+			// in the state machine (the dispatcher drains before the
+			// service closes) — counted rather than assumed.
+			<-inflight
+			d.mu.Lock()
+			delete(d.outstanding, id)
+			d.mu.Unlock()
+			d.lost.Add(1)
+			d.reg.Inc("clusterd.jobs.lost")
+			d.firstLossErr.CompareAndSwap(nil, err)
+		}
+	}
+}
+
+// complete is the engine-side completion callback: exactly one per
+// admitted job, anything else is a double completion.
+func (d *Daemon) complete(id cluster.JobID) {
+	d.mu.Lock()
+	_, ok := d.outstanding[id]
+	if ok {
+		delete(d.outstanding, id)
+	}
+	d.mu.Unlock()
+	if !ok {
+		d.doubleCompleted.Add(1)
+		d.reg.Inc("clusterd.jobs.double.completed")
+		return
+	}
+	d.completed.Add(1)
+	d.reg.Inc("clusterd.jobs.completed")
+}
+
+// sample publishes runtime gauges (goroutines, heap) every interval so
+// the soak harness can detect growth from /metrics alone.
+func (d *Daemon) sample(stop <-chan struct{}) {
+	defer d.samplerWG.Done()
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			d.reg.SetGauge("clusterd.goroutines", float64(runtime.NumGoroutine()))
+			d.reg.SetGauge("clusterd.heap.bytes", float64(ms.HeapAlloc))
+		}
+	}
+}
+
+// Stats snapshots the daemon's books.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	state := d.state
+	d.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := Stats{
+		State:           state,
+		Submitted:       d.submitted.Load(),
+		Admitted:        d.admitted.Load(),
+		Rejected:        d.rejected.Load(),
+		Completed:       d.completed.Load(),
+		Lost:            d.lost.Load(),
+		DoubleCompleted: d.doubleCompleted.Load(),
+		QueueDepth:      len(d.queue),
+		InFlight:        len(d.inflight),
+		Goroutines:      runtime.NumGoroutine(),
+		HeapBytes:       ms.HeapAlloc,
+		VirtualNowNS:    int64(d.svc.Now()),
+	}
+	if h, ok := d.reg.Snapshot().Histograms["clusterd.admission.seconds"]; ok {
+		st.AdmissionP99Sec = h.Quantile(0.99)
+	}
+	return st
+}
+
+// Result returns the cluster's aggregated result; valid after Shutdown.
+func (d *Daemon) Result() *yarn.Result { return d.res }
+
+// Shutdown executes the graceful drain: flip to Draining (rejecting new
+// submissions but still answering stats), dispatch everything already
+// admitted, run the engine dry, then tear down listeners, conns, the ops
+// server, and the sampler. If ctx expires mid-drain the cluster is
+// aborted instead — DFS I/O is cancelled so running work degrades to
+// kills and the drain converges quickly; no admitted job is lost either
+// way. Idempotent: later calls wait for the first and return its error.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if d.state != StateServing {
+		d.mu.Unlock()
+		<-d.done
+		return d.closeErr
+	}
+	d.state = StateDraining
+	close(d.queue)
+	d.mu.Unlock()
+
+	// Everything admitted reaches the engine, then the engine drains.
+	d.dispatchWG.Wait()
+	drained := make(chan struct{})
+	go func() {
+		d.res, d.closeErr = d.svc.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		d.svc.Abort()
+		<-drained
+	}
+
+	// Lost-job audit: after a full drain nothing may be outstanding.
+	d.mu.Lock()
+	for id := range d.outstanding {
+		delete(d.outstanding, id)
+		d.lost.Add(1)
+		d.reg.Inc("clusterd.jobs.lost")
+	}
+	d.mu.Unlock()
+	if n := d.lost.Load(); n > 0 && d.closeErr == nil {
+		d.closeErr = fmt.Errorf("clusterd: %d jobs lost in drain", n)
+		if first, ok := d.firstLossErr.Load().(error); ok {
+			d.closeErr = fmt.Errorf("clusterd: %d jobs lost in drain (first: %w)", n, first)
+		}
+	}
+
+	// Edge teardown: wire listener, open conns, ops server, sampler.
+	d.ln.Close()
+	d.acceptWG.Wait()
+	d.mu.Lock()
+	open := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		open = append(open, c)
+	}
+	d.state = StateStopped
+	d.mu.Unlock()
+	for _, c := range open {
+		c.Close()
+	}
+	d.connWG.Wait()
+	if d.opsStop != nil {
+		d.opsStop()
+	}
+	close(d.samplerStop)
+	d.samplerWG.Wait()
+	close(d.done)
+	return d.closeErr
+}
+
+// ErrNotDrained reports a soak invariant violation discoverable from
+// Stats; exported so callers can errors.Is on loadgen failures.
+var ErrNotDrained = errors.New("clusterd: jobs still outstanding")

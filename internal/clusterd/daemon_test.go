@@ -1,0 +1,246 @@
+package clusterd
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/faults"
+	"preemptsched/internal/obs"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/yarn"
+)
+
+func testConfig() Config {
+	cc := yarn.DefaultConfig(core.PolicyCheckpoint, storage.SSD)
+	cc.Nodes = 2
+	cc.ContainersPerNode = 2
+	return Config{
+		Addr:        "127.0.0.1:0",
+		QueueSize:   16,
+		MaxInFlight: 8,
+		RetryAfter:  10 * time.Millisecond,
+		Cluster:     cc,
+	}
+}
+
+func submitN(t *testing.T, cli *Client, n int) int64 {
+	t.Helper()
+	var accepted int64
+	for i := 0; i < n; i++ {
+		resp, err := cli.Submit(context.Background(), JobRequest{Priority: i % 12, Tasks: 1, DurationMS: 30_000})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if resp.OK {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// TestDaemonLifecycleLeakFree runs full start/submit/drain cycles and
+// asserts the goroutine count returns to baseline: nothing from the wire
+// listener, the dispatcher, the sampler, the ops server, or the cluster's
+// TCP DFS may survive Shutdown.
+func TestDaemonLifecycleLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		d, err := Start(testConfig())
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		cli := NewClient(d.Addr())
+		accepted := submitN(t, cli, 5)
+		cli.Close()
+		if err := d.Shutdown(context.Background()); err != nil {
+			t.Fatalf("cycle %d shutdown: %v", cycle, err)
+		}
+		st := d.Stats()
+		if st.Completed != accepted || st.Lost != 0 || st.DoubleCompleted != 0 {
+			t.Fatalf("cycle %d: completed=%d accepted=%d lost=%d double=%d",
+				cycle, st.Completed, accepted, st.Lost, st.DoubleCompleted)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew %d -> %d across daemon cycles", before, after)
+	}
+}
+
+// TestDaemonDrainMidStream SIGTERM-equivalent: Shutdown fires while
+// submitters are still streaming. Every job acknowledged OK must
+// complete exactly once; submissions landing after the drain begins must
+// be rejected as draining, not lost.
+func TestDaemonDrainMidStream(t *testing.T) {
+	d, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitters = 4
+	var (
+		wg       sync.WaitGroup
+		accepted [submitters]int64
+	)
+	stop := make(chan struct{})
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli := NewClient(d.Addr(), WithClientRetry(1, core.Backoff{}))
+			defer cli.Close()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cli.Submit(context.Background(), JobRequest{Priority: j % 12, Tasks: 1, DurationMS: 10_000})
+				if err != nil && resp == nil {
+					return // daemon gone
+				}
+				if resp != nil && resp.OK {
+					accepted[i]++
+				}
+				if resp != nil && resp.State == StateDraining {
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the stream run
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	var total int64
+	for _, a := range accepted {
+		total += a
+	}
+	st := d.Stats()
+	if st.Completed != total {
+		t.Errorf("accepted %d jobs but daemon completed %d", total, st.Completed)
+	}
+	if st.Lost != 0 || st.DoubleCompleted != 0 {
+		t.Errorf("lost=%d double=%d, want 0/0", st.Lost, st.DoubleCompleted)
+	}
+	if st.State != StateStopped {
+		t.Errorf("state = %q, want %q", st.State, StateStopped)
+	}
+}
+
+// TestAdmissionBackpressure pins the queue-full and draining rejection
+// semantics without timing races by driving admit directly.
+func TestAdmissionBackpressure(t *testing.T) {
+	d := &Daemon{
+		cfg:         Config{RetryAfter: 42 * time.Millisecond}.withDefaults(),
+		reg:         obs.NewRegistry(),
+		queue:       make(chan queuedJob, 1),
+		state:       StateServing,
+		outstanding: make(map[cluster.JobID]struct{}),
+	}
+	jr := &JobRequest{Priority: 1, Tasks: 1, DurationMS: 1000}
+
+	if resp := d.admit(jr); !resp.OK {
+		t.Fatalf("first admit rejected: %+v", resp)
+	}
+	resp := d.admit(jr)
+	if resp.OK {
+		t.Fatal("admit into a full queue succeeded")
+	}
+	if resp.RetryAfterMS != 42 {
+		t.Errorf("retry-after = %dms, want 42", resp.RetryAfterMS)
+	}
+
+	d.state = StateDraining
+	resp = d.admit(jr)
+	if resp.OK || resp.RetryAfterMS != 0 || resp.State != StateDraining {
+		t.Errorf("draining admit = %+v, want hard rejection with draining state", resp)
+	}
+
+	d.state = StateServing
+	if resp := d.admit(&JobRequest{Tasks: 0, DurationMS: 1}); resp.OK || resp.RetryAfterMS != 0 {
+		t.Errorf("invalid job admit = %+v, want hard rejection", resp)
+	}
+	if got := d.rejected.Load(); got != 3 {
+		t.Errorf("rejected counter = %d, want 3", got)
+	}
+}
+
+// TestWireProtocolErrors exercises the unknown-op and malformed-request
+// edges over a real connection.
+func TestWireProtocolErrors(t *testing.T) {
+	d, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+
+	cli := NewClient(d.Addr())
+	defer cli.Close()
+	resp, err := cli.do(context.Background(), &Request{Op: "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Errorf("bogus op response = %+v", resp)
+	}
+	if _, err := cli.do(context.Background(), &Request{Op: "submit"}); err != nil {
+		t.Errorf("submit without job should answer, got transport error %v", err)
+	}
+	state, err := cli.Ping(context.Background())
+	if err != nil || state != StateServing {
+		t.Errorf("ping = %q/%v, want serving/nil", state, err)
+	}
+}
+
+// TestSoakWithFaults is the in-process chaos soak: open-loop load with
+// the DFS fault injectors live, then drain and check every invariant the
+// CI soak job enforces (nothing lost, nothing doubled, p99 admission in
+// budget, bounded goroutine/heap growth).
+func TestSoakWithFaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.OpsAddr = "127.0.0.1:0"
+	cfg.Cluster.Faults = &faults.Plan{Seed: 11, RPCErrorRate: 0.02, TornWriteRate: 0.02}
+	d, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addr:         d.Addr(),
+		Rate:         100,
+		Duration:     dur,
+		Seed:         4242,
+		TasksPerJob:  2,
+		TaskDuration: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Accepted == 0 {
+		t.Fatalf("no load offered/accepted: %+v", rep)
+	}
+	if err := rep.Check(250*time.Millisecond, 20, 64<<20); err != nil {
+		t.Errorf("soak check: %v", err)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := d.Stats(); st.Lost != 0 || st.DoubleCompleted != 0 {
+		t.Errorf("post-drain lost=%d double=%d", st.Lost, st.DoubleCompleted)
+	}
+}

@@ -1,0 +1,91 @@
+// Package clusterd runs the YARN emulation as a long-lived network
+// service: a daemon that admits a continuous stream of job submissions
+// over a line-delimited JSON wire protocol, executes them on a
+// yarn.Service (real TCP DFS underneath, preemption and checkpointing
+// live), and survives sustained load with fault injection enabled.
+//
+// The package splits into the Daemon (bounded admission queue with
+// explicit backpressure, dispatcher, drain state machine), the wire
+// Client (per-request deadlines, capped jittered retry via
+// internal/core), and the LoadGen (seeded open-loop driver used by the
+// chaos soak).
+package clusterd
+
+// Wire protocol: one JSON object per line in each direction over a plain
+// TCP connection. A connection carries any number of request/response
+// pairs in order; there is no framing beyond the newline and no
+// pipelining. Ops:
+//
+//	ping    liveness probe; responds {"ok":true,"state":...}
+//	submit  admit one job; the daemon assigns the job ID
+//	stats   snapshot of the daemon's books (admission counters, queue
+//	        depth, runtime gauges) — the loadgen's settle/soak checks
+//	        ride on this instead of scraping HTTP
+type Request struct {
+	Op  string      `json:"op"`
+	Job *JobRequest `json:"job,omitempty"`
+}
+
+// JobRequest is the client-side job shape. The daemon owns identity (it
+// assigns monotonically increasing job IDs) so two clients can never
+// collide; demand per task is the paper's fixed container size.
+type JobRequest struct {
+	Priority int `json:"priority"`
+	Tasks    int `json:"tasks"`
+	// DurationMS is each task's virtual service time in milliseconds.
+	DurationMS int64 `json:"duration_ms"`
+	// MemFootprintBytes is the checkpointable footprint per task;
+	// defaults to 1 GiB when zero.
+	MemFootprintBytes int64  `json:"mem_footprint_bytes,omitempty"`
+	User              string `json:"user,omitempty"`
+}
+
+// Daemon states, reported in every response so clients can distinguish
+// backpressure (retry later) from drain (go away).
+const (
+	StateServing  = "serving"
+	StateDraining = "draining"
+	StateStopped  = "stopped"
+)
+
+// Response answers one request.
+type Response struct {
+	OK    bool   `json:"ok"`
+	JobID int64  `json:"job_id,omitempty"`
+	Error string `json:"error,omitempty"`
+	// RetryAfterMS, when positive, is a backpressure hint: the queue was
+	// full, try again after this pause. Zero on hard rejections
+	// (validation errors, draining) — retrying those is pointless.
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	State        string `json:"state,omitempty"`
+	Stats        *Stats `json:"stats,omitempty"`
+}
+
+// Stats is the daemon's bookkeeping snapshot. The lost/double-completed
+// counters are the soak test's acceptance criteria: both must be zero at
+// all times.
+type Stats struct {
+	State string `json:"state"`
+
+	Submitted int64 `json:"submitted"`
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	// Lost counts admitted jobs that will never complete (only ever
+	// non-zero after a failed drain); DoubleCompleted counts completion
+	// callbacks for jobs not outstanding. Both are invariant violations.
+	Lost            int64 `json:"lost"`
+	DoubleCompleted int64 `json:"double_completed"`
+
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+
+	Goroutines int    `json:"goroutines"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+
+	// AdmissionP99Sec is the p99 of the admission decision latency
+	// histogram (clusterd.admission.seconds).
+	AdmissionP99Sec float64 `json:"admission_p99_sec"`
+	// VirtualNowNS is the engine's virtual clock, nanoseconds.
+	VirtualNowNS int64 `json:"virtual_now_ns"`
+}

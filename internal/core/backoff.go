@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff computes capped, jittered exponential retry delays. It is the
+// one retry-pacing policy every client path in the repo shares: the DFS
+// client's RPC retries, the cluster daemon's wire-protocol client, and the
+// load generator's resubmission loop all pace themselves with it, so "how
+// hard do we hammer a struggling server" is a single tunable instead of a
+// per-call-site accident.
+//
+// The delay before retry attempt n (1-based) is Base<<(n-1), capped at
+// Cap, plus up to one Base unit of uniform jitter. Full-window jitter
+// would desynchronize better, but one-Base jitter preserves the DFS
+// client's historical pacing exactly, and the cap is what matters under
+// sustained overload: without it an exponential schedule quickly dwarfs
+// any per-request deadline and the caller times out sleeping.
+type Backoff struct {
+	// Base is the delay before the first retry; zero or negative disables
+	// sleeping entirely (retries go back-to-back).
+	Base time.Duration
+	// Cap bounds the exponential term; zero or negative means uncapped.
+	Cap time.Duration
+}
+
+// Delay returns the pause before retry attempt (1-based). intn, when
+// non-nil, supplies the jitter draw as a uniform integer in [0, n); pass
+// a seeded source to keep a run deterministic, or nil for no jitter.
+func (b Backoff) Delay(attempt int, intn func(n int64) int64) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.Base
+	// Shift without overflowing: once past the cap (or 63 bits) the
+	// exponential term saturates.
+	for i := 1; i < attempt; i++ {
+		if b.Cap > 0 && d >= b.Cap {
+			break
+		}
+		if d > maxDuration/2 {
+			d = maxDuration
+			break
+		}
+		d <<= 1
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	if intn != nil {
+		d += time.Duration(intn(int64(b.Base) + 1))
+	}
+	return d
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// Sleep pauses for d or until ctx is cancelled, whichever comes first,
+// returning ctx.Err on cancellation. It is the context-honoring
+// replacement for time.Sleep in retry and poll loops: a draining daemon
+// must not sit out a multi-second backoff before noticing shutdown.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs op up to attempts times, pacing retries with b and stopping
+// early on success, on a non-retryable error, or when ctx is cancelled
+// (between attempts and during backoff sleeps — never mid-op). retryable
+// decides whether an error is worth another attempt; nil retries every
+// error. intn supplies jitter as in Backoff.Delay. onRetry, when non-nil,
+// observes each retry attempt (1-based) before its backoff sleep —
+// callers hang their retry counters there.
+func Retry(ctx context.Context, attempts int, b Backoff, intn func(int64) int64,
+	retryable func(error) bool, onRetry func(attempt int), op func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if onRetry != nil {
+				onRetry(attempt)
+			}
+			if serr := Sleep(ctx, b.Delay(attempt, intn)); serr != nil {
+				return err // cancelled mid-backoff: surface the op's error
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return err
+		}
+		if err = op(); err == nil || (retryable != nil && !retryable(err)) {
+			return err
+		}
+	}
+	return err
+}

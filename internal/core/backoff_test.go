@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayExponentialAndCap(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped
+		8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i+1, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffDelayJitterBounded(t *testing.T) {
+	b := Backoff{Base: time.Millisecond}
+	intn := func(n int64) int64 { return n - 1 } // max jitter draw
+	if got := b.Delay(1, intn); got != 2*time.Millisecond {
+		t.Fatalf("max jitter delay = %v, want 2ms", got)
+	}
+	if got := b.Delay(1, func(int64) int64 { return 0 }); got != time.Millisecond {
+		t.Fatalf("zero jitter delay = %v, want 1ms", got)
+	}
+}
+
+func TestBackoffDelayZeroBase(t *testing.T) {
+	if got := (Backoff{}).Delay(5, nil); got != 0 {
+		t.Fatalf("zero-base delay = %v, want 0", got)
+	}
+}
+
+func TestBackoffDelayNoOverflow(t *testing.T) {
+	b := Backoff{Base: time.Hour}
+	if got := b.Delay(200, nil); got <= 0 {
+		t.Fatalf("uncapped huge attempt overflowed to %v", got)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Minute); err == nil {
+		t.Fatal("Sleep on cancelled ctx returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Sleep took %v", elapsed)
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 5, Backoff{}, nil, nil, nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Retry(context.Background(), 5, Backoff{}, nil,
+		func(err error) bool { return !errors.Is(err, permanent) }, nil,
+		func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want permanent/1", err, calls)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	transient := errors.New("transient")
+	calls, retries := 0, 0
+	err := Retry(context.Background(), 4, Backoff{}, nil, nil,
+		func(int) { retries++ },
+		func() error { calls++; return transient })
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if calls != 4 || retries != 3 {
+		t.Fatalf("calls=%d retries=%d, want 4/3", calls, retries)
+	}
+}
+
+func TestRetryCancelledBetweenAttempts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("transient")
+	calls := 0
+	err := Retry(ctx, 100, Backoff{Base: time.Millisecond}, nil, nil, nil, func() error {
+		calls++
+		cancel()
+		return transient
+	})
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want the op's transient error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled during first backoff)", calls)
+	}
+}
+
+func TestRetryCancelledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, 3, Backoff{}, nil, nil, nil, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d, want context.Canceled/0", err, calls)
+	}
+}

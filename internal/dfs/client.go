@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"preemptsched/internal/core"
 	"preemptsched/internal/obs"
 	"preemptsched/internal/storage"
 )
@@ -21,10 +23,12 @@ import (
 const DefaultBlockSize = 8 << 20
 
 // Retry defaults: up to DefaultRetries attempts per operation, sleeping
-// DefaultBackoff * 2^(attempt-1) plus jitter between attempts.
+// DefaultBackoff * 2^(attempt-1) plus jitter between attempts, never more
+// than DefaultBackoffCap per pause (the shared core.Backoff schedule).
 const (
-	DefaultRetries = 4
-	DefaultBackoff = time.Millisecond
+	DefaultRetries    = 4
+	DefaultBackoff    = time.Millisecond
+	DefaultBackoffCap = 250 * time.Millisecond
 )
 
 // ClientStats counts a client's fault-recovery actions. All fields are
@@ -56,9 +60,15 @@ type Client struct {
 	localID   string
 	blockSize int
 
+	// ctx bounds every retry loop: cancellation is checked before each
+	// attempt and interrupts backoff sleeps, so a draining daemon's
+	// clients stop retrying instead of sitting out the schedule.
+	ctx     context.Context
 	retries int
-	backoff time.Duration
-	sleep   func(time.Duration)
+	backoff core.Backoff
+	// sleep, when non-nil, replaces the context-aware backoff pause; it
+	// exists for tests that must not spend real time.
+	sleep func(time.Duration)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -98,7 +108,18 @@ func WithRetry(attempts int, backoff time.Duration) ClientOption {
 			c.retries = attempts
 		}
 		if backoff >= 0 {
-			c.backoff = backoff
+			c.backoff.Base = backoff
+		}
+	}
+}
+
+// WithContext bounds the client's retry loops by ctx: once it is
+// cancelled, in-flight operations stop retrying and backoff sleeps return
+// early. The default is context.Background (retry to budget exhaustion).
+func WithContext(ctx context.Context) ClientOption {
+	return func(c *Client) {
+		if ctx != nil {
+			c.ctx = ctx
 		}
 	}
 }
@@ -114,9 +135,9 @@ func NewClient(transport Transport, opts ...ClientOption) *Client {
 	c := &Client{
 		transport: transport,
 		blockSize: DefaultBlockSize,
+		ctx:       context.Background(),
 		retries:   DefaultRetries,
-		backoff:   DefaultBackoff,
-		sleep:     time.Sleep,
+		backoff:   core.Backoff{Base: DefaultBackoff, Cap: DefaultBackoffCap},
 		// Seeded jitter keeps the event-driven emulation deterministic.
 		rng: rand.New(rand.NewSource(1)),
 	}
@@ -138,29 +159,44 @@ func (c *Client) Stats() ClientStats {
 	}
 }
 
-// backoffFor returns the sleep before retry attempt (1-based): exponential
-// in the attempt number plus up to one base unit of jitter.
-func (c *Client) backoffFor(attempt int) time.Duration {
-	if c.backoff <= 0 {
-		return 0
-	}
-	d := c.backoff << uint(attempt-1)
+// intn draws a jitter value from the client's seeded PRNG; it is the
+// core.Backoff jitter source, mutex-guarded because retries from several
+// goroutines share one client.
+func (c *Client) intn(n int64) int64 {
 	c.rngMu.Lock()
-	jitter := time.Duration(c.rng.Int63n(int64(c.backoff) + 1))
-	c.rngMu.Unlock()
-	return d + jitter
+	defer c.rngMu.Unlock()
+	return c.rng.Int63n(n)
 }
 
-// retry runs op up to the retry budget, backing off between attempts, and
-// stops early on success or a permanent (semantic) error.
+// pause sleeps the capped-jitter backoff delay before retry attempt
+// (1-based), honoring context cancellation: a cancelled context returns
+// its error immediately, including mid-sleep.
+func (c *Client) pause(attempt int) error {
+	d := c.backoff.Delay(attempt, c.intn)
+	if c.sleep != nil { // test hook: no real time, but still cancellable
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		c.sleep(d)
+		return c.ctx.Err()
+	}
+	return core.Sleep(c.ctx, d)
+}
+
+// retry runs op up to the retry budget, backing off between attempts with
+// the shared capped-jitter schedule, and stops early on success, on a
+// permanent (semantic) error, or when the client's context is cancelled.
 func (c *Client) retry(op func() error) error {
 	var err error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 {
 			c.retryCount.Add(1)
 			c.obs.Inc("dfs.client.retries")
-			if d := c.backoffFor(attempt); d > 0 {
-				c.sleep(d)
+			if perr := c.pause(attempt); perr != nil {
+				if err == nil {
+					err = perr
+				}
+				return err
 			}
 		}
 		if err = op(); err == nil || !IsTransient(err) {
@@ -362,8 +398,11 @@ func (c *Client) readBlock(loc BlockLocation) ([]byte, error) {
 		if round > 0 {
 			c.retryCount.Add(1)
 			c.obs.Inc("dfs.client.retries")
-			if d := c.backoffFor(round); d > 0 {
-				c.sleep(d)
+			if perr := c.pause(round); perr != nil {
+				if lastErr == nil {
+					lastErr = perr
+				}
+				break
 			}
 		}
 		for i, dn := range order {

@@ -157,6 +157,7 @@ func TestMetricName(t *testing.T) {
 func TestCtxLeak(t *testing.T) {
 	runAnalyzerGolden(t, CtxLeak, []tdPkg{
 		{"ctxleak/dfs", "preemptsched/internal/dfs"},
+		{"ctxleak/clusterd", "preemptsched/internal/clusterd"},
 	})
 }
 

@@ -1,0 +1,27 @@
+// Package clusterd is ctxleak testdata loaded under the import path
+// preemptsched/internal/clusterd: the daemon package is a long-running
+// server and gets the full goroutine and sleep-loop checks.
+package clusterd
+
+import "time"
+
+func orphanDispatcher() {
+	go func() { // want "goroutine has no cancellation path"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func pollDaemon(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want "time.Sleep in a retry/poll loop"
+	}
+}
+
+func trackedDispatcher(queue chan int) {
+	go func() {
+		for range queue {
+		}
+	}()
+}

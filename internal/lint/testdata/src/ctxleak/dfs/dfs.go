@@ -5,6 +5,7 @@ package dfs
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 func orphan() {
@@ -45,3 +46,58 @@ func namedWithChannel(stop chan struct{}) {
 }
 
 func waitFor(stop chan struct{}) { <-stop }
+
+func sleepRetry(op func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond) // want "time.Sleep in a retry/poll loop"
+	}
+	return err
+}
+
+func sleepForever() {
+	for {
+		time.Sleep(time.Second) // want "time.Sleep in a retry/poll loop"
+	}
+}
+
+func sleepWithCtx(ctx context.Context, op func() error) error {
+	for ctx.Err() == nil {
+		if op() == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond) // ok: the condition observes ctx
+	}
+	return ctx.Err()
+}
+
+func sleepWithStop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		time.Sleep(time.Millisecond) // ok: the select observes stop
+	}
+}
+
+func sleepOutsideLoop() {
+	time.Sleep(time.Millisecond) // ok: not a loop
+}
+
+func innerLoopOwnsSleep(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for i := 0; i < 3; i++ {
+			time.Sleep(time.Millisecond) // want "time.Sleep in a retry/poll loop"
+		}
+	}
+}

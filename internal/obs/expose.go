@@ -171,6 +171,35 @@ func ServePprof(addr string) (string, func(), error) {
 	return serveBackground(addr, mux)
 }
 
+// ServeOps starts a daemon's operations endpoint on addr: the registry's
+// /metrics and /metrics.json, liveness at /healthz (200 while the
+// process serves), readiness at /readyz (503 once ready reports false —
+// a draining daemon stops being ready long before it stops being alive),
+// and the pprof handlers for heap/goroutine deltas. One stoppable server
+// covers everything a soak harness scrapes.
+func ServeOps(addr string, r *Registry, namespace string, ready func() bool) (string, func(), error) {
+	mux := http.NewServeMux()
+	metrics := r.Handler(namespace)
+	mux.Handle("/metrics", metrics)
+	mux.Handle("/metrics.json", metrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready != nil && !ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return serveBackground(addr, mux)
+}
+
 // serveBackground binds addr, serves handler on a tracked goroutine, and
 // returns the bound address plus a stop function that closes the server
 // and waits for the goroutine — no serve loop outlives its owner.

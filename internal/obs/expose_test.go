@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -141,5 +142,50 @@ func TestRegistryHandler(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestServeOps(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("hits")
+	var ready atomic.Bool
+	ready.Store(true)
+	addr, stop, err := ServeOps("127.0.0.1:0", r, "preemptsched", ready.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz while serving = %d, want 200", code)
+	}
+	ready.Store(false)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz while draining = %d %q, want 503 draining", code, body)
+	}
+	// Health stays green during a drain: the process is alive and must
+	// not be restarted out from under its own shutdown.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200", code)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "preemptsched_hits 1") {
+		t.Errorf("/metrics = %d, missing counter:\n%s", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
 	}
 }

@@ -618,6 +618,10 @@ func (am *AppMaster) onComplete(t *taskRun, now sim.Time) {
 		resp := time.Duration(now - am.job.Submit).Seconds()
 		am.c.res.JobResponseSec[am.job.Band()].Add(resp)
 		am.c.res.JobResponseAllSec.Add(resp)
+		if fn := am.c.jobDone[am.job.ID]; fn != nil {
+			delete(am.c.jobDone, am.job.ID)
+			fn(JobDone{ID: am.job.ID, At: now, ResponseSec: resp, Tasks: len(am.job.Tasks)})
+		}
 	}
 	am.c.rm.schedulePass(now)
 }

@@ -3,6 +3,7 @@ package yarn
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"preemptsched/internal/checkpoint"
@@ -46,6 +47,15 @@ type Cluster struct {
 
 	imageBytes int64
 	dumps      int
+
+	// jobDone maps a job to its completion callback (service mode); the
+	// callback fires on the engine goroutine the moment the job's last
+	// task completes, so it must not block.
+	jobDone map[cluster.JobID]func(JobDone)
+	// cleanups tear down real resources (TCP listeners, transports) in
+	// reverse order; serveWG tracks the dfs.Serve goroutines they stop.
+	cleanups []func()
+	serveWG  sync.WaitGroup
 }
 
 // buildDFS assembles the in-process DFS the checkpoints live in. With
@@ -154,15 +164,17 @@ func (c *Cluster) scrubAll() {
 	}
 }
 
-// Run executes jobs on a freshly assembled framework under cfg and returns
-// the aggregated result.
-func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
+// newCluster assembles a framework instance — engine, DFS substrate,
+// checkpoint engine, NodeManagers, RM — ready to accept jobs. tcpDFS
+// selects the real-TCP DFS (service mode) over the in-process transport.
+func newCluster(cfg Config, tcpDFS bool) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 
-	c := &Cluster{cfg: cfg, engine: sim.NewEngine(), tracer: cfg.Tracer, reg: cfg.Metrics}
+	c := &Cluster{cfg: cfg, engine: sim.NewEngine(), tracer: cfg.Tracer, reg: cfg.Metrics,
+		jobDone: make(map[cluster.JobID]func(JobDone))}
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
 	}
@@ -186,7 +198,14 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	if repl > cfg.Nodes {
 		repl = cfg.Nodes
 	}
-	if err := c.buildDFS(repl); err != nil {
+	var err error
+	if tcpDFS {
+		err = c.buildTCPDFS(repl)
+	} else {
+		err = c.buildDFS(repl)
+	}
+	if err != nil {
+		c.close()
 		return nil, fmt.Errorf("yarn: build dfs: %w", err)
 	}
 
@@ -203,7 +222,11 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		} else {
 			dev = storage.NewDevice(cfg.StorageKind)
 		}
-		cli := dfs.NewClient(c.dfsView, dfs.WithLocalNode(fmt.Sprintf("dn-%d", i)), dfs.WithObserver(c.reg))
+		opts := []dfs.ClientOption{dfs.WithLocalNode(fmt.Sprintf("dn-%d", i)), dfs.WithObserver(c.reg)}
+		if cfg.clientCtx != nil {
+			opts = append(opts, dfs.WithContext(cfg.clientCtx))
+		}
+		cli := dfs.NewClient(c.dfsView, opts...)
 		var store storage.Store = cli
 		if c.injector != nil {
 			store = faults.WrapStore(cli, c.injector)
@@ -211,27 +234,19 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		c.nodes = append(c.nodes, newNodeManager(i, cfg, dev, cli, store))
 	}
 	c.rm = newResourceManager(c)
+	return c, nil
+}
 
-	totalTasks := 0
-	for i := range jobs {
-		spec := &jobs[i]
-		if err := spec.Validate(); err != nil {
-			return nil, fmt.Errorf("yarn: %w", err)
-		}
-		totalTasks += len(spec.Tasks)
-		am := newAppMaster(c, spec)
-		c.engine.ScheduleAt(spec.Submit, func(now sim.Time) {
-			am.submit(now)
-		})
-	}
-
-	end := c.engine.Run()
+// finish closes the books at virtual time end: the final scrub drain, the
+// makespan, per-node energy/IO/DFS totals, injector counts, and the
+// metrics snapshot.
+func (c *Cluster) finish(end sim.Time) {
 	// Drain residual bit rot before the books close: one healing pass
 	// catches replicas flipped after the last cadence scrub, then a second
 	// pass counts what is still corrupt. FinalScrubCorrupt == 0 is the
 	// one-snapshot proof that the cluster converged to zero corrupt
 	// replicas.
-	if cfg.ScrubEveryNDumps > 0 {
+	if c.cfg.ScrubEveryNDumps > 0 {
 		c.scrubAll()
 		before := c.res.ScrubCorruptFound
 		c.scrubAll()
@@ -252,6 +267,41 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		c.res.FaultsInjected = c.injector.Counters().Snapshot()
 	}
 	c.finishMetrics()
+}
+
+// close releases the cluster's real resources (TCP listeners, pooled
+// connections) in reverse acquisition order and waits for the serve
+// goroutines they stop. A no-op for the in-process substrate.
+func (c *Cluster) close() {
+	for i := len(c.cleanups) - 1; i >= 0; i-- {
+		c.cleanups[i]()
+	}
+	c.cleanups = nil
+	c.serveWG.Wait()
+}
+
+// Run executes jobs on a freshly assembled framework under cfg and returns
+// the aggregated result.
+func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
+	c, err := newCluster(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	totalTasks := 0
+	for i := range jobs {
+		spec := &jobs[i]
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("yarn: %w", err)
+		}
+		totalTasks += len(spec.Tasks)
+		am := newAppMaster(c, spec)
+		c.engine.ScheduleAt(spec.Submit, func(now sim.Time) {
+			am.submit(now)
+		})
+	}
+
+	end := c.engine.Run()
+	c.finish(end)
 	if c.res.TasksCompleted != totalTasks {
 		// Return the partial result alongside the error so callers can
 		// surface the telemetry of an aborted run.

@@ -15,6 +15,7 @@
 package yarn
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -111,6 +112,12 @@ type Config struct {
 	// restart. The injector is seeded, so faulted runs stay
 	// deterministic.
 	Faults *faults.Plan
+
+	// clientCtx, when non-nil, is threaded into every node's DFS client so
+	// an aborting service can cut its real-TCP retry loops short. Service
+	// mode sets it; batch Run leaves it nil (the in-process transport never
+	// blocks, so there is nothing to cancel).
+	clientCtx context.Context
 }
 
 // DefaultConfig returns the paper's cluster shape for the given policy and
@@ -285,8 +292,9 @@ type Result struct {
 
 	// TaskChecksums holds a checksum of each task's final computed state,
 	// proving that preempted-and-resumed executions produced exactly the
-	// results of undisturbed ones.
-	TaskChecksums map[cluster.TaskID]uint64
+	// results of undisturbed ones. Excluded from JSON: the struct key has
+	// no JSON representation and the map is in-process verification state.
+	TaskChecksums map[cluster.TaskID]uint64 `json:"-"`
 
 	// Metrics is the observability snapshot of the run: latency histograms
 	// (yarn.dump.*, yarn.restore.*, dfs.client.block.*), policy-decision

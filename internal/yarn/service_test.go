@@ -1,0 +1,156 @@
+package yarn
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/core"
+	"preemptsched/internal/faults"
+	"preemptsched/internal/storage"
+)
+
+func serviceJob(id cluster.JobID, prio cluster.Priority, tasks int, dur time.Duration) cluster.JobSpec {
+	j := cluster.JobSpec{ID: id, Priority: prio}
+	for i := 0; i < tasks; i++ {
+		j.Tasks = append(j.Tasks, cluster.TaskSpec{
+			ID:           cluster.TaskID{Job: id, Index: int32(i)},
+			Priority:     prio,
+			Demand:       cluster.Resources{CPUMillis: cluster.Cores(1), MemBytes: cluster.GiB(2)},
+			MemFootprint: cluster.GiB(1),
+			Duration:     dur,
+		})
+	}
+	return j
+}
+
+func serviceConfig(policy core.Policy) Config {
+	cfg := DefaultConfig(policy, storage.SSD)
+	cfg.Nodes = 2
+	cfg.ContainersPerNode = 2
+	return cfg
+}
+
+// TestServiceStreamsJobsToCompletion boots the service over real TCP
+// listeners, streams jobs in concurrently, and verifies every completion
+// callback fires exactly once before Close returns.
+func TestServiceStreamsJobsToCompletion(t *testing.T) {
+	s, err := NewService(serviceConfig(core.PolicyCheckpoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 6
+	var (
+		mu   sync.Mutex
+		done = make(map[cluster.JobID]int)
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(id cluster.JobID) {
+			defer wg.Done()
+			err := s.Submit(serviceJob(id, cluster.Priority(id)%11, 2, 30*time.Second), func(d JobDone) {
+				mu.Lock()
+				done[d.ID]++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("submit %d: %v", id, err)
+			}
+		}(cluster.JobID(i))
+	}
+	wg.Wait()
+	res, err := s.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(done) != jobs {
+		t.Fatalf("completions for %d jobs, want %d", len(done), jobs)
+	}
+	for id, n := range done {
+		if n != 1 {
+			t.Errorf("job %d completed %d times", id, n)
+		}
+	}
+	if res.JobsCompleted != jobs || res.TasksCompleted != jobs*2 {
+		t.Errorf("result jobs=%d tasks=%d, want %d/%d", res.JobsCompleted, res.TasksCompleted, jobs, jobs*2)
+	}
+}
+
+// TestServiceRejectsAfterClose proves the no-admission half of the drain
+// contract and that Close is idempotent.
+func TestServiceRejectsAfterClose(t *testing.T) {
+	s, err := NewService(serviceConfig(core.PolicyKill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := s.Submit(serviceJob(0, 0, 1, time.Second), nil); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("submit after close = %v, want ErrServiceClosed", err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestServiceDuplicateAndInvalidSubmitRejected exercises the validation
+// edge of admission without losing the loop.
+func TestServiceDuplicateAndInvalidSubmitRejected(t *testing.T) {
+	s, err := NewService(serviceConfig(core.PolicyCheckpoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Submit(cluster.JobSpec{ID: 9}, nil); err == nil {
+		t.Error("taskless job admitted")
+	}
+	long := serviceJob(1, 0, 1, 10*time.Minute)
+	if err := s.Submit(long, func(JobDone) {}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if err := s.Submit(serviceJob(1, 0, 1, time.Second), func(JobDone) {}); err == nil {
+		t.Error("duplicate running job admitted")
+	}
+}
+
+// TestServiceAbortUnderFaults drives the service with the fault injector
+// live, then aborts mid-stream: every admitted job must still complete
+// (the kill/restart ladder absorbs cancelled DFS I/O) and the listeners
+// and serve goroutines must be gone afterwards.
+func TestServiceAbortUnderFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := serviceConfig(core.PolicyCheckpoint)
+	cfg.Faults = &faults.Plan{Seed: 7, RPCErrorRate: 0.05, TornWriteRate: 0.05}
+	s, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Submit(serviceJob(cluster.JobID(i), 10, 1, time.Minute), nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	res, err := s.Abort()
+	if err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if res.JobsCompleted != 4 {
+		t.Errorf("jobs completed = %d, want 4", res.JobsCompleted)
+	}
+	// The serve goroutines exit when close() returns; give the runtime a
+	// beat to reap them before comparing counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew %d -> %d across service lifecycle", before, after)
+	}
+}
