@@ -16,8 +16,13 @@ import (
 	"strconv"
 	"testing"
 
+	"preemptsched/internal/core"
 	"preemptsched/internal/experiments"
 	"preemptsched/internal/metrics"
+	"preemptsched/internal/obs"
+	"preemptsched/internal/storage"
+	"preemptsched/internal/workload"
+	"preemptsched/internal/yarn"
 )
 
 // benchOptions shrinks the inputs so the full suite completes in tens of
@@ -239,3 +244,50 @@ func benchRunAll(b *testing.B, parallel int) {
 func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
 
 func BenchmarkRunAll(b *testing.B) { benchRunAll(b, 0) }
+
+// benchYarnPreempt runs one contended mini-YARN workload (2 nodes × 8
+// slots against 8 jobs / 240 tasks forces ~32 preemption decisions),
+// optionally with the decision-provenance flight recorder and the live
+// SLO engine attached — the always-on service-mode configuration.
+func benchYarnPreempt(b *testing.B, record bool) {
+	wc := workload.DefaultFacebookConfig()
+	wc.Seed = 21
+	wc.Jobs = 8
+	wc.TotalTasks = 240
+	jobs, err := workload.Facebook(wc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var records, preemptions uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := yarn.DefaultConfig(core.PolicyAdaptive, storage.SSD)
+		cfg.Nodes = 2
+		cfg.ContainersPerNode = 8
+		var rec *obs.Recorder
+		if record {
+			rec = obs.NewRecorder(0, 0)
+			cfg.Recorder = rec
+			cfg.SLO = obs.NewSLOTracker()
+		}
+		r, err := yarn.Run(cfg, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		preemptions = uint64(r.Preemptions)
+		if record {
+			records = rec.Seq()
+		}
+	}
+	b.ReportMetric(float64(preemptions), "preemptions")
+	if record {
+		b.ReportMetric(float64(records), "journal_records")
+	}
+}
+
+// The RecorderOff/RecorderOn pair is the flight recorder's overhead
+// gate: BENCH_baseline.json carries both, so cmd/benchdiff catches the
+// always-on journal path getting expensive relative to the bare run.
+func BenchmarkYarnRecorderOff(b *testing.B) { benchYarnPreempt(b, false) }
+
+func BenchmarkYarnRecorderOn(b *testing.B) { benchYarnPreempt(b, true) }

@@ -12,6 +12,7 @@
 //	         [-program kmeans] [-precopy] [-replication 3]
 //	         [-fault-rpc-rate P] [-fault-torn-rate P] [-fault-create-rate P]
 //	         [-fault-seed S] [-drain-timeout 2m] [-report final.json]
+//	         [-journal clusterd.journal]
 //
 // Admission is bounded and explicit: once the queue is full, submissions
 // are rejected with a retry-after hint — nothing is buffered without
@@ -22,7 +23,12 @@
 // on the kill path instead of waiting out retries.
 //
 // The ops endpoint (-ops-addr) serves /metrics, /metrics.json, /healthz,
-// /readyz, and /debug/pprof/ — everything the chaos soak scrapes.
+// /readyz, /slo, and /debug/pprof/ — everything the chaos soak scrapes.
+//
+// The flight recorder is always on: every preemption decision lands in a
+// bounded in-memory ring, flushed to -journal on drain, abort, or panic,
+// so the last ~2 MiB of decision provenance survives any exit and can be
+// interrogated with cmd/explain.
 package main
 
 import (
@@ -83,6 +89,7 @@ func run() error {
 	faultTornRate := flag.Float64("fault-torn-rate", 0, "probability a checkpoint write tears short")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain deadline; past it DFS I/O is aborted and the drain converges on the kill path")
 	reportPath := flag.String("report", "", "write the final JSON report (daemon stats + cluster result) here on exit")
+	journalPath := flag.String("journal", "clusterd.journal", "flush the decision-provenance journal here on exit or panic (empty disables)")
 	flag.Parse()
 
 	policy, err := core.ParsePolicy(*policyFlag)
@@ -121,6 +128,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// A panic must not take the journal down with it: flush the ring,
+	// then re-panic so the crash still reports normally.
+	defer func() {
+		if r := recover(); r != nil {
+			flushJournal(*journalPath, d)
+			panic(r)
+		}
+	}()
 	fmt.Printf("clusterd listening on %s (policy=%v storage=%s, queue=%d, max-in-flight=%d)\n",
 		d.Addr(), policy, kind, *queue, *maxInFlight)
 	if d.OpsAddr() != "" {
@@ -147,6 +162,11 @@ func run() error {
 	st := d.Stats()
 	fmt.Printf("clusterd: drained — %d submitted, %d admitted, %d rejected, %d completed, %d lost, %d double-completed\n",
 		st.Submitted, st.Admitted, st.Rejected, st.Completed, st.Lost, st.DoubleCompleted)
+	if *journalPath != "" {
+		flushJournal(*journalPath, d)
+		fmt.Printf("journal: %s (%d records kept, %d dropped)\n",
+			*journalPath, d.Recorder().Retained(), d.Recorder().Dropped())
+	}
 	if *reportPath != "" {
 		if err := writeReport(*reportPath, d, st, drainErr); err != nil {
 			return err
@@ -164,6 +184,17 @@ type finalReport struct {
 	Error    string         `json:"error,omitempty"`
 	Makespan float64        `json:"makespan_seconds"`
 	Result   *yarn.Result   `json:"result,omitempty"`
+}
+
+// flushJournal persists the flight-recorder ring; failures are reported
+// but never mask the exit path that triggered the flush.
+func flushJournal(path string, d *clusterd.Daemon) {
+	if path == "" {
+		return
+	}
+	if err := d.Recorder().SaveTo(path); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterd: journal:", err)
+	}
 }
 
 func writeReport(path string, d *clusterd.Daemon, st clusterd.Stats, drainErr error) error {

@@ -37,9 +37,14 @@
 //	-metrics-linger 30s   keep the endpoint up after the run ends
 //	-trace-out run.json   write a Chrome trace_event file (load in
 //	                      Perfetto / chrome://tracing)
+//	-journal-out run.pjl  write the decision-provenance journal (inspect
+//	                      with cmd/explain)
 //	-report-json r.json   write the machine-readable run report
 //	                      (schema: docs/report.schema.json)
 //	-pprof-addr :6060     serve net/http/pprof
+//
+// Both -trace-out and -journal-out publish through a temp file and an
+// atomic rename, so an abort mid-run never leaves a torn artifact behind.
 package main
 
 import (
@@ -97,6 +102,7 @@ func run() error {
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics endpoint alive this long after the run ends")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this HTTP address")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+	journalOut := flag.String("journal-out", "", "write the decision-provenance journal to this file (read with cmd/explain)")
 	reportJSON := flag.String("report-json", "", "write the machine-readable run report to this file")
 	flag.Parse()
 
@@ -148,8 +154,8 @@ func run() error {
 	}
 
 	if len(policies)*len(kinds) > 1 {
-		if *metricsAddr != "" || *pprofAddr != "" || *traceOut != "" {
-			return fmt.Errorf("-metrics-addr, -pprof-addr and -trace-out apply to single runs, not sweeps")
+		if *metricsAddr != "" || *pprofAddr != "" || *traceOut != "" || *journalOut != "" {
+			return fmt.Errorf("-metrics-addr, -pprof-addr, -trace-out and -journal-out apply to single runs, not sweeps")
 		}
 		return runSweepMode(sweepSpecs(policies, kinds), *parallel, makeRun, *reportJSON)
 	}
@@ -166,6 +172,11 @@ func run() error {
 	if *traceOut != "" {
 		tracer = obs.NewTracer(obs.DefaultTracerCapacity)
 		cfg.Tracer = tracer
+	}
+	var rec *obs.Recorder
+	if *journalOut != "" {
+		rec = obs.NewRecorder(0, 0)
+		cfg.Recorder = rec
 	}
 	if *metricsAddr != "" {
 		addr, stop, err := obs.ServeMetrics(*metricsAddr, reg, "preemptsched")
@@ -204,6 +215,12 @@ func run() error {
 			return err
 		}
 		fmt.Printf("trace:   %s (%d spans, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
+	if *journalOut != "" {
+		if err := rec.SaveTo(*journalOut); err != nil {
+			return fmt.Errorf("journal-out: %w", err)
+		}
+		fmt.Printf("journal: %s (%d records kept, %d dropped)\n", *journalOut, rec.Retained(), rec.Dropped())
 	}
 	if *reportJSON != "" {
 		if err := writeReport(*reportJSON, r, runErr); err != nil {
@@ -275,15 +292,10 @@ func linger(d time.Duration) {
 }
 
 func writeTrace(tracer *obs.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := obs.WriteFileAtomic(path, tracer.WriteChromeTrace); err != nil {
 		return fmt.Errorf("trace-out: %w", err)
 	}
-	if err := tracer.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return fmt.Errorf("trace-out: %w", err)
-	}
-	return f.Close()
+	return nil
 }
 
 // latencySummary is the per-distribution digest the report carries.
@@ -323,7 +335,7 @@ type integritySummary struct {
 
 // report is the machine-readable run summary; docs/report.schema.json is
 // its contract and cmd/reportcheck validates instances against it.
-// Schema version 2 added the integrity object.
+// Schema version 2 added the integrity object; version 3 the slo object.
 type report struct {
 	SchemaVersion   int                       `json:"schema_version"`
 	Policy          string                    `json:"policy"`
@@ -335,13 +347,14 @@ type report struct {
 	Gauges          map[string]float64        `json:"gauges"`
 	PolicyDecisions map[string]int64          `json:"policy_decisions"`
 	Integrity       integritySummary          `json:"integrity"`
+	SLO             obs.SLOSnapshot           `json:"slo"`
 	Latencies       map[string]latencySummary `json:"latencies_seconds"`
 }
 
 func writeReport(path string, r *yarn.Result, runErr error) error {
 	snap := r.Metrics
 	rep := report{
-		SchemaVersion:   2,
+		SchemaVersion:   3,
 		Policy:          r.Policy.String(),
 		Storage:         r.Storage,
 		Aborted:         runErr != nil,
@@ -361,6 +374,7 @@ func writeReport(path string, r *yarn.Result, runErr error) error {
 			FinalScrubCorrupt:     r.FinalScrubCorrupt,
 			RestoreVerifyFailures: int64(r.RestoreVerifyFailures),
 		},
+		SLO: r.SLO,
 	}
 	if rep.Counts == nil {
 		rep.Counts = map[string]int64{}

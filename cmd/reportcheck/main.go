@@ -8,15 +8,23 @@
 // degraded or was lost, and the end-of-run verification scrub found the
 // cluster converged back to zero corrupt replicas.
 //
+// With -slo it asserts the live-SLO-engine contract on the report's slo
+// object: the incremental tallies agree with the batch counters the run
+// published (decision counts, fallback kills, completed jobs), the
+// derived ratios recompute from their inputs, and every per-band
+// response distribution is internally consistent (monotone percentiles
+// bounded by the max).
+//
 // Usage:
 //
-//	reportcheck [-schema docs/report.schema.json] [-integrity] report.json
+//	reportcheck [-schema docs/report.schema.json] [-integrity] [-slo] report.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"preemptsched/internal/faults"
@@ -26,19 +34,20 @@ import (
 func main() {
 	schemaPath := flag.String("schema", "docs/report.schema.json", "report JSON schema")
 	integrity := flag.Bool("integrity", false, "also assert the corruption-chaos integrity contract")
+	slo := flag.Bool("slo", false, "also assert the live-SLO-engine consistency contract")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] [-integrity] report.json")
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] [-integrity] [-slo] report.json")
 		os.Exit(2)
 	}
-	if err := run(*schemaPath, flag.Arg(0), *integrity); err != nil {
+	if err := run(*schemaPath, flag.Arg(0), *integrity, *slo); err != nil {
 		fmt.Fprintln(os.Stderr, "reportcheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s conforms to %s\n", flag.Arg(0), *schemaPath)
 }
 
-func run(schemaPath, reportPath string, integrity bool) error {
+func run(schemaPath, reportPath string, integrity, slo bool) error {
 	schema, err := os.ReadFile(schemaPath)
 	if err != nil {
 		return err
@@ -51,7 +60,12 @@ func run(schemaPath, reportPath string, integrity bool) error {
 		return err
 	}
 	if integrity {
-		return checkIntegrity(doc)
+		if err := checkIntegrity(doc); err != nil {
+			return err
+		}
+	}
+	if slo {
+		return checkSLO(doc)
 	}
 	return nil
 }
@@ -113,5 +127,101 @@ func checkIntegrity(doc []byte) error {
 	}
 	fmt.Printf("integrity: %d injected flips -> %d detected, %d quarantined, %d healed, 0 left after final sweep\n",
 		injected, detected, in.ReplicasQuarantined, in.CorruptReReplicated)
+	return nil
+}
+
+// sloBand is one band's response-time summary inside the report.
+type sloBand struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// sloReport is the slice of the report the SLO contract reads.
+type sloReport struct {
+	Counts map[string]int64 `json:"counts"`
+	SLO    struct {
+		WasteCoreHours      float64            `json:"waste_core_hours"`
+		UsefulCoreHours     float64            `json:"useful_core_hours"`
+		WasteFraction       float64            `json:"waste_fraction"`
+		KillDecisions       int64              `json:"kill_decisions"`
+		CheckpointDecisions int64              `json:"checkpoint_decisions"`
+		FallbackKills       int64              `json:"fallback_kills"`
+		CheckpointHitRate   float64            `json:"checkpoint_hit_rate"`
+		Response            map[string]sloBand `json:"response_seconds"`
+	} `json:"slo"`
+}
+
+// checkSLO asserts that the report's live-SLO snapshot agrees with the
+// batch counters published by the same run: the incremental engine must
+// count every decision the Preemption Manager counted, the derived
+// ratios must recompute from their inputs, and each band's percentile
+// summary must be internally consistent.
+func checkSLO(doc []byte) error {
+	var rep sloReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		return err
+	}
+	s := rep.SLO
+	const eps = 1e-9
+	kills := rep.Counts["yarn.policy.decision.kill"]
+	ckpts := rep.Counts["yarn.policy.decision.checkpoint-full"] +
+		rep.Counts["yarn.policy.decision.checkpoint-incremental"]
+	switch {
+	case s.KillDecisions != kills:
+		return fmt.Errorf("slo: %d kill decisions but counters say %d", s.KillDecisions, kills)
+	case s.CheckpointDecisions != ckpts:
+		return fmt.Errorf("slo: %d checkpoint decisions but counters say %d", s.CheckpointDecisions, ckpts)
+	case s.FallbackKills != rep.Counts["yarn.fallback.kills"]:
+		return fmt.Errorf("slo: %d fallback kills but counters say %d",
+			s.FallbackKills, rep.Counts["yarn.fallback.kills"])
+	case s.WasteFraction < 0 || s.WasteFraction > 1:
+		return fmt.Errorf("slo: waste fraction %v outside [0,1]", s.WasteFraction)
+	}
+	if total := s.WasteCoreHours + s.UsefulCoreHours; total > 0 {
+		if want := s.WasteCoreHours / total; math.Abs(s.WasteFraction-want) > eps {
+			return fmt.Errorf("slo: waste fraction %v does not recompute from %v/%v core-hours",
+				s.WasteFraction, s.WasteCoreHours, s.UsefulCoreHours)
+		}
+	} else if s.WasteFraction != 0 {
+		return fmt.Errorf("slo: waste fraction %v with zero core-hours", s.WasteFraction)
+	}
+	if decisions := s.KillDecisions + s.CheckpointDecisions; decisions > 0 {
+		if want := float64(s.CheckpointDecisions) / float64(decisions); math.Abs(s.CheckpointHitRate-want) > eps {
+			return fmt.Errorf("slo: hit rate %v does not recompute from %d/%d decisions",
+				s.CheckpointHitRate, s.CheckpointDecisions, decisions)
+		}
+	} else if s.CheckpointHitRate != 0 {
+		return fmt.Errorf("slo: hit rate %v with zero decisions", s.CheckpointHitRate)
+	}
+	var bandCounts int64
+	for _, band := range []string{"all", "low", "medium", "high"} {
+		b, ok := s.Response[band]
+		if !ok {
+			return fmt.Errorf("slo: response_seconds missing band %q", band)
+		}
+		if b.Count < 0 || b.P50 > b.P95+eps || b.P95 > b.P99+eps || b.P99 > b.Max+eps {
+			return fmt.Errorf("slo: band %s percentiles not monotone: %+v", band, b)
+		}
+		if b.Count > 0 && b.Mean > b.Max+eps {
+			return fmt.Errorf("slo: band %s mean %v exceeds max %v", band, b.Mean, b.Max)
+		}
+		if band != "all" {
+			bandCounts += b.Count
+		}
+	}
+	if all := s.Response["all"]; all.Count != bandCounts {
+		return fmt.Errorf("slo: all-band count %d != sum of per-band counts %d", all.Count, bandCounts)
+	}
+	if completed := rep.Counts["yarn.jobs.completed"]; s.Response["all"].Count != completed {
+		return fmt.Errorf("slo: %d response observations but %d jobs completed",
+			s.Response["all"].Count, completed)
+	}
+	fmt.Printf("slo: %d kills + %d checkpoints (%d fallbacks), hit rate %.3f, waste fraction %.3f over %d jobs\n",
+		s.KillDecisions, s.CheckpointDecisions, s.FallbackKills, s.CheckpointHitRate,
+		s.WasteFraction, s.Response["all"].Count)
 	return nil
 }

@@ -10,15 +10,18 @@ import (
 	"preemptsched/internal/faults"
 )
 
-// validReport is a minimal schema-v2 report as writeReport produces it,
-// including the zero-valued latency digests a run without checkpoints
-// still emits.
+// validReport is a minimal schema-v3 report as writeReport produces it,
+// including the zero-valued latency digests and SLO bands a run without
+// checkpoints still emits.
 func validReport() map[string]any {
 	digest := func() map[string]any {
 		return map[string]any{"count": 0, "p50": 0, "p95": 0, "p99": 0, "max": 0}
 	}
+	band := func() map[string]any {
+		return map[string]any{"count": 0, "mean": 0, "p50": 0, "p95": 0, "p99": 0, "max": 0}
+	}
 	return map[string]any{
-		"schema_version":   2,
+		"schema_version":   3,
 		"policy":           "adaptive",
 		"storage":          "nvm",
 		"aborted":          false,
@@ -37,6 +40,18 @@ func validReport() map[string]any {
 			"scrub_corrupt_found":     0,
 			"final_scrub_corrupt":     0,
 			"restore_verify_failures": 0,
+		},
+		"slo": map[string]any{
+			"waste_core_hours":     0,
+			"useful_core_hours":    0,
+			"waste_fraction":       0,
+			"kill_decisions":       0,
+			"checkpoint_decisions": 0,
+			"fallback_kills":       0,
+			"checkpoint_hit_rate":  0,
+			"response_seconds": map[string]any{
+				"all": band(), "low": band(), "medium": band(), "high": band(),
+			},
 		},
 		"latencies_seconds": map[string]any{
 			"dump": digest(), "restore": digest(), "dfs_transfer": digest(),
@@ -61,7 +76,7 @@ const schemaPath = "../../docs/report.schema.json"
 
 func TestRunAcceptsValidReport(t *testing.T) {
 	path := writeJSON(t, "ok.json", validReport())
-	if err := run(schemaPath, path, false); err != nil {
+	if err := run(schemaPath, path, false, false); err != nil {
 		t.Errorf("valid report rejected: %v", err)
 	}
 }
@@ -85,7 +100,7 @@ func TestRunRejectsBrokenReports(t *testing.T) {
 			rep := validReport()
 			c.mutate(rep)
 			path := writeJSON(t, c.name+".json", rep)
-			if err := run(schemaPath, path, false); err == nil {
+			if err := run(schemaPath, path, false, false); err == nil {
 				t.Error("broken report validated")
 			}
 		})
@@ -111,36 +126,107 @@ func TestRunIntegrityContract(t *testing.T) {
 		return r
 	}
 
-	if err := run(schemaPath, writeJSON(t, "chaos.json", chaos()), true); err != nil {
+	if err := run(schemaPath, writeJSON(t, "chaos.json", chaos()), true, false); err != nil {
 		t.Errorf("healthy chaos report rejected: %v", err)
 	}
 
 	aborted := chaos()
 	aborted["aborted"] = true
 	aborted["abort_reason"] = "node lost"
-	if err := run(schemaPath, writeJSON(t, "aborted.json", aborted), true); err == nil ||
+	if err := run(schemaPath, writeJSON(t, "aborted.json", aborted), true, false); err == nil ||
 		!strings.Contains(err.Error(), "did not complete") {
 		t.Errorf("aborted chaos run: err = %v", err)
 	}
 
 	leaky := chaos()
 	leaky["integrity"].(map[string]any)["corrupt_lost"] = 1
-	if err := run(schemaPath, writeJSON(t, "leaky.json", leaky), true); err == nil {
+	if err := run(schemaPath, writeJSON(t, "leaky.json", leaky), true, false); err == nil {
 		t.Error("chaos run with lost blocks validated")
 	}
 
 	quiet := chaos()
 	quiet["counts"] = map[string]any{}
-	if err := run(schemaPath, writeJSON(t, "quiet.json", quiet), true); err == nil {
+	if err := run(schemaPath, writeJSON(t, "quiet.json", quiet), true, false); err == nil {
 		t.Error("integrity check passed with no injected faults")
 	}
 }
 
+func TestRunSLOContract(t *testing.T) {
+	healthy := func() map[string]any {
+		r := validReport()
+		r["counts"] = map[string]any{
+			"yarn.policy.decision.kill":                   5,
+			"yarn.policy.decision.checkpoint-full":        2,
+			"yarn.policy.decision.checkpoint-incremental": 3,
+			"yarn.fallback.kills":                         1,
+			"yarn.jobs.completed":                         4,
+		}
+		band := func(n int, mean, p50, p95, p99, max float64) map[string]any {
+			return map[string]any{"count": n, "mean": mean, "p50": p50, "p95": p95, "p99": p99, "max": max}
+		}
+		r["slo"] = map[string]any{
+			"waste_core_hours":     1.0,
+			"useful_core_hours":    3.0,
+			"waste_fraction":       0.25,
+			"kill_decisions":       5,
+			"checkpoint_decisions": 5,
+			"fallback_kills":       1,
+			"checkpoint_hit_rate":  0.5,
+			"response_seconds": map[string]any{
+				"all":    band(4, 20, 15, 38, 39, 40),
+				"low":    band(2, 30, 25, 38, 39, 40),
+				"medium": band(1, 12, 12, 12, 12, 12),
+				"high":   band(1, 8, 8, 8, 8, 8),
+			},
+		}
+		return r
+	}
+
+	if err := run(schemaPath, writeJSON(t, "slo.json", healthy()), false, true); err != nil {
+		t.Errorf("healthy SLO report rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(map[string]any)
+		want   string
+	}{
+		{"decision-drift", func(r map[string]any) {
+			r["slo"].(map[string]any)["kill_decisions"] = 4
+		}, "kill decisions"},
+		{"hit-rate-drift", func(r map[string]any) {
+			r["slo"].(map[string]any)["checkpoint_hit_rate"] = 0.9
+		}, "hit rate"},
+		{"waste-drift", func(r map[string]any) {
+			r["slo"].(map[string]any)["waste_fraction"] = 0.7
+		}, "waste fraction"},
+		{"non-monotone-percentiles", func(r map[string]any) {
+			r["slo"].(map[string]any)["response_seconds"].(map[string]any)["low"].(map[string]any)["p95"] = 60
+		}, "not monotone"},
+		{"band-count-drift", func(r map[string]any) {
+			r["slo"].(map[string]any)["response_seconds"].(map[string]any)["all"].(map[string]any)["count"] = 7
+		}, "per-band counts"},
+		{"jobs-drift", func(r map[string]any) {
+			r["counts"].(map[string]any)["yarn.jobs.completed"] = 9
+		}, "jobs completed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := healthy()
+			c.mutate(rep)
+			err := run(schemaPath, writeJSON(t, c.name+".json", rep), false, true)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
 func TestRunMissingFiles(t *testing.T) {
-	if err := run("nope.schema.json", "nope.json", false); err == nil {
+	if err := run("nope.schema.json", "nope.json", false, false); err == nil {
 		t.Error("missing schema accepted")
 	}
-	if err := run(schemaPath, "nope.json", false); err == nil {
+	if err := run(schemaPath, "nope.json", false, false); err == nil {
 		t.Error("missing report accepted")
 	}
 }

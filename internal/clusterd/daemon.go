@@ -67,6 +67,8 @@ type queuedJob struct {
 type Daemon struct {
 	cfg Config
 	reg *obs.Registry
+	rec *obs.Recorder
+	slo *obs.SLOTracker
 	svc *yarn.Service
 
 	ln       net.Listener
@@ -113,6 +115,20 @@ func Start(cfg Config) (*Daemon, error) {
 		reg = obs.NewRegistry()
 	}
 	cfg.Cluster.Metrics = reg
+	// The flight recorder and SLO tracker are always on in service mode:
+	// a crash or SIGTERM must leave behind an explainable journal, and
+	// the ops endpoint must answer /slo at any moment. Both are bounded
+	// (fixed segment ring, O(1) per event) so always-on is safe.
+	rec := cfg.Cluster.Recorder
+	if rec == nil {
+		rec = obs.NewRecorder(0, 0)
+		cfg.Cluster.Recorder = rec
+	}
+	slo := cfg.Cluster.SLO
+	if slo == nil {
+		slo = obs.NewSLOTracker()
+		cfg.Cluster.SLO = slo
+	}
 	// Pre-register the invariant counters so a scraper sees an explicit
 	// zero rather than an absent series: "jobs.lost 0" is the soak's
 	// pass criterion and must be distinguishable from "never measured".
@@ -132,6 +148,8 @@ func Start(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:         cfg,
 		reg:         reg,
+		rec:         rec,
+		slo:         slo,
 		svc:         svc,
 		ln:          ln,
 		queue:       make(chan queuedJob, cfg.QueueSize),
@@ -143,7 +161,7 @@ func Start(cfg Config) (*Daemon, error) {
 		done:        make(chan struct{}),
 	}
 	if cfg.OpsAddr != "" {
-		addr, stop, err := obs.ServeOps(cfg.OpsAddr, reg, "preemptsched", d.ready)
+		addr, stop, err := obs.ServeOps(cfg.OpsAddr, reg, "preemptsched", d.ready, slo)
 		if err != nil {
 			ln.Close()
 			svc.Close()
@@ -165,6 +183,13 @@ func (d *Daemon) Addr() string { return d.ln.Addr().String() }
 
 // OpsAddr returns the bound ops endpoint address, or "" when disabled.
 func (d *Daemon) OpsAddr() string { return d.opsAddr }
+
+// Recorder returns the daemon's always-on flight recorder, for flushing
+// the provenance journal on shutdown or crash.
+func (d *Daemon) Recorder() *obs.Recorder { return d.rec }
+
+// SLO returns the daemon's live SLO tracker.
+func (d *Daemon) SLO() *obs.SLOTracker { return d.slo }
 
 // ready reports whether the daemon is admitting jobs; /readyz flips to
 // 503 the instant draining starts, before the wire listener goes away.
@@ -384,6 +409,7 @@ func (d *Daemon) sample(stop <-chan struct{}) {
 			runtime.ReadMemStats(&ms)
 			d.reg.SetGauge("clusterd.goroutines", float64(runtime.NumGoroutine()))
 			d.reg.SetGauge("clusterd.heap.bytes", float64(ms.HeapAlloc))
+			d.slo.PublishGauges(d.reg)
 		}
 	}
 }
@@ -435,6 +461,10 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.state = StateDraining
 	close(d.queue)
 	d.mu.Unlock()
+	d.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(d.svc.Now()),
+		Source: "clusterd", Name: "drain-begin",
+	})
 
 	// Everything admitted reaches the engine, then the engine drains.
 	d.dispatchWG.Wait()
@@ -449,6 +479,10 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		d.svc.Abort()
 		<-drained
 	}
+	d.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(d.svc.Now()),
+		Source: "clusterd", Name: "drain-end",
+	})
 
 	// Lost-job audit: after a full drain nothing may be outstanding.
 	d.mu.Lock()

@@ -10,5 +10,6 @@ func All() []*Analyzer {
 		MetricName,
 		CtxLeak,
 		FaultPlan,
+		DecisionLog,
 	}
 }

@@ -167,6 +167,13 @@ func TestFaultPlan(t *testing.T) {
 	})
 }
 
+func TestDecisionLog(t *testing.T) {
+	runAnalyzerGolden(t, DecisionLog, []tdPkg{
+		{"decisionlog/yarn", "preemptsched/internal/yarn"},
+		{"decisionlog/outside", "decisionlogtest/outside"},
+	})
+}
+
 // TestAnalyzerMetadata keeps the suite's registry well-formed: unique
 // lower-case names and non-empty docs, since both feed the suppression
 // directives and the usage string.
@@ -187,7 +194,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer %s has no Run", a.Name)
 		}
 	}
-	if got := fmt.Sprintf("%d", len(All())); got != "6" {
-		t.Errorf("expected the six-analyzer suite, got %s", got)
+	if got := fmt.Sprintf("%d", len(All())); got != "7" {
+		t.Errorf("expected the seven-analyzer suite, got %s", got)
 	}
 }

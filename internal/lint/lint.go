@@ -4,8 +4,10 @@
 // are matched with errors.Is (wire-decoded errors arrive wrapped), mutexes
 // are not held across Transport/Store/network I/O, metric names are
 // registered dot-separated constants, goroutines in the long-running
-// layers have a cancellation path, and fault plans stay physically
-// meaningful (probabilities in [0,1], seeds not derived from wall clock).
+// layers have a cancellation path, fault plans stay physically
+// meaningful (probabilities in [0,1], seeds not derived from wall clock),
+// and every Algorithm 1 verdict taken in the scheduler layers is
+// journaled into the decision-provenance flight recorder.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // Analyzer, Pass, Diagnostic — but is built entirely on the standard

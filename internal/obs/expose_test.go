@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSanitizeMetricName(t *testing.T) {
@@ -150,7 +152,11 @@ func TestServeOps(t *testing.T) {
 	r.Inc("hits")
 	var ready atomic.Bool
 	ready.Store(true)
-	addr, stop, err := ServeOps("127.0.0.1:0", r, "preemptsched", ready.Load)
+	slo := NewSLOTracker()
+	slo.AddWaste(0.25)
+	slo.AddUseful(0.75)
+	slo.CountDecision(true)
+	addr, stop, err := ServeOps("127.0.0.1:0", r, "preemptsched", ready.Load, slo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,5 +193,109 @@ func TestServeOps(t *testing.T) {
 	}
 	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+	code, body := get("/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo = %d, want 200:\n%s", code, body)
+	}
+	var snap SLOSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/slo not a snapshot: %v\n%s", err, body)
+	}
+	if snap.WasteFraction != 0.25 || snap.CheckpointDecisions != 1 {
+		t.Errorf("/slo snapshot = %+v, want waste fraction 0.25 and one checkpoint decision", snap)
+	}
+}
+
+// TestServeOpsConcurrentScrape hammers every ops route from several
+// scrapers while writers mutate the registry and the SLO tracker — the
+// race detector turns any unsynchronized path into a failure, and every
+// response must stay well-formed mid-write.
+func TestServeOpsConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	slo := NewSLOTracker()
+	var ready atomic.Bool
+	ready.Store(true)
+	addr, stop, err := ServeOps("127.0.0.1:0", r, "preemptsched", ready.Load, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	stopWriters := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				r.Inc("scrape.test.hits")
+				r.SetGauge("scrape.test.gauge", float64(i))
+				r.ObserveDuration("scrape.test.seconds", time.Duration(i)*time.Millisecond)
+				slo.AddWaste(0.001)
+				slo.AddUseful(0.002)
+				slo.CountDecision(i%2 == 0)
+				slo.ObserveResponse("high", float64(i%100))
+				slo.PublishGauges(r)
+			}
+		}(g)
+	}
+
+	var scrapers sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			paths := []string{"/metrics", "/metrics.json", "/slo", "/healthz", "/readyz"}
+			for i := 0; i < 20; i++ {
+				p := paths[i%len(paths)]
+				resp, err := http.Get("http://" + addr + p)
+				if err != nil {
+					errs <- fmt.Errorf("GET %s: %w", p, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("read %s: %w", p, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s = %d", p, resp.StatusCode)
+					return
+				}
+				switch p {
+				case "/metrics.json":
+					var doc map[string]any
+					if err := json.Unmarshal(body, &doc); err != nil {
+						errs <- fmt.Errorf("%s mid-write not JSON: %w", p, err)
+						return
+					}
+				case "/slo":
+					var snap SLOSnapshot
+					if err := json.Unmarshal(body, &snap); err != nil {
+						errs <- fmt.Errorf("%s mid-write not a snapshot: %w", p, err)
+						return
+					}
+					if snap.WasteFraction < 0 || snap.WasteFraction > 1 {
+						errs <- fmt.Errorf("/slo waste fraction %v outside [0,1]", snap.WasteFraction)
+						return
+					}
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stopWriters)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,565 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The flight recorder is an always-on, bounded-overhead binary ring
+// journal of preemption decisions and key lifecycle events. Records are
+// appended by the scheduler / YARN emulation on the engine goroutine and
+// kept in fixed-size in-memory segments; when the ring is full the
+// oldest segment is evicted (counted, never silently). The journal is
+// flushed to disk only on demand — on abort, panic, or SIGTERM — so a
+// failed chaos soak leaves a post-mortem artifact while a healthy run
+// pays nothing but the in-memory encode.
+//
+// On-disk layout (all integers are encoding/binary varints unless
+// stated):
+//
+//	header:  magic "PSJL" | version byte | uvarint appended | uvarint dropped
+//	record:  uvarint payloadLen | payload | uint32 CRC32-Castagnoli(payload), little-endian
+//
+// Timestamps are virtual-clock durations since run start; the journal
+// never touches the wall clock, so identical runs produce identical
+// bytes at every -parallel level (determinism contract, DESIGN.md §11).
+
+// journalMagic opens every serialized journal stream.
+const journalMagic = "PSJL"
+
+// JournalVersion is the current on-disk format version.
+const JournalVersion = 1
+
+// Default ring geometry: 8 segments of 256 KiB bounds the recorder at
+// ~2 MiB regardless of run length.
+const (
+	DefaultSegmentBytes = 256 << 10
+	DefaultMaxSegments  = 8
+)
+
+// RecordKind discriminates the three provenance record shapes.
+type RecordKind uint8
+
+const (
+	// RecSelection captures a victim-selection pass: the scored
+	// candidate set the RM/simulator considered and which were chosen.
+	RecSelection RecordKind = 1
+	// RecDecision captures one Alg. 1 preemption decision for a task:
+	// the chosen action and the cost-model inputs that produced it.
+	RecDecision RecordKind = 2
+	// RecEvent captures a lifecycle event (dump, restore, kill-fallback,
+	// task-done, ...) tying estimates to actuals.
+	RecEvent RecordKind = 3
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecSelection:
+		return "selection"
+	case RecDecision:
+		return "decision"
+	case RecEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", int(k))
+	}
+}
+
+// Record flag bits.
+const (
+	// FlagRemote marks a restore that pulled the image from a remote node.
+	FlagRemote uint32 = 1 << iota
+	// FlagIncremental marks an incremental (dirty-pages-only) dump.
+	FlagIncremental
+	// FlagFallback marks a degradation-ladder action (e.g. a kill after
+	// a failed dump).
+	FlagFallback
+	// FlagPreCopy marks a pre-copy (dump-while-running) phase.
+	FlagPreCopy
+)
+
+// CandidateScore is one victim candidate as the selector scored it.
+type CandidateScore struct {
+	// Task is the task ID ("job.index").
+	Task string
+	// Priority is the task's cluster priority.
+	Priority int
+	// Cost is the Alg. 1 estimated checkpoint overhead for this victim.
+	Cost time.Duration
+	// Unsaved is the progress the candidate would lose if killed.
+	Unsaved time.Duration
+	// Chosen marks the candidate(s) actually preempted.
+	Chosen bool
+}
+
+// Record is one flight-recorder entry — the obs.Decision provenance
+// record and its selection/event companions share this shape, keyed by
+// Kind. Zero-valued fields are cheap on the wire (single-byte varints),
+// so each kind populates only what it has.
+type Record struct {
+	Kind RecordKind
+	// Seq is the recorder-assigned append sequence (1-based). Assigned
+	// by Append; callers leave it zero.
+	Seq uint64
+	// At is the virtual-clock timestamp.
+	At time.Duration
+	// Source names the emitting subsystem: "sched", "yarn", "clusterd".
+	Source string
+	// Name is the decision action ("kill", "checkpoint-full", ...) or
+	// the event name ("dump", "restore", "kill-fallback", ...).
+	Name string
+	// Task is the subject task ID, when there is one.
+	Task string
+	// Claimant is the task whose resource request triggered a selection.
+	Claimant string
+	// Node is the node the action happened on.
+	Node string
+	// Priority is the subject task's priority.
+	Priority int
+	// Unsaved is the subject's unsaved progress at decision time.
+	Unsaved time.Duration
+	// Est is the Alg. 1/2 estimated overhead for the action.
+	Est time.Duration
+	// Actual is the realized overhead, for events that close the loop.
+	Actual time.Duration
+	// Bytes is the payload size moved (dump/restore/transfer), if any.
+	Bytes int64
+	// Span keys the record to the matching tracer span, when tracing is
+	// enabled (0 otherwise).
+	Span uint64
+	// Flags is a bitmask of Flag* bits.
+	Flags uint32
+	// Candidates is the scored victim set (selection records only).
+	Candidates []CandidateScore
+}
+
+var crcJournal = crc32.MakeTable(crc32.Castagnoli)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeRecord appends r's payload (no framing) to b.
+func encodeRecord(b []byte, r Record) []byte {
+	b = append(b, byte(r.Kind))
+	b = binary.AppendUvarint(b, r.Seq)
+	b = binary.AppendVarint(b, int64(r.At))
+	b = appendString(b, r.Source)
+	b = appendString(b, r.Name)
+	b = appendString(b, r.Task)
+	b = appendString(b, r.Claimant)
+	b = appendString(b, r.Node)
+	b = binary.AppendVarint(b, int64(r.Priority))
+	b = binary.AppendVarint(b, int64(r.Unsaved))
+	b = binary.AppendVarint(b, int64(r.Est))
+	b = binary.AppendVarint(b, int64(r.Actual))
+	b = binary.AppendVarint(b, r.Bytes)
+	b = binary.AppendUvarint(b, r.Span)
+	b = binary.AppendUvarint(b, uint64(r.Flags))
+	b = binary.AppendUvarint(b, uint64(len(r.Candidates)))
+	for _, c := range r.Candidates {
+		b = appendString(b, c.Task)
+		b = binary.AppendVarint(b, int64(c.Priority))
+		b = binary.AppendVarint(b, int64(c.Cost))
+		b = binary.AppendVarint(b, int64(c.Unsaved))
+		chosen := byte(0)
+		if c.Chosen {
+			chosen = 1
+		}
+		b = append(b, chosen)
+	}
+	return b
+}
+
+// decodeCursor walks a payload with bounds-checked varint reads.
+type decodeCursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *decodeCursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("journal: truncated %s at offset %d", what, c.off)
+	}
+}
+
+func (c *decodeCursor) byte(what string) byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.buf) {
+		c.fail(what)
+		return 0
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b
+}
+
+func (c *decodeCursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *decodeCursor) varint(what string) int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.buf[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *decodeCursor) string(what string) string {
+	n := c.uvarint(what)
+	if c.err != nil {
+		return ""
+	}
+	if n > uint64(len(c.buf)-c.off) {
+		c.fail(what)
+		return ""
+	}
+	s := string(c.buf[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+// decodeRecord parses one payload produced by encodeRecord.
+func decodeRecord(payload []byte) (Record, error) {
+	c := &decodeCursor{buf: payload}
+	var r Record
+	r.Kind = RecordKind(c.byte("kind"))
+	r.Seq = c.uvarint("seq")
+	r.At = time.Duration(c.varint("at"))
+	r.Source = c.string("source")
+	r.Name = c.string("name")
+	r.Task = c.string("task")
+	r.Claimant = c.string("claimant")
+	r.Node = c.string("node")
+	r.Priority = int(c.varint("priority"))
+	r.Unsaved = time.Duration(c.varint("unsaved"))
+	r.Est = time.Duration(c.varint("est"))
+	r.Actual = time.Duration(c.varint("actual"))
+	r.Bytes = c.varint("bytes")
+	r.Span = c.uvarint("span")
+	r.Flags = uint32(c.uvarint("flags"))
+	n := c.uvarint("candidate count")
+	if c.err != nil {
+		return Record{}, c.err
+	}
+	if n > uint64(len(payload)) {
+		return Record{}, fmt.Errorf("journal: candidate count %d exceeds payload size %d", n, len(payload))
+	}
+	if n > 0 {
+		r.Candidates = make([]CandidateScore, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var cs CandidateScore
+			cs.Task = c.string("candidate task")
+			cs.Priority = int(c.varint("candidate priority"))
+			cs.Cost = time.Duration(c.varint("candidate cost"))
+			cs.Unsaved = time.Duration(c.varint("candidate unsaved"))
+			cs.Chosen = c.byte("candidate chosen") != 0
+			if c.err != nil {
+				return Record{}, c.err
+			}
+			r.Candidates = append(r.Candidates, cs)
+		}
+	}
+	if c.err != nil {
+		return Record{}, c.err
+	}
+	if c.off != len(payload) {
+		return Record{}, fmt.Errorf("journal: %d trailing bytes after record", len(payload)-c.off)
+	}
+	return r, nil
+}
+
+// segment is one fixed-size slab of framed records.
+type segment struct {
+	buf     []byte
+	records uint64
+}
+
+// Recorder is the in-memory flight recorder: a mutex-protected ring of
+// fixed-size segments. A nil *Recorder is a valid no-op sink, so call
+// sites stay unconditional. All methods are safe for concurrent use;
+// in the deterministic engines every Append happens on the single
+// engine goroutine, so sequence numbers are reproducible.
+type Recorder struct {
+	mu      sync.Mutex
+	segSize int
+	maxSegs int
+	sealed  []segment
+	active  segment
+	seq     uint64
+	dropped uint64
+	scratch []byte
+}
+
+// NewRecorder returns a recorder with the given segment geometry.
+// Non-positive arguments select the defaults (8 × 256 KiB).
+func NewRecorder(segmentBytes, maxSegments int) *Recorder {
+	if segmentBytes <= 0 {
+		segmentBytes = DefaultSegmentBytes
+	}
+	if maxSegments <= 0 {
+		maxSegments = DefaultMaxSegments
+	}
+	return &Recorder{segSize: segmentBytes, maxSegs: maxSegments}
+}
+
+// Append encodes rec into the ring, assigns and returns its sequence
+// number. Returns 0 on a nil recorder.
+func (r *Recorder) Append(rec Record) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	rec.Seq = r.seq
+	r.scratch = encodeRecord(r.scratch[:0], rec)
+	// Frame size: length prefix + payload + CRC trailer.
+	frame := binary.MaxVarintLen64 + len(r.scratch) + 4
+	if len(r.active.buf)+frame > r.segSize && r.active.records > 0 {
+		r.seal()
+	}
+	if r.active.buf == nil {
+		r.active.buf = make([]byte, 0, r.segSize)
+	}
+	r.active.buf = binary.AppendUvarint(r.active.buf, uint64(len(r.scratch)))
+	r.active.buf = append(r.active.buf, r.scratch...)
+	r.active.buf = binary.LittleEndian.AppendUint32(r.active.buf, crc32.Checksum(r.scratch, crcJournal))
+	r.active.records++
+	return r.seq
+}
+
+// seal retires the active segment into the ring, evicting (and
+// counting) the oldest segments beyond the ring bound. Callers hold mu.
+func (r *Recorder) seal() {
+	r.sealed = append(r.sealed, r.active)
+	r.active = segment{}
+	for len(r.sealed) > r.maxSegs-1 {
+		r.dropped += r.sealed[0].records
+		copy(r.sealed, r.sealed[1:])
+		r.sealed[len(r.sealed)-1] = segment{}
+		r.sealed = r.sealed[:len(r.sealed)-1]
+	}
+}
+
+// Seq returns the total number of records ever appended.
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped returns how many records the ring has evicted.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Retained returns how many records are currently held in the ring.
+func (r *Recorder) Retained() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.active.records
+	for _, s := range r.sealed {
+		n += s.records
+	}
+	return int(n)
+}
+
+// WriteTo serializes the journal (header + retained segments) to w.
+// The segment bytes are snapshotted under the lock and written outside
+// it, so a flush never blocks the engine on disk I/O.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	header := make([]byte, 0, len(journalMagic)+1+2*binary.MaxVarintLen64)
+	header = append(header, journalMagic...)
+	header = append(header, JournalVersion)
+	header = binary.AppendUvarint(header, r.seq)
+	header = binary.AppendUvarint(header, r.dropped)
+	bufs := make([][]byte, 0, len(r.sealed)+1)
+	for _, s := range r.sealed {
+		// Sealed segments are immutable; referencing them is safe.
+		bufs = append(bufs, s.buf)
+	}
+	// The active segment keeps growing; copy it under the lock.
+	bufs = append(bufs, append([]byte(nil), r.active.buf...))
+	r.mu.Unlock()
+
+	var total int64
+	n, err := w.Write(header)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, b := range bufs {
+		n, err := w.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// SaveTo flushes the journal to path via a temp file in the same
+// directory and an atomic rename, matching the FileStore
+// publish-on-Close convention: readers never observe a torn journal.
+func (r *Recorder) SaveTo(path string) error {
+	if r == nil {
+		return nil
+	}
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := r.WriteTo(w)
+		return err
+	})
+}
+
+// Journal is a decoded flight-recorder stream.
+type Journal struct {
+	// Version is the on-disk format version.
+	Version int
+	// Appended is the total number of records the recorder ever
+	// appended (including evicted ones).
+	Appended uint64
+	// Dropped counts records evicted from the ring before the flush.
+	Dropped uint64
+	// Records are the retained records, in append (Seq) order.
+	Records []Record
+}
+
+// ReadJournal decodes a serialized journal. Any CRC mismatch or
+// truncated frame is an error — the atomic flush path means a valid
+// file is all-or-nothing.
+func ReadJournal(rd io.Reader) (*Journal, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(journalMagic)+1 {
+		return nil, fmt.Errorf("journal: short header (%d bytes)", len(data))
+	}
+	if string(data[:len(journalMagic)]) != journalMagic {
+		return nil, fmt.Errorf("journal: bad magic %q", data[:len(journalMagic)])
+	}
+	version := int(data[len(journalMagic)])
+	if version != JournalVersion {
+		return nil, fmt.Errorf("journal: unsupported version %d (want %d)", version, JournalVersion)
+	}
+	j := &Journal{Version: version}
+	off := len(journalMagic) + 1
+	appended, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("journal: truncated appended count")
+	}
+	off += n
+	dropped, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("journal: truncated dropped count")
+	}
+	off += n
+	j.Appended = appended
+	j.Dropped = dropped
+	for off < len(data) {
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("journal: truncated frame length at offset %d", off)
+		}
+		off += n
+		if plen > uint64(len(data)-off) {
+			return nil, fmt.Errorf("journal: frame length %d exceeds remaining %d at offset %d", plen, len(data)-off, off)
+		}
+		payload := data[off : off+int(plen)]
+		off += int(plen)
+		if len(data)-off < 4 {
+			return nil, fmt.Errorf("journal: truncated CRC at offset %d", off)
+		}
+		want := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		if got := crc32.Checksum(payload, crcJournal); got != want {
+			return nil, fmt.Errorf("journal: CRC mismatch on record %d (got %08x want %08x)", len(j.Records)+1, got, want)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("journal: record %d: %w", len(j.Records)+1, err)
+		}
+		j.Records = append(j.Records, rec)
+	}
+	return j, nil
+}
+
+// ReadJournalFile decodes the journal at path.
+func ReadJournalFile(path string) (*Journal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}
+
+// WriteFileAtomic writes via a temp file in path's directory and
+// publishes it with an atomic rename, so readers (and interrupted
+// writers) never see a partial file.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriter(f)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

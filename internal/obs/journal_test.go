@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Kind: RecSelection, At: 90 * time.Second, Source: "yarn",
+			Name: "victim-selection", Claimant: "3/0", Node: "node-2", Priority: 10,
+			Candidates: []CandidateScore{
+				{Task: "1/4", Priority: 0, Cost: 12 * time.Second, Unsaved: time.Minute, Chosen: true},
+				{Task: "2/7", Priority: 2, Cost: 30 * time.Second, Unsaved: 5 * time.Second},
+			},
+		},
+		{
+			Kind: RecDecision, At: 90 * time.Second, Source: "yarn",
+			Name: "checkpoint-full", Task: "1/4", Node: "node-2", Priority: 0,
+			Unsaved: time.Minute, Est: 12 * time.Second, Span: 77,
+		},
+		{
+			Kind: RecEvent, At: 91 * time.Second, Source: "yarn",
+			Name: "dump", Task: "1/4", Node: "node-2", Priority: 0,
+			Est: 12 * time.Second, Actual: 13 * time.Second,
+			Bytes: 1 << 30, Flags: FlagIncremental,
+		},
+		{
+			Kind: RecEvent, At: 200 * time.Second, Source: "sched",
+			Name: "restore", Task: "1/4", Node: "node-5", Priority: 0,
+			Est: 12 * time.Second, Actual: 14 * time.Second,
+			Bytes: 1 << 30, Flags: FlagRemote,
+		},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	rec := NewRecorder(0, 0)
+	want := sampleRecords()
+	for i, r := range want {
+		if got := rec.Append(r); got != uint64(i+1) {
+			t.Fatalf("Append #%d returned seq %d, want %d", i, got, i+1)
+		}
+		want[i].Seq = uint64(i + 1)
+	}
+
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Version != JournalVersion || j.Appended != 4 || j.Dropped != 0 {
+		t.Fatalf("header = version %d appended %d dropped %d", j.Version, j.Appended, j.Dropped)
+	}
+	if !reflect.DeepEqual(j.Records, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", j.Records, want)
+	}
+}
+
+func TestJournalDeterministicBytes(t *testing.T) {
+	encode := func() []byte {
+		rec := NewRecorder(0, 0)
+		for _, r := range sampleRecords() {
+			rec.Append(r)
+		}
+		var buf bytes.Buffer
+		if _, err := rec.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("identical append sequences serialized to different bytes")
+	}
+}
+
+func TestJournalCRCCorruption(t *testing.T) {
+	rec := NewRecorder(0, 0)
+	for _, r := range sampleRecords() {
+		rec.Append(r)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload byte well past the header.
+	data[len(data)/2] ^= 0x40
+	_, err := ReadJournal(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupted journal decoded without error")
+	}
+	if !strings.Contains(err.Error(), "CRC") && !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestJournalTruncation(t *testing.T) {
+	rec := NewRecorder(0, 0)
+	for _, r := range sampleRecords() {
+		rec.Append(r)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadJournal(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated journal decoded without error")
+	}
+	if _, err := ReadJournal(bytes.NewReader(data[:2])); err == nil {
+		t.Fatal("truncated header decoded without error")
+	}
+	data[0] = 'X'
+	if _, err := ReadJournal(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	// Tiny segments force frequent sealing: each record is ~50 bytes, so
+	// a 256-byte segment holds a handful and a 4-segment ring caps the
+	// total well below the 500 appended.
+	rec := NewRecorder(256, 4)
+	const total = 500
+	for i := 0; i < total; i++ {
+		rec.Append(Record{Kind: RecEvent, Source: "test", Name: "tick", Task: fmt.Sprintf("1/%d", i)})
+	}
+	if rec.Seq() != total {
+		t.Fatalf("Seq = %d, want %d", rec.Seq(), total)
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("ring never evicted despite overflow")
+	}
+	if got := uint64(rec.Retained()) + rec.Dropped(); got != total {
+		t.Fatalf("retained %d + dropped %d = %d, want %d", rec.Retained(), rec.Dropped(), got, total)
+	}
+
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(j.Records)) != total-j.Dropped {
+		t.Fatalf("decoded %d records, want %d", len(j.Records), total-j.Dropped)
+	}
+	// The survivors are the newest records, contiguous through the end.
+	for i, r := range j.Records {
+		if want := j.Dropped + uint64(i) + 1; r.Seq != want {
+			t.Fatalf("record %d has Seq %d, want %d", i, r.Seq, want)
+		}
+	}
+	if last := j.Records[len(j.Records)-1].Seq; last != total {
+		t.Fatalf("last Seq = %d, want %d", last, total)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *Recorder
+	if got := rec.Append(Record{Kind: RecEvent}); got != 0 {
+		t.Fatalf("nil Append = %d, want 0", got)
+	}
+	if rec.Seq() != 0 || rec.Dropped() != 0 || rec.Retained() != 0 {
+		t.Fatal("nil recorder reports non-zero state")
+	}
+	var buf bytes.Buffer
+	if n, err := rec.WriteTo(&buf); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+	if err := rec.SaveTo(filepath.Join(t.TempDir(), "nil.pjl")); err != nil {
+		t.Fatalf("nil SaveTo: %v", err)
+	}
+}
+
+func TestRecorderSaveToAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.pjl")
+	rec := NewRecorder(0, 0)
+	for _, r := range sampleRecords() {
+		rec.Append(r)
+	}
+	if err := rec.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Records) != 4 {
+		t.Fatalf("decoded %d records, want 4", len(j.Records))
+	}
+	// No temp litter after a successful publish.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.pjl" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only run.pjl", names)
+	}
+}
+
+func TestWriteFileAtomicCleansUpOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	wantErr := fmt.Errorf("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("failed write left %d files behind", len(entries))
+	}
+}
+
+func TestRecorderConcurrentAppend(t *testing.T) {
+	rec := NewRecorder(1024, 4)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				rec.Append(Record{Kind: RecEvent, Source: "race", Name: "tick", Priority: g})
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		var buf bytes.Buffer
+		if _, err := rec.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadJournal(&buf); err != nil {
+			t.Fatalf("mid-write snapshot unreadable: %v", err)
+		}
+		<-done
+	}
+	if rec.Seq() != 800 {
+		t.Fatalf("Seq = %d, want 800", rec.Seq())
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSLOTrackerMath(t *testing.T) {
+	s := NewSLOTracker()
+	s.AddWaste(1)
+	s.AddWaste(2)
+	s.AddUseful(7)
+	s.CountDecision(true)
+	s.CountDecision(true)
+	s.CountDecision(true)
+	s.CountDecision(false)
+	s.CountFallbackKill()
+	for i := 0; i < 100; i++ {
+		s.ObserveResponse("high", float64(i+1))
+	}
+
+	snap := s.Snapshot()
+	if snap.WasteCoreHours != 3 || snap.UsefulCoreHours != 7 {
+		t.Fatalf("core-hours = %v/%v, want 3/7", snap.WasteCoreHours, snap.UsefulCoreHours)
+	}
+	if snap.WasteFraction != 0.3 {
+		t.Fatalf("waste fraction = %v, want 0.3", snap.WasteFraction)
+	}
+	if snap.CheckpointDecisions != 3 || snap.KillDecisions != 1 || snap.FallbackKills != 1 {
+		t.Fatalf("decisions = %+v", snap)
+	}
+	if snap.CheckpointHitRate != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", snap.CheckpointHitRate)
+	}
+
+	hi, ok := snap.Response["high"]
+	if !ok {
+		t.Fatal("response map missing high band")
+	}
+	if hi.Count != 100 {
+		t.Fatalf("high count = %d, want 100", hi.Count)
+	}
+	if hi.Mean != 50.5 {
+		t.Fatalf("high mean = %v, want 50.5", hi.Mean)
+	}
+	if hi.P50 <= 0 || hi.P95 < hi.P50 || hi.P99 < hi.P95 || hi.Max < hi.P99 {
+		t.Fatalf("percentiles not monotone: %+v", hi)
+	}
+	// Observations flow into the all-jobs distribution too.
+	if all := snap.Response["all"]; all.Count != 100 {
+		t.Fatalf("all count = %d, want 100", all.Count)
+	}
+}
+
+func TestSLOTrackerFixedBands(t *testing.T) {
+	snap := NewSLOTracker().Snapshot()
+	for _, b := range []string{"all", "low", "medium", "high"} {
+		if _, ok := snap.Response[b]; !ok {
+			t.Fatalf("fresh snapshot missing band %q (schema requires fixed keys)", b)
+		}
+	}
+	if snap.WasteFraction != 0 || snap.CheckpointHitRate != 0 {
+		t.Fatal("zero-state ratios must be 0, not NaN")
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var s *SLOTracker
+	s.AddWaste(1)
+	s.AddUseful(1)
+	s.CountDecision(true)
+	s.CountFallbackKill()
+	s.ObserveResponse("high", 1)
+	s.PublishGauges(NewRegistry())
+	snap := s.Snapshot()
+	if snap.Response != nil && len(snap.Response) != 0 {
+		t.Fatalf("nil tracker snapshot = %+v", snap)
+	}
+}
+
+func TestSLOTrackerConcurrent(t *testing.T) {
+	s := NewSLOTracker()
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.AddWaste(0.001)
+				s.CountDecision(i%2 == 0)
+				s.ObserveResponse("low", float64(i))
+				if i%50 == 0 {
+					s.PublishGauges(reg)
+					_ = s.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if got := snap.KillDecisions + snap.CheckpointDecisions; got != 2000 {
+		t.Fatalf("decisions = %d, want 2000", got)
+	}
+	if snap.Response["low"].Count != 2000 {
+		t.Fatalf("low count = %d, want 2000", snap.Response["low"].Count)
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	s := NewSLOTracker()
+	s.AddWaste(1)
+	s.AddUseful(3)
+	s.CountDecision(true)
+	s.ObserveResponse("high", 2)
+	reg := NewRegistry()
+	s.PublishGauges(reg)
+	snap := reg.Snapshot()
+	if snap.Gauges["slo.waste.fraction"] != 0.25 {
+		t.Fatalf("slo.waste.fraction = %v, want 0.25", snap.Gauges["slo.waste.fraction"])
+	}
+	if snap.Gauges["slo.checkpoint.hit.rate"] != 1 {
+		t.Fatalf("slo.checkpoint.hit.rate = %v, want 1", snap.Gauges["slo.checkpoint.hit.rate"])
+	}
+	if snap.Gauges["slo.response.high.count"] != 1 {
+		t.Fatalf("slo.response.high.count = %v, want 1", snap.Gauges["slo.response.high.count"])
+	}
+}

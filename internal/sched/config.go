@@ -114,6 +114,10 @@ type Config struct {
 	// and dump/restore latency histograms (virtual time). Nil — the
 	// default — keeps the hot loop free of instrumentation.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, receives the decision-provenance journal:
+	// one record per victim selection, Algorithm 1 verdict, dump,
+	// restore, and task completion. Nil keeps the hot loop journal-free.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns a mid-size cluster on the given storage with the

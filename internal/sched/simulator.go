@@ -58,6 +58,13 @@ type taskRT struct {
 	// evictions counts preemptions suffered, for the eviction-threshold
 	// policy.
 	evictions int
+	// estOverhead is the Algorithm 1 checkpoint-overhead estimate stashed
+	// at decision time; the provenance journal compares it against the
+	// measured dump and restore windows. Only maintained under a Recorder.
+	estOverhead time.Duration
+	// dumpCost is the measured duration of the latest dump, folded into
+	// the restore event's actual round-trip cost.
+	dumpCost time.Duration
 	// preCopying marks a running task whose state is being pre-dumped; it
 	// is not eligible as a further preemption victim until frozen.
 	preCopying bool
@@ -209,7 +216,9 @@ type Simulator struct {
 	cfg Config
 	// reg is Config.Metrics; a nil registry makes every instrumentation
 	// call a no-op pointer test.
-	reg    *obs.Registry
+	reg *obs.Registry
+	// rec is Config.Recorder; nil keeps the journal paths no-ops.
+	rec    *obs.Recorder
 	engine *sim.Engine
 	nodes  []*node
 	queue  pendingQueue
@@ -335,6 +344,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 	s := &Simulator{
 		cfg:       cfg,
 		reg:       cfg.Metrics,
+		rec:       cfg.Recorder,
 		engine:    sim.NewEngine(),
 		userUsage: make(map[string]cluster.Resources),
 		totalCap:  cfg.NodeCapacity.Scale(float64(cfg.Nodes)),
@@ -607,6 +617,7 @@ func (s *Simulator) startRestore(t *taskRT, target *node, now sim.Time) {
 		start, done = target.device.ReserveRead(now+transfer, t.spec.MemFootprint)
 	}
 	s.recordRestore(remote, transfer, now, start, done)
+	s.journalRestore(t, target, remote, now, done)
 	overhead := time.Duration(done - now)
 	s.chargeOverhead(t, overhead)
 	s.engine.ScheduleAt(done, func(at sim.Time) {
@@ -621,6 +632,7 @@ func (s *Simulator) finishTask(t *taskRT, now sim.Time) {
 	s.runningByPrio[t.spec.Priority]--
 	t.phase = phaseDone
 	t.completion = nil
+	s.journalTaskDone(t, now)
 	s.removeImages(t)
 	t.node.release(now, t.spec.Demand)
 	s.account(t, -1)
@@ -686,6 +698,9 @@ func (s *Simulator) preemptFor(t *taskRT, now sim.Time) bool {
 	target, victims := s.chooseVictims(t, now)
 	if target == nil {
 		return false
+	}
+	if s.rec != nil {
+		s.recordSelection(t, target, s.scoreCandidates(target, t, victims, now), now)
 	}
 	s.reserve(t, target)
 	for _, v := range victims {
@@ -816,6 +831,7 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 		//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
 		s.reg.Inc("sched.policy.decision." + action.String())
 	}
+	s.recordDecision(v, n, action, cand, now)
 
 	if !action.IsCheckpoint() {
 		// Kill: unsaved progress is lost; resources free immediately.
@@ -858,6 +874,11 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 	dumpBytes := cand.DumpBytes()
 	start, done := n.device.ReserveWrite(now, dumpBytes)
 	s.recordDump(now, start, done)
+	var dumpFlags uint32
+	if action == core.ActionCheckpointIncremental {
+		dumpFlags |= obs.FlagIncremental
+	}
+	s.journalDump(v, dumpBytes, dumpFlags, now, done)
 	s.chargeOverhead(v, time.Duration(done-now))
 	s.trackImage(v, action, dumpBytes)
 	s.engine.ScheduleAt(done, func(at sim.Time) {
@@ -892,6 +913,7 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 		s.reg.ObserveDuration("sched.predump.queue.seconds", time.Duration(preStart-now))
 		s.reg.ObserveDuration("sched.predump.total.seconds", time.Duration(preDone-now))
 	}
+	s.journalPreDump(v, preBytes, now, preDone)
 	preAction := core.ActionCheckpointFull
 	if cand.HasCheckpoint {
 		preAction = core.ActionCheckpointIncremental
@@ -925,6 +947,7 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 		delta := int64(frac * float64(v.spec.MemFootprint))
 		start, done := n.device.ReserveWrite(at, delta)
 		s.recordDump(at, start, done)
+		s.journalDump(v, delta, obs.FlagIncremental|obs.FlagPreCopy, at, done)
 		s.chargeOverhead(v, time.Duration(done-at))
 		s.trackImage(v, core.ActionCheckpointIncremental, delta)
 		s.engine.ScheduleAt(done, func(end sim.Time) {

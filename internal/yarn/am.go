@@ -233,7 +233,7 @@ func (am *AppMaster) restoreOrFallback(t *taskRun, n *NodeManager, at sim.Time) 
 			// waste.
 			restored := time.Duration(float64(t.spec.Duration) * float64(info.Steps) / float64(t.totalSteps))
 			if restored < t.banked {
-				am.c.res.WastedCPUHours += coresOf(t) * (t.banked - restored).Hours()
+				am.c.addWaste(coresOf(t) * (t.banked - restored).Hours())
 				t.banked = restored
 			}
 			t.process = p
@@ -255,7 +255,7 @@ func (am *AppMaster) restoreOrFallback(t *taskRun, n *NodeManager, at sim.Time) 
 	// Every image of the chain was unusable: restart from scratch.
 	am.c.res.RestoreRestarts++
 	am.discardImages(t, n)
-	am.c.res.WastedCPUHours += coresOf(t) * t.banked.Hours()
+	am.c.addWaste(coresOf(t) * t.banked.Hours())
 	t.banked = 0
 	fresh, perr := am.newProcess(t)
 	if perr != nil {
@@ -331,7 +331,8 @@ func (am *AppMaster) killFallback(t *taskRun, n *NodeManager, lost time.Duration
 	am.c.res.DumpFailures++
 	am.c.res.FallbackKills++
 	am.c.res.Kills++
-	am.c.res.WastedCPUHours += coresOf(t) * lost.Hours()
+	am.c.addWaste(coresOf(t) * lost.Hours())
+	am.c.recordKillFallback(t, n, lost, now)
 	t.process.Kill()
 	t.process = nil
 	n.releaseSlot(now, t)
@@ -389,7 +390,7 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 		// Kill: progress since the last checkpoint is lost; the slot frees
 		// immediately.
 		am.c.res.Kills++
-		am.c.res.WastedCPUHours += coresOf(t) * t.unsavedProgress(now).Hours()
+		am.c.addWaste(coresOf(t) * t.unsavedProgress(now).Hours())
 		t.process.Kill()
 		t.process = nil
 		n.releaseSlot(now, t)
@@ -601,7 +602,7 @@ func (am *AppMaster) onComplete(t *taskRun, now sim.Time) {
 			t.spec.ID, t.process.Steps(), t.totalSteps, t.process.State()))
 	}
 	am.c.res.TaskChecksums[t.spec.ID] = checksumProcess(t.process)
-	am.c.res.UsefulCPUHours += coresOf(t) * t.spec.Duration.Hours()
+	am.c.addUseful(coresOf(t) * t.spec.Duration.Hours())
 	am.c.res.TasksCompleted++
 
 	t.state = stateDone
@@ -611,6 +612,7 @@ func (am *AppMaster) onComplete(t *taskRun, now sim.Time) {
 	t.node = nil
 	am.discardImages(t, n)
 	t.process = nil
+	am.c.recordTaskDone(t, n, now)
 
 	am.left--
 	if am.left == 0 {
@@ -618,6 +620,7 @@ func (am *AppMaster) onComplete(t *taskRun, now sim.Time) {
 		resp := time.Duration(now - am.job.Submit).Seconds()
 		am.c.res.JobResponseSec[am.job.Band()].Add(resp)
 		am.c.res.JobResponseAllSec.Add(resp)
+		am.c.slo.ObserveResponse(am.job.Band().String(), resp)
 		if fn := am.c.jobDone[am.job.ID]; fn != nil {
 			delete(am.c.jobDone, am.job.ID)
 			fn(JobDone{ID: am.job.ID, At: now, ResponseSec: resp, Tasks: len(am.job.Tasks)})

@@ -38,9 +38,13 @@ type Cluster struct {
 	// tracer records lifecycle spans in virtual time; nil disables
 	// tracing. reg is never nil inside Run: a private registry is built
 	// when the caller does not supply one, so Result.Metrics is always
-	// populated.
+	// populated. rec is the flight recorder (nil disables journaling);
+	// slo is the live SLO tracker and, like reg, is never nil inside
+	// Run.
 	tracer *obs.Tracer
 	reg    *obs.Registry
+	rec    *obs.Recorder
+	slo    *obs.SLOTracker
 
 	res     *Result
 	taskSeq uint64
@@ -174,9 +178,13 @@ func newCluster(cfg Config, tcpDFS bool) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 
 	c := &Cluster{cfg: cfg, engine: sim.NewEngine(), tracer: cfg.Tracer, reg: cfg.Metrics,
+		rec: cfg.Recorder, slo: cfg.SLO,
 		jobDone: make(map[cluster.JobID]func(JobDone))}
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
+	}
+	if c.slo == nil {
+		c.slo = obs.NewSLOTracker()
 	}
 
 	storageName := cfg.StorageKind.String()
@@ -328,8 +336,21 @@ func (c *Cluster) programSteps() uint64 {
 
 // chargeOverhead books checkpoint/restore time against a task's cores.
 func (c *Cluster) chargeOverhead(t *taskRun, d time.Duration) {
-	c.res.WastedCPUHours += coresOf(t) * d.Hours()
+	c.addWaste(coresOf(t) * d.Hours())
 	c.res.OverheadCPUHours += coresOf(t) * d.Hours()
+}
+
+// addWaste books wasted core-hours in the Result and the live SLO
+// tracker in one step, so the two can never drift.
+func (c *Cluster) addWaste(coreHours float64) {
+	c.res.WastedCPUHours += coreHours
+	c.slo.AddWaste(coreHours)
+}
+
+// addUseful books useful core-hours in the Result and the SLO tracker.
+func (c *Cluster) addUseful(coreHours float64) {
+	c.res.UsefulCPUHours += coreHours
+	c.slo.AddUseful(coreHours)
 }
 
 // addImageBytes tracks the logical checkpoint footprint high-water mark.

@@ -102,6 +102,18 @@ type Config struct {
 	// Result.Metrics is always populated.
 	Metrics *obs.Registry
 
+	// Recorder, when non-nil, receives the flight-recorder journal:
+	// every preemption decision with its Alg. 1 cost-model inputs, the
+	// scored victim-selection sets, and dump/restore lifecycle events
+	// with estimated-vs-actual overheads. Nil disables journaling at
+	// zero cost.
+	Recorder *obs.Recorder
+	// SLO, when non-nil, is the live SLO tracker fed incrementally as
+	// events happen (waste core-hours, per-band response percentiles,
+	// checkpoint hit-rate). When nil, Run builds a private tracker so
+	// Result.SLO is always populated.
+	SLO *obs.SLOTracker
+
 	// Faults, when non-nil, injects the configured fault scenario into
 	// the DFS substrate and the checkpoint store: DataNode RPC drops, a
 	// DataNode crash at the Nth block write, failed or torn dump writes.
@@ -300,6 +312,11 @@ type Result struct {
 	// (yarn.dump.*, yarn.restore.*, dfs.client.block.*), policy-decision
 	// counters, and gauges, whether or not the caller supplied a registry.
 	Metrics obs.Snapshot
+
+	// SLO is the end-of-run snapshot of the live SLO engine: waste
+	// core-hours, per-band response-time percentiles, and the checkpoint
+	// hit-rate, maintained incrementally during the run.
+	SLO obs.SLOSnapshot
 }
 
 // WasteFraction returns wasted over total consumed CPU.

@@ -15,18 +15,65 @@ import (
 func nodeName(id int) string { return "node-" + strconv.Itoa(id) }
 
 // recordDecision books one Preemption Manager verdict: a policy-decision
-// counter keyed by the chosen action and an instant span on the victim's
-// track carrying the unsaved progress and the Algorithm 1 estimate.
+// counter keyed by the chosen action, an instant span on the victim's
+// track carrying the unsaved progress and the Algorithm 1 estimate, the
+// live SLO hit-rate tally, and a provenance record in the flight
+// recorder keyed to that span.
 func (c *Cluster) recordDecision(t *taskRun, n *NodeManager, action core.PreemptAction, now sim.Time) {
 	//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
 	c.reg.Inc("yarn.policy.decision." + action.String())
-	if c.tracer == nil {
+	c.slo.CountDecision(action.IsCheckpoint())
+	var span obs.SpanID
+	if c.tracer != nil {
+		span = c.tracer.Instant("sched", "policy-decision", nodeName(n.id), t.spec.ID.String(), 0, time.Duration(now),
+			obs.String("action", action.String()),
+			obs.DurationMS("unsaved_ms", t.unsavedProgress(now)),
+			obs.DurationMS("est_overhead_ms", t.estOverhead))
+	}
+	if c.rec != nil {
+		est := t.estOverhead
+		if est == 0 {
+			// Kill decisions record no estimate on the task; recompute the
+			// Algorithm 1 overhead the comparison was made against so the
+			// journal can answer "why kill instead of checkpoint".
+			est = core.CheckpointOverhead(t.candidate(now), n.device, now)
+		}
+		c.rec.Append(obs.Record{
+			Kind: obs.RecDecision, At: time.Duration(now), Source: "yarn",
+			Name: action.String(), Task: t.spec.ID.String(), Node: nodeName(n.id),
+			Priority: int(t.spec.Priority), Unsaved: t.unsavedProgress(now),
+			Est: est, Span: uint64(span),
+		})
+	}
+}
+
+// recordSelection journals one victim-selection pass: the full scored
+// candidate set the RM ranked while finding room for claimant, with the
+// chosen victim marked. Only called when the flight recorder is on.
+func (c *Cluster) recordSelection(claimant *taskRun, n *NodeManager, cands []obs.CandidateScore, now sim.Time) {
+	if c.rec == nil {
 		return
 	}
-	c.tracer.Instant("sched", "policy-decision", nodeName(n.id), t.spec.ID.String(), 0, time.Duration(now),
-		obs.String("action", action.String()),
-		obs.DurationMS("unsaved_ms", t.unsavedProgress(now)),
-		obs.DurationMS("est_overhead_ms", t.estOverhead))
+	c.rec.Append(obs.Record{
+		Kind: obs.RecSelection, At: time.Duration(now), Source: "yarn",
+		Name: "victim-selection", Claimant: claimant.spec.ID.String(),
+		Node: nodeName(n.id), Priority: int(claimant.spec.Priority),
+		Candidates: cands,
+	})
+}
+
+// recordKillFallback journals a checkpoint decision that degraded to a
+// kill (failed dump), carrying the progress lost.
+func (c *Cluster) recordKillFallback(t *taskRun, n *NodeManager, lost time.Duration, now sim.Time) {
+	c.slo.CountFallbackKill()
+	if c.rec == nil {
+		return
+	}
+	c.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+		Name: "kill-fallback", Task: t.spec.ID.String(), Node: nodeName(n.id),
+		Priority: int(t.spec.Priority), Unsaved: lost, Flags: obs.FlagFallback,
+	})
 }
 
 // recordDump books one checkpoint dump window [now, done] with the device
@@ -39,30 +86,65 @@ func (c *Cluster) recordDump(t *taskRun, n *NodeManager, image string, bytes int
 	c.reg.ObserveDuration("yarn.dump.total.seconds", time.Duration(done-now))
 	//lint:ignore metricname per-node gauge: the node id is part of the series identity
 	c.reg.MaxGauge(fmt.Sprintf("yarn.node.%d.ckpt.queue.peak.seconds", n.id), time.Duration(start-now).Seconds())
-	if c.tracer == nil {
-		return
+	var span obs.SpanID
+	if c.tracer != nil {
+		pid, tid := nodeName(n.id), t.spec.ID.String()
+		span = c.tracer.Complete("checkpoint", "dump", pid, tid, 0, time.Duration(now), time.Duration(done),
+			obs.Int64("bytes", bytes), obs.Bool("incremental", incremental), obs.String("image", image))
+		c.tracer.Complete("checkpoint", "dump-queue", pid, tid, span, time.Duration(now), time.Duration(start))
+		c.tracer.Complete("checkpoint", "dump-write", pid, tid, span, time.Duration(start), time.Duration(done))
+		t.lastCkptSpan = span
 	}
-	pid, tid := nodeName(n.id), t.spec.ID.String()
-	span := c.tracer.Complete("checkpoint", "dump", pid, tid, 0, time.Duration(now), time.Duration(done),
-		obs.Int64("bytes", bytes), obs.Bool("incremental", incremental), obs.String("image", image))
-	c.tracer.Complete("checkpoint", "dump-queue", pid, tid, span, time.Duration(now), time.Duration(start))
-	c.tracer.Complete("checkpoint", "dump-write", pid, tid, span, time.Duration(start), time.Duration(done))
-	t.lastCkptSpan = span
+	if c.rec != nil {
+		flags := uint32(0)
+		if incremental {
+			flags |= obs.FlagIncremental
+		}
+		c.rec.Append(obs.Record{
+			Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+			Name: "dump", Task: t.spec.ID.String(), Node: nodeName(n.id),
+			Priority: int(t.spec.Priority), Est: t.estOverhead,
+			Actual: time.Duration(done - now), Bytes: bytes,
+			Span: uint64(span), Flags: flags,
+		})
+	}
 }
 
 // recordPreDump books the pre-copy write window, during which the victim
 // keeps executing.
 func (c *Cluster) recordPreDump(t *taskRun, n *NodeManager, image string, bytes int64, now, start, done sim.Time) {
 	c.reg.ObserveDuration("yarn.predump.total.seconds", time.Duration(done-now))
-	if c.tracer == nil {
+	var span obs.SpanID
+	if c.tracer != nil {
+		pid, tid := nodeName(n.id), t.spec.ID.String()
+		span = c.tracer.Complete("checkpoint", "pre-dump", pid, tid, 0, time.Duration(now), time.Duration(done),
+			obs.Int64("bytes", bytes), obs.String("image", image))
+		c.tracer.Complete("checkpoint", "dump-queue", pid, tid, span, time.Duration(now), time.Duration(start))
+		c.tracer.Complete("checkpoint", "dump-write", pid, tid, span, time.Duration(start), time.Duration(done))
+		t.lastCkptSpan = span
+	}
+	if c.rec != nil {
+		c.rec.Append(obs.Record{
+			Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+			Name: "pre-dump", Task: t.spec.ID.String(), Node: nodeName(n.id),
+			Priority: int(t.spec.Priority), Est: t.estOverhead,
+			Actual: time.Duration(done - now), Bytes: bytes,
+			Span: uint64(span), Flags: obs.FlagPreCopy,
+		})
+	}
+}
+
+// recordTaskDone journals a task completing its final step, closing its
+// timeline in the flight recorder.
+func (c *Cluster) recordTaskDone(t *taskRun, n *NodeManager, now sim.Time) {
+	if c.rec == nil {
 		return
 	}
-	pid, tid := nodeName(n.id), t.spec.ID.String()
-	span := c.tracer.Complete("checkpoint", "pre-dump", pid, tid, 0, time.Duration(now), time.Duration(done),
-		obs.Int64("bytes", bytes), obs.String("image", image))
-	c.tracer.Complete("checkpoint", "dump-queue", pid, tid, span, time.Duration(now), time.Duration(start))
-	c.tracer.Complete("checkpoint", "dump-write", pid, tid, span, time.Duration(start), time.Duration(done))
-	t.lastCkptSpan = span
+	c.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+		Name: "task-done", Task: t.spec.ID.String(), Node: nodeName(n.id),
+		Priority: int(t.spec.Priority),
+	})
 }
 
 // recordContainerWait books the time a granted request spent queued at the
@@ -95,25 +177,40 @@ func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfe
 	} else {
 		c.reg.Inc("yarn.policy.restore.local")
 	}
-	if t.estOverhead > 0 {
-		actual := t.dumpCost + time.Duration(done-now)
+	// The full checkpoint round trip is dump + restore; est was captured
+	// at decision time and is compared (then cleared) here.
+	est := t.estOverhead
+	actual := t.dumpCost + time.Duration(done-now)
+	if est > 0 {
 		if actual > 0 {
-			relerr := math.Abs(t.estOverhead.Seconds()-actual.Seconds()) / actual.Seconds()
+			relerr := math.Abs(est.Seconds()-actual.Seconds()) / actual.Seconds()
 			c.reg.Observe("yarn.overhead.estimate.relerr", relerr)
 		}
 		t.estOverhead = 0
 	}
-	if c.tracer == nil {
-		return
+	var span obs.SpanID
+	if c.tracer != nil {
+		pid, tid := nodeName(n.id), t.spec.ID.String()
+		span = c.tracer.Complete("restore", "restore", pid, tid, t.lastCkptSpan,
+			time.Duration(now), time.Duration(done), obs.Bool("remote", remote))
+		if remote {
+			c.tracer.Complete("restore", "restore-transfer", pid, tid, span, time.Duration(now), time.Duration(arrive))
+		}
+		c.tracer.Complete("restore", "restore-queue", pid, tid, span, time.Duration(arrive), time.Duration(start))
+		c.tracer.Complete("restore", "restore-read", pid, tid, span, time.Duration(start), time.Duration(done))
 	}
-	pid, tid := nodeName(n.id), t.spec.ID.String()
-	span := c.tracer.Complete("restore", "restore", pid, tid, t.lastCkptSpan,
-		time.Duration(now), time.Duration(done), obs.Bool("remote", remote))
-	if remote {
-		c.tracer.Complete("restore", "restore-transfer", pid, tid, span, time.Duration(now), time.Duration(arrive))
+	if c.rec != nil {
+		flags := uint32(0)
+		if remote {
+			flags |= obs.FlagRemote
+		}
+		c.rec.Append(obs.Record{
+			Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+			Name: "restore", Task: t.spec.ID.String(), Node: nodeName(n.id),
+			Priority: int(t.spec.Priority), Est: est, Actual: actual,
+			Bytes: t.spec.MemFootprint, Span: uint64(span), Flags: flags,
+		})
 	}
-	c.tracer.Complete("restore", "restore-queue", pid, tid, span, time.Duration(arrive), time.Duration(start))
-	c.tracer.Complete("restore", "restore-read", pid, tid, span, time.Duration(start), time.Duration(done))
 }
 
 // finishMetrics mirrors the run's Result counters into the registry in one
@@ -158,5 +255,7 @@ func (c *Cluster) finishMetrics() {
 	c.reg.SetGauge("yarn.peak.image.bytes", float64(c.res.PeakImageBytes))
 	c.reg.SetGauge("yarn.dfs.stored.bytes", float64(c.res.DFSStoredBytes))
 	c.reg.SetGauge("yarn.energy.kwh", c.res.EnergyKWh)
+	c.slo.PublishGauges(c.reg)
+	c.res.SLO = c.slo.Snapshot()
 	c.res.Metrics = c.reg.Snapshot()
 }

@@ -7,6 +7,7 @@ import (
 
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/core"
+	"preemptsched/internal/obs"
 	"preemptsched/internal/sim"
 )
 
@@ -208,6 +209,19 @@ func (rm *ResourceManager) preemptFor(req *request, now sim.Time) bool {
 		return cands[i].t.seq < cands[j].t.seq
 	})
 	victim := cands[0]
+	if rm.c.rec != nil {
+		scores := make([]obs.CandidateScore, len(cands))
+		for i, sc := range cands {
+			scores[i] = obs.CandidateScore{
+				Task:     sc.t.spec.ID.String(),
+				Priority: int(sc.t.spec.Priority),
+				Cost:     sc.cost,
+				Unsaved:  sc.t.unsavedProgress(now),
+				Chosen:   i == 0,
+			}
+		}
+		rm.c.recordSelection(req.task, victim.n, scores, now)
+	}
 	rm.reserve(req, victim.n)
 	rm.c.res.Preemptions++
 	victim.t.am.onPreempt(victim.t, now)
