@@ -11,8 +11,19 @@
 //	         [-nodes 8] [-slots 24] [-policy adaptive] [-storage ssd]
 //	         [-program kmeans] [-precopy] [-replication 3]
 //	         [-fault-rpc-rate P] [-fault-torn-rate P] [-fault-create-rate P]
+//	         [-fault-nm-crash-node N] [-fault-nm-crash-at D]
+//	         [-fault-nm-partition-node N] [-fault-nm-partition-at D] [-fault-nm-partition-for D]
+//	         [-fault-nm-beat-drop-rate P] [-nm-heartbeat-every D] [-nm-heartbeat-timeout D]
 //	         [-fault-seed S] [-drain-timeout 2m] [-report final.json]
 //	         [-journal clusterd.journal]
+//
+// The -fault-nm-* flags arm the compute-node fault domain while the
+// daemon serves live traffic: a seeded NodeManager crash or RM<->NM
+// partition (virtual time, measured from the first admitted job), with
+// the RM liveness sweep declaring silent nodes dead and rescheduling
+// their tasks through the checkpoint recovery ladder. The drain audit
+// still demands settled books — node loss must not lose or
+// double-complete a job.
 //
 // Admission is bounded and explicit: once the queue is full, submissions
 // are rejected with a retry-after hint — nothing is buffered without
@@ -87,6 +98,14 @@ func run() error {
 	faultNNRate := flag.Float64("fault-nn-rate", 0, "probability a NameNode RPC fails")
 	faultCreateRate := flag.Float64("fault-create-rate", 0, "probability a checkpoint store create fails")
 	faultTornRate := flag.Float64("fault-torn-rate", 0, "probability a checkpoint write tears short")
+	faultNMCrashNode := flag.Int("fault-nm-crash-node", 0, "NodeManager index that crashes at -fault-nm-crash-at")
+	faultNMCrashAt := flag.Duration("fault-nm-crash-at", 0, "virtual time the NodeManager crash fires (0 = never)")
+	faultNMPartitionNode := flag.Int("fault-nm-partition-node", 0, "NodeManager index partitioned from the RM at -fault-nm-partition-at")
+	faultNMPartitionAt := flag.Duration("fault-nm-partition-at", 0, "virtual time the RM<->NM partition opens (0 = never)")
+	faultNMPartitionFor := flag.Duration("fault-nm-partition-for", 0, "partition duration before it heals (0 = never heals)")
+	faultNMBeatDropRate := flag.Float64("fault-nm-beat-drop-rate", 0, "probability an NM heartbeat is dropped on the wire")
+	nmHeartbeatEvery := flag.Duration("nm-heartbeat-every", 0, "NM heartbeat interval on the virtual clock (0 = default 10s)")
+	nmHeartbeatTimeout := flag.Duration("nm-heartbeat-timeout", 0, "silence after which the RM declares a node dead (0 = auto-armed with NM faults)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain deadline; past it DFS I/O is aborted and the drain converges on the kill path")
 	reportPath := flag.String("report", "", "write the final JSON report (daemon stats + cluster result) here on exit")
 	journalPath := flag.String("journal", "clusterd.journal", "flush the decision-provenance journal here on exit or panic (empty disables)")
@@ -107,13 +126,22 @@ func run() error {
 	cc.Replication = *replication
 	cc.Program = *program
 	cc.PreCopy = *preCopy
-	if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCreateRate > 0 || *faultTornRate > 0 {
+	cc.NMHeartbeatEvery = *nmHeartbeatEvery
+	cc.NMLivenessTimeout = *nmHeartbeatTimeout
+	if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCreateRate > 0 || *faultTornRate > 0 ||
+		*faultNMCrashAt > 0 || *faultNMPartitionAt > 0 || *faultNMBeatDropRate > 0 {
 		cc.Faults = &faults.Plan{
 			Seed:              *faultSeed,
 			RPCErrorRate:      *faultRPCRate,
 			NameNodeErrorRate: *faultNNRate,
 			CreateFailRate:    *faultCreateRate,
 			TornWriteRate:     *faultTornRate,
+			NMCrashAt:         *faultNMCrashAt,
+			NMCrashNode:       *faultNMCrashNode,
+			NMPartitionAt:     *faultNMPartitionAt,
+			NMPartitionNode:   *faultNMPartitionNode,
+			NMPartitionFor:    *faultNMPartitionFor,
+			HeartbeatDropRate: *faultNMBeatDropRate,
 		}
 	}
 

@@ -10,7 +10,20 @@
 //	           [-fault-rpc-rate P] [-fault-crash-node dn-K] [-fault-crash-after N]
 //	           [-fault-create-rate P] [-fault-torn-rate P] [-fault-seed S]
 //	           [-fault-bitflip-rate P] [-fault-bitflip-max N] [-fault-truncate-rate P]
+//	           [-fault-nm-crash-node N] [-fault-nm-crash-at D]
+//	           [-fault-nm-partition-node N] [-fault-nm-partition-at D] [-fault-nm-partition-for D]
+//	           [-fault-nm-beat-drop-rate P]
+//	           [-nm-heartbeat-every D] [-nm-heartbeat-timeout D]
 //	           [-scrub-every N]
+//
+// The -fault-nm-* flags exercise the compute-node fault domain: a seeded
+// NodeManager crash (-fault-nm-crash-at, virtual time), an RM<->NM
+// partition window that heals (-fault-nm-partition-*), and a random
+// heartbeat drop rate. The RM's liveness sweep (-nm-heartbeat-every /
+// -nm-heartbeat-timeout) declares silent nodes dead, releases their
+// containers, and reschedules the lost tasks through the checkpoint
+// degradation ladder; the report's schema-v4 "failures" object carries
+// the recovery counters.
 //
 // The -fault-* flags inject a deterministic chaos scenario into the DFS
 // and checkpoint store; the report then includes the degradation counters
@@ -97,6 +110,14 @@ func run() error {
 	faultBitFlipRate := flag.Float64("fault-bitflip-rate", 0, "probability a stored block replica gets a flipped bit")
 	faultBitFlipMax := flag.Int("fault-bitflip-max", 0, "max replicas of one block that may be bit-flipped (0 = default 1, a strict minority under 3-way replication)")
 	faultTruncateRate := flag.Float64("fault-truncate-rate", 0, "probability a checkpoint write is silently truncated (write still reports success)")
+	faultNMCrashNode := flag.Int("fault-nm-crash-node", 0, "NodeManager index that crashes at -fault-nm-crash-at")
+	faultNMCrashAt := flag.Duration("fault-nm-crash-at", 0, "virtual time the NodeManager crash fires (0 = never)")
+	faultNMPartitionNode := flag.Int("fault-nm-partition-node", 0, "NodeManager index partitioned from the RM at -fault-nm-partition-at")
+	faultNMPartitionAt := flag.Duration("fault-nm-partition-at", 0, "virtual time the RM<->NM partition opens (0 = never)")
+	faultNMPartitionFor := flag.Duration("fault-nm-partition-for", 0, "partition duration before it heals (0 = never heals)")
+	faultNMBeatDropRate := flag.Float64("fault-nm-beat-drop-rate", 0, "probability an NM heartbeat is dropped on the wire")
+	nmHeartbeatEvery := flag.Duration("nm-heartbeat-every", 0, "NM heartbeat interval on the virtual clock (0 = default 10s)")
+	nmHeartbeatTimeout := flag.Duration("nm-heartbeat-timeout", 0, "silence after which the RM declares a node dead (0 = auto-armed with NM faults)")
 	scrubEvery := flag.Int("scrub-every", 0, "run a full DataNode integrity scrub after every N checkpoint dumps (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text and JSON metrics on this HTTP address (e.g. :9090)")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics endpoint alive this long after the run ends")
@@ -135,8 +156,11 @@ func run() error {
 		cfg.Program = *program
 		cfg.CompactChainAfter = *compactAfter
 		cfg.ScrubEveryNDumps = *scrubEvery
+		cfg.NMHeartbeatEvery = *nmHeartbeatEvery
+		cfg.NMLivenessTimeout = *nmHeartbeatTimeout
 		if *faultRPCRate > 0 || *faultNNRate > 0 || *faultCrashNode != "" || *faultCreateRate > 0 ||
-			*faultTornRate > 0 || *faultBitFlipRate > 0 || *faultTruncateRate > 0 {
+			*faultTornRate > 0 || *faultBitFlipRate > 0 || *faultTruncateRate > 0 ||
+			*faultNMCrashAt > 0 || *faultNMPartitionAt > 0 || *faultNMBeatDropRate > 0 {
 			cfg.Faults = &faults.Plan{
 				Seed:               *faultSeed,
 				RPCErrorRate:       *faultRPCRate,
@@ -148,6 +172,12 @@ func run() error {
 				BitFlipRate:        *faultBitFlipRate,
 				BitFlipMaxPerBlock: *faultBitFlipMax,
 				SilentTruncateRate: *faultTruncateRate,
+				NMCrashAt:          *faultNMCrashAt,
+				NMCrashNode:        *faultNMCrashNode,
+				NMPartitionAt:      *faultNMPartitionAt,
+				NMPartitionNode:    *faultNMPartitionNode,
+				NMPartitionFor:     *faultNMPartitionFor,
+				HeartbeatDropRate:  *faultNMBeatDropRate,
 			}
 		}
 		return cfg, jobSpecs, nil
@@ -246,6 +276,10 @@ func run() error {
 	fmt.Printf("restores:        %d (%d remote, %d failed attempts, %d fell back to older image, %d restarted), compactions %d\n",
 		r.Restores, r.RemoteRestores, r.RestoreFailures, r.RestoreFallbacks, r.RestoreRestarts, r.Compactions)
 	fmt.Printf("degradation:     %d dumps failed -> %d kill fallbacks\n", r.DumpFailures, r.FallbackKills)
+	if r.NodeFailures > 0 || r.TasksRescheduled > 0 {
+		fmt.Printf("node failures:   %d declared dead (%d recovered), %d tasks rescheduled (%d from image, %d restarted), %.2f core-hours lost\n",
+			r.NodeFailures, r.NodeRecoveries, r.TasksRescheduled, r.FailureRestores, r.FailureRestarts, r.FailureWasteHours)
+	}
 	fmt.Printf("dfs resilience:  %d retries, %d read failovers, %d pipeline rebuilds, %d blocks re-replicated (%d lost)\n",
 		r.DFSRetries, r.ReadFailovers, r.PipelineRebuilds, r.BlocksReReplicated, r.BlocksLost)
 	fmt.Printf("integrity:       %d corrupt reads, %d replicas quarantined (%d re-replicated, %d degraded, %d lost), %d verify failures\n",
@@ -333,9 +367,22 @@ type integritySummary struct {
 	RestoreVerifyFailures int64 `json:"restore_verify_failures"`
 }
 
+// failuresSummary is the compute-node fault-domain digest of a run:
+// liveness declarations, recoveries, and how the displaced work came
+// back (image restore vs restart) at what cost.
+type failuresSummary struct {
+	NodeFailures          int64   `json:"node_failures"`
+	NodeRecoveries        int64   `json:"node_recoveries"`
+	TasksRescheduled      int64   `json:"tasks_rescheduled"`
+	FailureRestores       int64   `json:"failure_restores"`
+	FailureRestarts       int64   `json:"failure_restarts"`
+	FailureWasteCoreHours float64 `json:"failure_waste_core_hours"`
+}
+
 // report is the machine-readable run summary; docs/report.schema.json is
 // its contract and cmd/reportcheck validates instances against it.
-// Schema version 2 added the integrity object; version 3 the slo object.
+// Schema version 2 added the integrity object; version 3 the slo object;
+// version 4 the failures object.
 type report struct {
 	SchemaVersion   int                       `json:"schema_version"`
 	Policy          string                    `json:"policy"`
@@ -347,6 +394,7 @@ type report struct {
 	Gauges          map[string]float64        `json:"gauges"`
 	PolicyDecisions map[string]int64          `json:"policy_decisions"`
 	Integrity       integritySummary          `json:"integrity"`
+	Failures        failuresSummary           `json:"failures"`
 	SLO             obs.SLOSnapshot           `json:"slo"`
 	Latencies       map[string]latencySummary `json:"latencies_seconds"`
 }
@@ -354,7 +402,7 @@ type report struct {
 func writeReport(path string, r *yarn.Result, runErr error) error {
 	snap := r.Metrics
 	rep := report{
-		SchemaVersion:   3,
+		SchemaVersion:   4,
 		Policy:          r.Policy.String(),
 		Storage:         r.Storage,
 		Aborted:         runErr != nil,
@@ -373,6 +421,14 @@ func writeReport(path string, r *yarn.Result, runErr error) error {
 			ScrubCorruptFound:     r.ScrubCorruptFound,
 			FinalScrubCorrupt:     r.FinalScrubCorrupt,
 			RestoreVerifyFailures: int64(r.RestoreVerifyFailures),
+		},
+		Failures: failuresSummary{
+			NodeFailures:          int64(r.NodeFailures),
+			NodeRecoveries:        int64(r.NodeRecoveries),
+			TasksRescheduled:      int64(r.TasksRescheduled),
+			FailureRestores:       int64(r.FailureRestores),
+			FailureRestarts:       int64(r.FailureRestarts),
+			FailureWasteCoreHours: r.FailureWasteHours,
 		},
 		SLO: r.SLO,
 	}

@@ -93,6 +93,9 @@ func flagNames(f uint32) string {
 	if f&obs.FlagPreCopy != 0 {
 		parts = append(parts, "pre-copy")
 	}
+	if f&obs.FlagFailure != 0 {
+		parts = append(parts, "failure")
+	}
 	if len(parts) == 0 {
 		return ""
 	}
@@ -208,6 +211,28 @@ func explainTask(j *obs.Journal, id string, at time.Duration) {
 		printRecord(r, id)
 	}
 
+	// The recovery story: how many times the task was torn off a dead
+	// node, and whether the reschedule resumed from a checkpoint image
+	// (restore events carrying the failure flag) or restarted cold.
+	var rescheds, fromImage int
+	var forfeit time.Duration
+	for _, r := range story {
+		if r.Kind != obs.RecEvent || r.Task != id {
+			continue
+		}
+		switch {
+		case r.Name == "task-rescheduled":
+			rescheds++
+			forfeit += r.Unsaved
+		case r.Name == "restore" && r.Flags&obs.FlagFailure != 0:
+			fromImage++
+		}
+	}
+	if rescheds > 0 {
+		fmt.Fprintf(out, "\nrecovery: rescheduled %d time(s) after node failure, %d resumed from a checkpoint image, %s of progress forfeit\n",
+			rescheds, fromImage, fdur(forfeit))
+	}
+
 	// The verdict: the task's own decision nearest -at (or the last one).
 	var best *obs.Record
 	for i := range story {
@@ -287,6 +312,25 @@ func printRecord(r obs.Record, focus string) {
 		fmt.Fprintf(out, "T=%-12s decision %s: task %s on %s (unsaved %s, est overhead %s)\n",
 			fdur(r.At), r.Name, r.Task, r.Node, fdur(r.Unsaved), fdur(r.Est))
 	case obs.RecEvent:
+		// Node-lifecycle events have no task of their own: render them
+		// node-centric so the liveness story reads cleanly.
+		switch r.Name {
+		case "node-down":
+			fmt.Fprintf(out, "T=%-12s node-down: %s declared dead, containers released\n", fdur(r.At), r.Node)
+			return
+		case "node-recovered":
+			fmt.Fprintf(out, "T=%-12s node-recovered: %s heartbeating again, capacity restored\n", fdur(r.At), r.Node)
+			return
+		case "task-rescheduled":
+			line := fmt.Sprintf("T=%-12s task-rescheduled: task %s lost %s with it", fdur(r.At), r.Task, r.Node)
+			if r.Unsaved > 0 {
+				line += fmt.Sprintf(", %s of progress forfeit", fdur(r.Unsaved))
+			} else {
+				line += ", no progress forfeit"
+			}
+			fmt.Fprintln(out, line+flagNames(r.Flags))
+			return
+		}
 		line := fmt.Sprintf("T=%-12s %s: task %s on %s", fdur(r.At), r.Name, r.Task, r.Node)
 		if r.Bytes > 0 {
 			line += fmt.Sprintf(", %d bytes", r.Bytes)
@@ -300,7 +344,7 @@ func printRecord(r obs.Record, focus string) {
 		if r.Name == "kill-fallback" && r.Unsaved > 0 {
 			line += fmt.Sprintf(", lost %s", fdur(r.Unsaved))
 		}
-		fmt.Fprintln(out, line + flagNames(r.Flags))
+		fmt.Fprintln(out, line+flagNames(r.Flags))
 	}
 }
 

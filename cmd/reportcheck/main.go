@@ -15,9 +15,15 @@
 // response distribution is internally consistent (monotone percentiles
 // bounded by the max).
 //
+// With -failures it asserts the node-churn contract on the report's
+// failures object: at least one node was declared dead, every displaced
+// task is accounted as an image restore or a restart, the failure
+// counters agree with the run's batch counters, and the SLO waste split
+// (failure vs preemption blame) sums back to the waste total.
+//
 // Usage:
 //
-//	reportcheck [-schema docs/report.schema.json] [-integrity] [-slo] report.json
+//	reportcheck [-schema docs/report.schema.json] [-integrity] [-slo] [-failures] report.json
 package main
 
 import (
@@ -35,19 +41,20 @@ func main() {
 	schemaPath := flag.String("schema", "docs/report.schema.json", "report JSON schema")
 	integrity := flag.Bool("integrity", false, "also assert the corruption-chaos integrity contract")
 	slo := flag.Bool("slo", false, "also assert the live-SLO-engine consistency contract")
+	failures := flag.Bool("failures", false, "also assert the node-churn failure-recovery contract")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] [-integrity] [-slo] report.json")
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema schema.json] [-integrity] [-slo] [-failures] report.json")
 		os.Exit(2)
 	}
-	if err := run(*schemaPath, flag.Arg(0), *integrity, *slo); err != nil {
+	if err := run(*schemaPath, flag.Arg(0), *integrity, *slo, *failures); err != nil {
 		fmt.Fprintln(os.Stderr, "reportcheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s conforms to %s\n", flag.Arg(0), *schemaPath)
 }
 
-func run(schemaPath, reportPath string, integrity, slo bool) error {
+func run(schemaPath, reportPath string, integrity, slo, failures bool) error {
 	schema, err := os.ReadFile(schemaPath)
 	if err != nil {
 		return err
@@ -65,7 +72,12 @@ func run(schemaPath, reportPath string, integrity, slo bool) error {
 		}
 	}
 	if slo {
-		return checkSLO(doc)
+		if err := checkSLO(doc); err != nil {
+			return err
+		}
+	}
+	if failures {
+		return checkFailures(doc)
 	}
 	return nil
 }
@@ -127,6 +139,79 @@ func checkIntegrity(doc []byte) error {
 	}
 	fmt.Printf("integrity: %d injected flips -> %d detected, %d quarantined, %d healed, 0 left after final sweep\n",
 		injected, detected, in.ReplicasQuarantined, in.CorruptReReplicated)
+	return nil
+}
+
+// failuresReport is the slice of the report the node-churn contract
+// reads.
+type failuresReport struct {
+	Aborted     bool             `json:"aborted"`
+	AbortReason string           `json:"abort_reason"`
+	Counts      map[string]int64 `json:"counts"`
+	Failures    struct {
+		NodeFailures          int64   `json:"node_failures"`
+		NodeRecoveries        int64   `json:"node_recoveries"`
+		TasksRescheduled      int64   `json:"tasks_rescheduled"`
+		FailureRestores       int64   `json:"failure_restores"`
+		FailureRestarts       int64   `json:"failure_restarts"`
+		FailureWasteCoreHours float64 `json:"failure_waste_core_hours"`
+	} `json:"failures"`
+	SLO struct {
+		WasteCoreHours           float64 `json:"waste_core_hours"`
+		WasteFailureCoreHours    float64 `json:"waste_failure_core_hours"`
+		WastePreemptionCoreHours float64 `json:"waste_preemption_core_hours"`
+	} `json:"slo"`
+}
+
+// checkFailures asserts the node-churn recovery contract: the run
+// survived real node loss with settled books, every displaced task is
+// accounted for, and the failure-blame split agrees between the
+// failures object, the batch counters, and the SLO snapshot.
+func checkFailures(doc []byte) error {
+	var rep failuresReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		return err
+	}
+	if rep.Aborted {
+		return fmt.Errorf("failures: run did not complete: %s", rep.AbortReason)
+	}
+	f := rep.Failures
+	const eps = 1e-9
+	switch {
+	case f.NodeFailures == 0:
+		return fmt.Errorf("failures: no node was declared dead — not a node-churn run")
+	case f.NodeRecoveries > f.NodeFailures:
+		return fmt.Errorf("failures: %d recoveries exceed %d failures", f.NodeRecoveries, f.NodeFailures)
+	case f.TasksRescheduled != f.FailureRestores+f.FailureRestarts:
+		return fmt.Errorf("failures: %d rescheduled tasks but %d restores + %d restarts — every displaced task must be accounted",
+			f.TasksRescheduled, f.FailureRestores, f.FailureRestarts)
+	case f.NodeFailures != rep.Counts["yarn.node.failures"]:
+		return fmt.Errorf("failures: %d node failures but counters say %d",
+			f.NodeFailures, rep.Counts["yarn.node.failures"])
+	case f.NodeRecoveries != rep.Counts["yarn.node.recoveries"]:
+		return fmt.Errorf("failures: %d node recoveries but counters say %d",
+			f.NodeRecoveries, rep.Counts["yarn.node.recoveries"])
+	case f.TasksRescheduled != rep.Counts["yarn.tasks.rescheduled"]:
+		return fmt.Errorf("failures: %d rescheduled tasks but counters say %d",
+			f.TasksRescheduled, rep.Counts["yarn.tasks.rescheduled"])
+	case f.FailureRestores != rep.Counts["yarn.failure.restores"]:
+		return fmt.Errorf("failures: %d failure restores but counters say %d",
+			f.FailureRestores, rep.Counts["yarn.failure.restores"])
+	case f.FailureRestarts != rep.Counts["yarn.failure.restarts"]:
+		return fmt.Errorf("failures: %d failure restarts but counters say %d",
+			f.FailureRestarts, rep.Counts["yarn.failure.restarts"])
+	}
+	s := rep.SLO
+	if math.Abs(s.WasteFailureCoreHours+s.WastePreemptionCoreHours-s.WasteCoreHours) > eps {
+		return fmt.Errorf("failures: slo waste split %v + %v does not sum to total %v",
+			s.WasteFailureCoreHours, s.WastePreemptionCoreHours, s.WasteCoreHours)
+	}
+	if math.Abs(s.WasteFailureCoreHours-f.FailureWasteCoreHours) > eps {
+		return fmt.Errorf("failures: slo failure waste %v disagrees with failures object %v",
+			s.WasteFailureCoreHours, f.FailureWasteCoreHours)
+	}
+	fmt.Printf("failures: %d nodes down (%d recovered), %d tasks rescheduled (%d from image, %d restarted), %.3f core-hours lost to failures\n",
+		f.NodeFailures, f.NodeRecoveries, f.TasksRescheduled, f.FailureRestores, f.FailureRestarts, f.FailureWasteCoreHours)
 	return nil
 }
 

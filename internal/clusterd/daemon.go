@@ -289,6 +289,22 @@ func (d *Daemon) admit(jr *JobRequest) Response {
 		d.reg.Inc("clusterd.jobs.rejected")
 		return Response{Error: "clusterd: draining, not admitting", State: state}
 	}
+	// Priority-aware shedding: once the queue crosses the high-water
+	// mark, free-band submissions are rejected while the reserved tail
+	// still admits paid bands — a flood of best-effort work must not
+	// starve paying bands into queue-full rejections.
+	if cluster.BandOf(cluster.Priority(jr.Priority)) == cluster.BandFree &&
+		len(d.queue) >= d.cfg.QueueSize-d.paidReserve() {
+		d.mu.Unlock()
+		d.rejected.Add(1)
+		d.reg.Inc("clusterd.jobs.rejected")
+		d.reg.Inc("clusterd.jobs.shed.free.band")
+		return Response{
+			Error:        "clusterd: queue saturated, free-band submissions shed first",
+			RetryAfterMS: d.cfg.RetryAfter.Milliseconds(),
+			State:        StateServing,
+		}
+	}
 	id := cluster.JobID(d.nextID.Add(1))
 	spec := jr.spec(id)
 	select {
@@ -310,6 +326,16 @@ func (d *Daemon) admit(jr *JobRequest) Response {
 			State:        StateServing,
 		}
 	}
+}
+
+// paidReserve is the number of queue slots held back for paid-band work
+// under pressure: a quarter of the queue, at least one slot.
+func (d *Daemon) paidReserve() int {
+	r := d.cfg.QueueSize / 4
+	if r < 1 {
+		r = 1
+	}
+	return r
 }
 
 func (jr *JobRequest) validate() error {

@@ -177,6 +177,55 @@ func TestAdmissionBackpressure(t *testing.T) {
 	}
 }
 
+// TestPriorityAwareAdmission pins the free-band shedding rule: under
+// queue pressure, free-band submissions are rejected at the high-water
+// mark while the reserved tail still admits paid bands.
+func TestPriorityAwareAdmission(t *testing.T) {
+	d := &Daemon{
+		cfg:         Config{QueueSize: 4, RetryAfter: 7 * time.Millisecond}.withDefaults(),
+		reg:         obs.NewRegistry(),
+		queue:       make(chan queuedJob, 4),
+		state:       StateServing,
+		outstanding: make(map[cluster.JobID]struct{}),
+	}
+	free := &JobRequest{Priority: 0, Tasks: 1, DurationMS: 1000}
+	paid := &JobRequest{Priority: 5, Tasks: 1, DurationMS: 1000}
+
+	// Below the high-water mark (QueueSize - QueueSize/4 = 3) both bands
+	// are admitted.
+	if resp := d.admit(free); !resp.OK {
+		t.Fatalf("free admit into an empty queue rejected: %+v", resp)
+	}
+	for i := 0; i < 2; i++ {
+		if resp := d.admit(paid); !resp.OK {
+			t.Fatalf("paid admit %d rejected: %+v", i, resp)
+		}
+	}
+
+	// Depth 3: free band is shed, paid band still fits the reserved tail.
+	resp := d.admit(free)
+	if resp.OK {
+		t.Fatal("free-band admit at the high-water mark succeeded")
+	}
+	if resp.RetryAfterMS != 7 {
+		t.Errorf("shed retry-after = %dms, want 7", resp.RetryAfterMS)
+	}
+	if !strings.Contains(resp.Error, "free-band") {
+		t.Errorf("shed error = %q, want a free-band shedding message", resp.Error)
+	}
+	if resp := d.admit(paid); !resp.OK {
+		t.Fatalf("paid admit into the reserved tail rejected: %+v", resp)
+	}
+
+	// Depth 4: the queue is genuinely full for everyone.
+	if resp := d.admit(paid); resp.OK || strings.Contains(resp.Error, "free-band") {
+		t.Errorf("paid admit into a full queue = %+v, want plain queue-full rejection", resp)
+	}
+	if got := d.reg.Snapshot().Counters["clusterd.jobs.shed.free.band"]; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
 // TestWireProtocolErrors exercises the unknown-op and malformed-request
 // edges over a real connection.
 func TestWireProtocolErrors(t *testing.T) {

@@ -242,6 +242,10 @@ func (n *NameNode) AddBlock(path, preferred string) (BlockLocation, error) {
 	n.nextBlock++
 	f.info.Blocks = append(f.info.Blocks, loc)
 	n.obs.Inc("dfs.namenode.blocks.allocated")
+	// Return a detached replica slice: the stored one is mutated in place
+	// by re-replication sweeps, and the caller reads its copy lock-free
+	// as the write pipeline.
+	loc.Replicas = append([]DataNodeInfo(nil), loc.Replicas...)
 	return loc, nil
 }
 

@@ -102,6 +102,7 @@ var generators = []struct {
 	{"ExtPreCopy", oneTable(ExtPreCopy)},
 	{"ExtNVRAM", oneTable(ExtNVRAM)},
 	{"ExtEvictionThreshold", oneTable(ExtEvictionThreshold)},
+	{"ExtNodeChurn", oneTable(ExtNodeChurn)},
 	{"SimSummary", oneTable(SimSummary)},
 	{"YarnSummary", oneTable(YarnSummary)},
 	{"RunAll", func(o Options) (string, error) {

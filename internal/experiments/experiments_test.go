@@ -382,6 +382,32 @@ func TestExtensionTables(t *testing.T) {
 	if cell(t, ev, 1, 4) > cell(t, ev, 0, 4) {
 		t.Errorf("cap 1 preemptions %v above unlimited %v", cell(t, ev, 1, 4), cell(t, ev, 0, 4))
 	}
+	churn, err := ExtNodeChurn(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(churn.Rows) != 3 {
+		t.Fatalf("node churn rows = %d", len(churn.Rows))
+	}
+	for r := range churn.Rows {
+		policy := churn.Rows[r][0]
+		if f := cell(t, churn, r, 1); f != 2 {
+			t.Errorf("%s: node failures %v, want the 2 seeded outages", policy, f)
+		}
+		// Every displaced task is accounted once: it either resumed from a
+		// checkpoint image or restarted from scratch.
+		if resched, acc := cell(t, churn, r, 2), cell(t, churn, r, 3)+cell(t, churn, r, 4); resched != acc {
+			t.Errorf("%s: rescheduled %v != restores+restarts %v", policy, resched, acc)
+		}
+		if fw, w := cell(t, churn, r, 5), cell(t, churn, r, 6); fw > w+1e-9 {
+			t.Errorf("%s: failure waste %v exceeds total waste %v", policy, fw, w)
+		}
+	}
+	// Kill discards checkpointing entirely, so nothing can resume from an
+	// image after an outage.
+	if f := cell(t, churn, 0, 3); f != 0 {
+		t.Errorf("kill policy reported %v failure restores", f)
+	}
 }
 
 func TestRunAllRenders(t *testing.T) {
@@ -398,6 +424,7 @@ func TestRunAllRenders(t *testing.T) {
 		"Fig 2a", "Fig 2b", "Fig 3a", "Fig 3b", "Fig 3c",
 		"Fig 4a", "Fig 6a", "Table 3", "Fig 5",
 		"Fig 8a", "Fig 8b", "Fig 8c", "Fig 9", "Fig 10", "Fig 11", "Fig 12a", "Fig 12b",
+		"Ext — Node churn",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

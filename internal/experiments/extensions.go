@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strconv"
+	"time"
 
 	"preemptsched/internal/cluster"
 	"preemptsched/internal/core"
@@ -128,6 +129,43 @@ func ExtNVRAM(o Options) (*metrics.Table, error) {
 	}
 	tb.AddRow("PMFS", pmfs.MeanResponse(cluster.BandFree), pmfs.MeanResponse(cluster.BandProduction), pmfs.IOBusyHours, pmfs.WastedCPUHours)
 	tb.AddRow("NVRAM", nvram.MeanResponse(cluster.BandFree), nvram.MeanResponse(cluster.BandProduction), nvram.IOBusyHours, nvram.WastedCPUHours)
+	return tb, nil
+}
+
+// ExtNodeChurn replays the same pair of seeded machine outages — node 0
+// down at hour 6 for one hour, node 1 lost for good at hour 14 — under
+// each preemption policy (DESIGN.md §14). Displaced tasks that left a
+// checkpoint image behind resume from it; under kill they restart from
+// scratch, so the failure-attributed waste column is the recovery
+// dividend the fault domain exists to measure.
+func ExtNodeChurn(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Ext — Node churn (seeded outages, SSD)",
+		"policy", "node_failures", "tasks_rescheduled", "failure_restores",
+		"failure_restarts", "failure_waste_core_h", "wasted_core_h", "resp_low_s")
+	policies := []core.Policy{core.PolicyKill, core.PolicyCheckpoint, core.PolicyAdaptive}
+	churn := func(c *sched.Config) {
+		c.NodeFailures = []sched.NodeFailure{
+			{Node: 0, At: 6 * time.Hour, RecoverAfter: time.Hour},
+			{Node: 1, At: 14 * time.Hour},
+		}
+	}
+	specs := make([]sched.RunSpec, len(policies))
+	for i, p := range policies {
+		spec, err := simSpecWith(o, p, storage.SSD, churn)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	results, err := sched.RunMany(specs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		tb.AddRow(policies[i].String(), r.NodeFailures, r.TasksRescheduled,
+			r.FailureRestores, r.FailureRestarts, r.FailureWasteHours,
+			r.WastedCPUHours, r.MeanResponse(cluster.BandFree))
+	}
 	return tb, nil
 }
 

@@ -132,6 +132,9 @@ func RunAll(o Options, w io.Writer) error {
 	if err := emit(ExtEvictionThreshold(o)); err != nil {
 		return fmt.Errorf("ext eviction threshold: %w", err)
 	}
+	if err := emit(ExtNodeChurn(o)); err != nil {
+		return fmt.Errorf("ext node churn: %w", err)
+	}
 
 	fmt.Fprintln(w, "# Raw summaries")
 	if err := emit(SimSummary(o)); err != nil {

@@ -45,6 +45,9 @@ const (
 	ModeDataNodeRPCErrors = "datanode.rpc.errors"
 	ModeCrashedWrites     = "crashed.writes"
 	ModeBitFlips          = "bit.flips"
+	ModeNMCrashes         = "nm.crashes"
+	ModeNMPartitionDrops  = "nm.partition.drops"
+	ModeHeartbeatDrops    = "heartbeats.dropped"
 )
 
 // Plan configures a fault scenario. The zero value injects nothing.
@@ -114,6 +117,79 @@ type Plan struct {
 	StoreCrashAfterCreates int
 	// StoreDelay is added latency per store operation.
 	StoreDelay time.Duration
+
+	// Compute-node (NodeManager) fault modes. Unlike the DFS and store
+	// faults above, these fire on the cluster emulation's virtual clock:
+	// the injector supplies only the seeded decisions and the fault
+	// counters, while internal/yarn schedules the events themselves.
+
+	// NMCrashAt, when > 0, crashes one NodeManager permanently at that
+	// virtual time: its container processes die on the spot and its
+	// heartbeats stop, so the RM's liveness sweep declares the node dead
+	// one timeout later and reschedules its tasks.
+	NMCrashAt time.Duration
+	// NMCrashNode is the 0-based index of the NodeManager NMCrashAt kills.
+	NMCrashNode int
+
+	// NMPartitionAt, when > 0, partitions one NodeManager from the RM at
+	// that virtual time: the node keeps running its containers but its
+	// heartbeats stop arriving. A partition outlasting the liveness
+	// timeout gets the node declared dead and its containers fenced; when
+	// the partition heals NMPartitionFor later the node re-registers
+	// empty.
+	NMPartitionAt time.Duration
+	// NMPartitionNode is the 0-based index of the partitioned NodeManager.
+	NMPartitionNode int
+	// NMPartitionFor is how long the partition lasts. Zero with
+	// NMPartitionAt > 0 means the partition never heals.
+	NMPartitionFor time.Duration
+
+	// HeartbeatDropRate is the per-heartbeat probability that an NM
+	// heartbeat is lost in flight. Enough consecutive drops look exactly
+	// like a partition to the RM's liveness sweep.
+	HeartbeatDropRate float64
+}
+
+// HasNMFaults reports whether the plan schedules any compute-node
+// faults. The yarn cluster uses it to auto-enable the liveness sweep:
+// an NM fault without a sweep would strand the node's tasks forever.
+func (p Plan) HasNMFaults() bool {
+	return p.NMCrashAt > 0 || p.NMPartitionAt > 0 || p.HeartbeatDropRate > 0
+}
+
+// Validate rejects plans whose probabilities or node-fault shapes are
+// out of range. The zero value is valid (and injects nothing).
+func (p Plan) Validate() error {
+	rates := map[string]float64{
+		"RPCErrorRate":       p.RPCErrorRate,
+		"NameNodeErrorRate":  p.NameNodeErrorRate,
+		"BitFlipRate":        p.BitFlipRate,
+		"CreateFailRate":     p.CreateFailRate,
+		"TornWriteRate":      p.TornWriteRate,
+		"SilentTruncateRate": p.SilentTruncateRate,
+		"HeartbeatDropRate":  p.HeartbeatDropRate,
+	}
+	for name, r := range rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("faults: %s %v is outside [0,1]", name, r)
+		}
+	}
+	if p.NMCrashNode < 0 {
+		return fmt.Errorf("faults: NMCrashNode %d is negative", p.NMCrashNode)
+	}
+	if p.NMPartitionNode < 0 {
+		return fmt.Errorf("faults: NMPartitionNode %d is negative", p.NMPartitionNode)
+	}
+	for name, d := range map[string]time.Duration{
+		"NMCrashAt":      p.NMCrashAt,
+		"NMPartitionAt":  p.NMPartitionAt,
+		"NMPartitionFor": p.NMPartitionFor,
+	} {
+		if d < 0 {
+			return fmt.Errorf("faults: %s %v is negative", name, d)
+		}
+	}
+	return nil
 }
 
 // DefaultTornWriteBytes is how much of a torn write lands before the tear
@@ -259,6 +335,23 @@ func (in *Injector) storeCrashed() bool {
 	defer in.mu.Unlock()
 	return in.storeDead
 }
+
+// DropHeartbeat decides whether one NM heartbeat is lost in flight
+// (HeartbeatDropRate) and counts the drop.
+func (in *Injector) DropHeartbeat() bool {
+	if !in.roll(in.plan.HeartbeatDropRate) {
+		return false
+	}
+	in.counters.Add(ModeHeartbeatDrops, 1)
+	return true
+}
+
+// NoteNMCrash counts the configured NodeManager crash firing.
+func (in *Injector) NoteNMCrash() { in.counters.Add(ModeNMCrashes, 1) }
+
+// NotePartitionDrop counts one heartbeat suppressed by an active RM↔NM
+// partition.
+func (in *Injector) NotePartitionDrop() { in.counters.Add(ModeNMPartitionDrops, 1) }
 
 // noteWrite records a block write accepted by id and decides whether this
 // write is the one that kills the configured crash node. It returns true

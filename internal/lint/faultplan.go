@@ -13,10 +13,13 @@ import (
 // [0,1] (a rate of 5 silently saturates to "always", which reads like a
 // tuned experiment but isn't), and Seed must not be derived from the
 // wall clock — a time-seeded chaos run can never be replayed, which
-// defeats the point of recording the seed in the run report.
+// defeats the point of recording the seed in the run report. The
+// compute-node fault fields get the same treatment: a constant negative
+// *Node index or *At/*For duration would be rejected by Plan.Validate at
+// runtime, so flag it where it is written instead.
 var FaultPlan = &Analyzer{
 	Name: "faultplan",
-	Doc:  "fault Plan rates must be literal probabilities in [0,1]; seeds must be reproducible",
+	Doc:  "fault Plan rates must be literal probabilities in [0,1]; seeds must be reproducible; node indexes and fault times must be non-negative",
 	Run:  runFaultPlan,
 }
 
@@ -78,7 +81,26 @@ func checkFaultField(pass *Pass, field string, value ast.Expr) {
 		if pos, fn := wallClockSource(pass.Info, value); fn != "" {
 			pass.Reportf(pos, "fault seed derived from %s: a wall-clock seed makes the chaos run unreplayable — use a fixed literal or a flag", fn)
 		}
+	case strings.HasSuffix(field, "Node"):
+		if v, ok := constInt(pass.Info, value); ok && v < 0 {
+			pass.Reportf(value.Pos(), "node index %s = %d is negative: NodeManager indexes start at 0", field, v)
+		}
+	case strings.HasSuffix(field, "At"), strings.HasSuffix(field, "For"):
+		if v, ok := constInt(pass.Info, value); ok && v < 0 {
+			pass.Reportf(value.Pos(), "fault time %s is negative: virtual-clock times and durations cannot precede the run", field)
+		}
 	}
+}
+
+// constInt extracts a constant integer value (durations included) from
+// e, when the type checker resolved one.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
 }
 
 // wallClockSource finds a time.Now-family call inside e, returning its

@@ -27,3 +27,19 @@ func plans() faults.Plan {
 func boundaries() faults.Plan {
 	return faults.Plan{RPCErrorRate: 0, NameNodeErrorRate: 1}
 }
+
+// Compute-node fault fields: node indexes start at 0, fault times and
+// durations live on the virtual clock and cannot be negative. The
+// heartbeat drop rate is a probability like any other *Rate field.
+func nodeFaults() faults.Plan {
+	p := faults.Plan{
+		NMCrashNode:       -1,               // want "node index NMCrashNode = -1 is negative"
+		NMCrashAt:         -time.Second,     // want "fault time NMCrashAt is negative"
+		NMPartitionNode:   3,                // in range
+		NMPartitionAt:     2 * time.Minute,  // in range
+		NMPartitionFor:    -5 * time.Second, // want "fault time NMPartitionFor is negative"
+		HeartbeatDropRate: 1.5,              // want "is outside [0,1]"
+	}
+	p.NMPartitionNode = -2 // want "node index NMPartitionNode = -2 is negative"
+	return p
+}

@@ -83,6 +83,9 @@ const (
 	FlagFallback
 	// FlagPreCopy marks a pre-copy (dump-while-running) phase.
 	FlagPreCopy
+	// FlagFailure marks an action driven by a node failure rather than a
+	// preemption (failure-recovery restore, task-rescheduled, ...).
+	FlagFailure
 )
 
 // CandidateScore is one victim candidate as the selector scored it.

@@ -14,6 +14,7 @@ import (
 type SLOTracker struct {
 	mu            sync.Mutex
 	waste         float64
+	wasteFailure  float64
 	useful        float64
 	kills         int64
 	checkpoints   int64
@@ -44,6 +45,20 @@ func (t *SLOTracker) AddWaste(coreHours float64) {
 	}
 	t.mu.Lock()
 	t.waste += coreHours
+	t.mu.Unlock()
+}
+
+// AddFailureWaste accrues wasted core-hours attributable to a node
+// failure (progress lost with a dead machine). It lands in the same
+// waste total AddWaste feeds, plus the failure-attributed bucket, so
+// the split always sums to the total.
+func (t *SLOTracker) AddFailureWaste(coreHours float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.waste += coreHours
+	t.wasteFailure += coreHours
 	t.mu.Unlock()
 }
 
@@ -116,14 +131,19 @@ type SLOResponse struct {
 // what the /slo ops endpoint and the report's schema-v3 `slo` object
 // serialize.
 type SLOSnapshot struct {
-	WasteCoreHours      float64                `json:"waste_core_hours"`
-	UsefulCoreHours     float64                `json:"useful_core_hours"`
-	WasteFraction       float64                `json:"waste_fraction"`
-	KillDecisions       int64                  `json:"kill_decisions"`
-	CheckpointDecisions int64                  `json:"checkpoint_decisions"`
-	FallbackKills       int64                  `json:"fallback_kills"`
-	CheckpointHitRate   float64                `json:"checkpoint_hit_rate"`
-	Response            map[string]SLOResponse `json:"response_seconds"`
+	WasteCoreHours float64 `json:"waste_core_hours"`
+	// WasteFailureCoreHours and WastePreemptionCoreHours split
+	// WasteCoreHours by blame: node failures versus everything the
+	// scheduler did (preemption overhead, kills, failed restores).
+	WasteFailureCoreHours    float64                `json:"waste_failure_core_hours"`
+	WastePreemptionCoreHours float64                `json:"waste_preemption_core_hours"`
+	UsefulCoreHours          float64                `json:"useful_core_hours"`
+	WasteFraction            float64                `json:"waste_fraction"`
+	KillDecisions            int64                  `json:"kill_decisions"`
+	CheckpointDecisions      int64                  `json:"checkpoint_decisions"`
+	FallbackKills            int64                  `json:"fallback_kills"`
+	CheckpointHitRate        float64                `json:"checkpoint_hit_rate"`
+	Response                 map[string]SLOResponse `json:"response_seconds"`
 }
 
 func histToResponse(h *hist) SLOResponse {
@@ -154,12 +174,14 @@ func (t *SLOTracker) Snapshot() SLOSnapshot {
 	}
 	t.mu.Lock()
 	snap := SLOSnapshot{
-		WasteCoreHours:      t.waste,
-		UsefulCoreHours:     t.useful,
-		KillDecisions:       t.kills,
-		CheckpointDecisions: t.checkpoints,
-		FallbackKills:       t.fallbackKills,
-		Response:            make(map[string]SLOResponse, len(t.resp)),
+		WasteCoreHours:           t.waste,
+		WasteFailureCoreHours:    t.wasteFailure,
+		WastePreemptionCoreHours: t.waste - t.wasteFailure,
+		UsefulCoreHours:          t.useful,
+		KillDecisions:            t.kills,
+		CheckpointDecisions:      t.checkpoints,
+		FallbackKills:            t.fallbackKills,
+		Response:                 make(map[string]SLOResponse, len(t.resp)),
 	}
 	hs := make(map[string]*hist, len(t.resp))
 	for band, h := range t.resp {
@@ -188,6 +210,7 @@ func (t *SLOTracker) PublishGauges(reg *Registry) {
 	}
 	s := t.Snapshot()
 	reg.SetGauge("slo.waste.core.hours", s.WasteCoreHours)
+	reg.SetGauge("slo.waste.failure.core.hours", s.WasteFailureCoreHours)
 	reg.SetGauge("slo.useful.core.hours", s.UsefulCoreHours)
 	reg.SetGauge("slo.waste.fraction", s.WasteFraction)
 	reg.SetGauge("slo.decisions.kill", float64(s.KillDecisions))

@@ -110,6 +110,15 @@ type Config struct {
 	// ScanLimit bounds how many queued tasks each scheduling pass
 	// examines; it trades head-of-line fidelity for simulation speed.
 	ScanLimit int
+	// NodeFailures lists seeded compute-node outages. Unlike the yarn
+	// model — where the RM discovers death through missed heartbeats —
+	// the trace simulator applies each outage instantly at its configured
+	// time: running tasks are fenced, their unsaved progress is charged as
+	// failure waste, and they requeue through the normal placement path
+	// (restoring from a surviving checkpoint image when one exists). The
+	// detection delay is a deliberate simplification; the yarn layer
+	// models it.
+	NodeFailures []NodeFailure
 	// Metrics, when non-nil, receives sched.* policy-decision counters
 	// and dump/restore latency histograms (virtual time). Nil — the
 	// default — keeps the hot loop free of instrumentation.
@@ -118,6 +127,18 @@ type Config struct {
 	// one record per victim selection, Algorithm 1 verdict, dump,
 	// restore, and task completion. Nil keeps the hot loop journal-free.
 	Recorder *obs.Recorder
+}
+
+// NodeFailure is one seeded outage of a simulated machine.
+type NodeFailure struct {
+	// Node is the index of the machine that fails.
+	Node int
+	// At is the virtual time the machine dies.
+	At time.Duration
+	// RecoverAfter, when positive, brings the machine back that long
+	// after At (a rebooted or healed node); zero keeps it dead for the
+	// rest of the run.
+	RecoverAfter time.Duration
 }
 
 // DefaultConfig returns a mid-size cluster on the given storage with the
@@ -161,6 +182,17 @@ func (c Config) Validate() error {
 	}
 	if c.DirtyFloor < 0 || c.DirtyFloor > 1 {
 		return fmt.Errorf("sched: DirtyFloor=%v outside [0,1]", c.DirtyFloor)
+	}
+	for i, f := range c.NodeFailures {
+		if f.Node < 0 || f.Node >= c.Nodes {
+			return fmt.Errorf("sched: NodeFailures[%d].Node=%d outside [0,%d)", i, f.Node, c.Nodes)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("sched: NodeFailures[%d].At=%v is negative", i, f.At)
+		}
+		if f.RecoverAfter < 0 {
+			return fmt.Errorf("sched: NodeFailures[%d].RecoverAfter=%v is negative", i, f.RecoverAfter)
+		}
 	}
 	return nil
 }
@@ -223,6 +255,20 @@ type Result struct {
 	Restores       int
 	RemoteRestores int
 	TasksCompleted int
+
+	// NodeFailures counts seeded machine outages applied; NodeRecoveries
+	// counts machines that came back.
+	NodeFailures   int
+	NodeRecoveries int
+	// TasksRescheduled counts tasks displaced by a node failure and
+	// requeued; each is later accounted as a FailureRestore (resumed from
+	// a surviving checkpoint image) or a FailureRestart (from scratch).
+	TasksRescheduled int
+	FailureRestores  int
+	FailureRestarts  int
+	// FailureWasteHours is the share of WastedCPUHours attributable to
+	// node failures: progress that died with the machine.
+	FailureWasteHours float64
 
 	// IOBusyHours is device-hours spent on checkpoint I/O (Fig. 12b).
 	IOBusyHours float64

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/sim"
+)
+
+// This file applies Config.NodeFailures to the trace simulator. The model
+// is deliberately simpler than the yarn layer's heartbeat/liveness loop:
+// an outage takes effect the instant it fires — running tasks are fenced,
+// their unsaved progress becomes failure waste, and they re-enter the
+// pending queue where normal placement resumes them from a surviving
+// checkpoint image (failure restore) or from scratch (failure restart).
+// Checkpoint images survive their home node's death — the store they
+// model is DFS-replicated — so only the restore locality is lost, never
+// the banked progress.
+
+// failNode takes one machine out at its seeded time.
+func (s *Simulator) failNode(f NodeFailure, now sim.Time) {
+	n := s.nodes[f.Node]
+	if n.down {
+		return
+	}
+	n.down = true
+	n.settleEnergy(now)
+	s.res.NodeFailures++
+	s.journalNodeDown(n, now)
+	for _, id := range downSortedRunning(n) {
+		t, ok := n.running[id]
+		if !ok {
+			continue
+		}
+		s.fenceTask(t, n, now)
+	}
+	// Waiters parked on the dead node's capacity must not keep waiting
+	// for dumps that will never free it.
+	for _, t := range s.queue {
+		if t.reservedOn == n {
+			s.unreserve(t)
+		}
+	}
+	n.reserved = cluster.Resources{}
+	// Shares are computed against live capacity.
+	s.totalCap = s.totalCap.Sub(n.cap)
+	if f.RecoverAfter > 0 {
+		s.engine.ScheduleAt(now+sim.Time(f.RecoverAfter), func(at sim.Time) {
+			s.recoverNode(n, at)
+		})
+	}
+	s.requestSchedule(now)
+}
+
+// fenceTask evicts one task from a dead node. A running task loses its
+// attempt-local progress; a restoring task loses only the read in flight
+// (its image is intact); a checkpointing task is left alone — its dump is
+// already draining to replicated storage and vacate will requeue it.
+func (s *Simulator) fenceTask(t *taskRT, n *node, now sim.Time) {
+	switch t.phase {
+	case phaseCheckpointing:
+		return
+	case phaseRestoring:
+		n.release(now, t.spec.Demand)
+		s.account(t, -1)
+		delete(n.running, t.spec.ID)
+		t.node = nil
+		s.rescheduleFailed(t, n, 0, now)
+	case phaseRunning:
+		lost := t.unsavedProgress(now)
+		s.engine.Cancel(t.completion)
+		t.completion = nil
+		t.preCopying = false
+		s.runningByPrio[t.spec.Priority]--
+		cores := float64(t.spec.Demand.CPUMillis) / 1000
+		s.res.WastedCPUHours += cores * lost.Hours()
+		s.res.FailureWasteHours += cores * lost.Hours()
+		n.release(now, t.spec.Demand)
+		s.account(t, -1)
+		delete(n.running, t.spec.ID)
+		t.node = nil
+		s.rescheduleFailed(t, n, lost, now)
+	}
+}
+
+// rescheduleFailed books the displacement and requeues t.
+func (s *Simulator) rescheduleFailed(t *taskRT, n *node, lost time.Duration, now sim.Time) {
+	t.failedOver = true
+	s.res.TasksRescheduled++
+	s.journalTaskRescheduled(t, n, lost, now)
+	s.enqueue(t, now)
+}
+
+// recoverNode brings a failed machine back into service.
+func (s *Simulator) recoverNode(n *node, at sim.Time) {
+	if !n.down {
+		return
+	}
+	n.down = false
+	s.res.NodeRecoveries++
+	s.totalCap = s.totalCap.Add(n.cap)
+	s.journalNodeRecovered(n, at)
+	s.requestSchedule(at)
+}
+
+// downSortedRunning snapshots a node's running-task IDs in deterministic
+// order, so fencing visits tasks identically across runs.
+func downSortedRunning(n *node) []cluster.TaskID {
+	ids := make([]cluster.TaskID, 0, len(n.running))
+	for id := range n.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Job != ids[j].Job {
+			return ids[i].Job < ids[j].Job
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	return ids
+}

@@ -129,6 +129,9 @@ func (s *Simulator) journalRestore(v *taskRT, target *node, remote bool, now, do
 	if remote {
 		flags |= obs.FlagRemote
 	}
+	if v.failedOver {
+		flags |= obs.FlagFailure
+	}
 	s.rec.Append(obs.Record{
 		Kind:     obs.RecEvent,
 		At:       time.Duration(now),
@@ -144,6 +147,54 @@ func (s *Simulator) journalRestore(v *taskRT, target *node, remote bool, now, do
 	})
 	v.estOverhead = 0
 	v.dumpCost = 0
+}
+
+// journalNodeDown appends a node outage event.
+func (s *Simulator) journalNodeDown(n *node, now sim.Time) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Append(obs.Record{
+		Kind:   obs.RecEvent,
+		At:     time.Duration(now),
+		Source: "sched",
+		Name:   "node-down",
+		Node:   nodeName(n.id),
+		Flags:  obs.FlagFailure,
+	})
+}
+
+// journalNodeRecovered appends a node's return to service.
+func (s *Simulator) journalNodeRecovered(n *node, now sim.Time) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Append(obs.Record{
+		Kind:   obs.RecEvent,
+		At:     time.Duration(now),
+		Source: "sched",
+		Name:   "node-recovered",
+		Node:   nodeName(n.id),
+	})
+}
+
+// journalTaskRescheduled appends a task's displacement off a dead node;
+// Unsaved carries the progress the failure destroyed.
+func (s *Simulator) journalTaskRescheduled(t *taskRT, n *node, lost time.Duration, now sim.Time) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Append(obs.Record{
+		Kind:     obs.RecEvent,
+		At:       time.Duration(now),
+		Source:   "sched",
+		Name:     "task-rescheduled",
+		Task:     t.spec.ID.String(),
+		Node:     nodeName(n.id),
+		Priority: int(t.spec.Priority),
+		Unsaved:  lost,
+		Flags:    obs.FlagFailure,
+	})
 }
 
 // journalTaskDone appends a completion event so timelines can bound each

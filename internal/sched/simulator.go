@@ -74,6 +74,9 @@ type taskRT struct {
 	// resources and prevents issuing a second round of preemptions for
 	// the same waiter.
 	reservedOn *node
+	// failedOver marks a task displaced by a node failure; its next
+	// placement is attributed as a failure restore or restart.
+	failedOver bool
 }
 
 // unsavedProgress is the compute a kill right now would lose.
@@ -122,6 +125,9 @@ type node struct {
 	reserved cluster.Resources
 	device   *storage.Device
 	running  map[cluster.TaskID]*taskRT
+	// down marks a machine taken out by a seeded NodeFailure; it offers
+	// no capacity until (and unless) its recovery event fires.
+	down bool
 
 	meter      *energy.Meter
 	lastChange sim.Time
@@ -133,6 +139,9 @@ func (n *node) free() cluster.Resources { return n.cap.Sub(n.used) }
 // outstanding preemption reservations, except that t's own reservation on
 // this node counts as available to t.
 func (n *node) availableFor(t *taskRT) cluster.Resources {
+	if n.down {
+		return cluster.Resources{}
+	}
 	avail := n.free().Sub(n.reserved)
 	if t.reservedOn == n {
 		avail = avail.Add(t.spec.Demand)
@@ -401,6 +410,13 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		}
 	}
 
+	for _, f := range cfg.NodeFailures {
+		f := f
+		s.engine.ScheduleAt(sim.Time(f.At), func(now sim.Time) {
+			s.failNode(f, now)
+		})
+	}
+
 	end := s.engine.Run()
 	s.res.Makespan = time.Duration(end)
 	for _, n := range s.nodes {
@@ -546,7 +562,15 @@ func (s *Simulator) place(t *taskRT, now sim.Time) bool {
 
 	if t.hasCheckpoint {
 		s.startRestore(t, target, now)
+		if t.failedOver {
+			s.res.FailureRestores++
+			t.failedOver = false
+		}
 		return true
+	}
+	if t.failedOver {
+		s.res.FailureRestarts++
+		t.failedOver = false
 	}
 	s.startRun(t, now)
 	return true
@@ -621,6 +645,11 @@ func (s *Simulator) startRestore(t *taskRT, target *node, now sim.Time) {
 	overhead := time.Duration(done - now)
 	s.chargeOverhead(t, overhead)
 	s.engine.ScheduleAt(done, func(at sim.Time) {
+		// The target may have failed during the read; the fence already
+		// requeued t, and this resume must not resurrect it there.
+		if t.phase != phaseRestoring || t.node != target {
+			return
+		}
 		s.startRun(t, at)
 	})
 }
@@ -723,6 +752,9 @@ func (s *Simulator) chooseVictims(t *taskRT, now sim.Time) (*node, []*taskRT) {
 		bestCost time.Duration
 	)
 	for _, n := range s.nodes {
+		if n.down {
+			continue
+		}
 		cands := s.preemptableOn(n, t, now)
 		if len(cands) == 0 {
 			continue

@@ -64,6 +64,14 @@ type taskRun struct {
 	// device time of the dump window(s) of the current checkpoint.
 	estOverhead time.Duration
 	dumpCost    time.Duration
+
+	// failedAt is when the task's container actually died in an NM crash;
+	// the RM only learns (and charges the loss) at the liveness sweep.
+	// failedOver marks a task requeued by a node failure until its next
+	// attempt starts, attributing that restore/restart to the failure
+	// rather than to a preemption.
+	failedAt   sim.Time
+	failedOver bool
 	// lastCkptSpan is the dump span of the newest checkpoint, used to
 	// parent the queue-wait and restore spans of the same lifecycle.
 	lastCkptSpan obs.SpanID
@@ -160,6 +168,8 @@ func newAppMaster(c *Cluster, job *cluster.JobSpec) *AppMaster {
 
 // submit requests one container per task (Fig. 7 step 1).
 func (am *AppMaster) submit(now sim.Time) {
+	am.c.tasksSubmitted += len(am.tasks)
+	am.c.ensureLiveness(now)
 	for _, t := range am.tasks {
 		am.c.rm.RequestContainer(t, -1, now)
 	}
@@ -191,6 +201,11 @@ func (am *AppMaster) newProcess(t *taskRun) (*proc.Process, error) {
 func (am *AppMaster) onAllocated(t *taskRun, n *NodeManager, now sim.Time) {
 	t.node = n
 	if !t.hasImage {
+		if t.failedOver {
+			// A node failure took the task and it had no image to resume
+			// from — this fresh start is failure-attributed lost work.
+			am.c.res.FailureRestarts++
+		}
 		p, err := am.newProcess(t)
 		if err != nil {
 			panic(fmt.Sprintf("yarn: create process for %v: %v", t.spec.ID, err))
@@ -224,9 +239,23 @@ func (am *AppMaster) onAllocated(t *taskRun, n *NodeManager, now sim.Time) {
 // the dropped link had banked, and an exhausted chain restarts the task
 // from scratch — exactly what a kill-based scheduler would have done.
 func (am *AppMaster) restoreOrFallback(t *taskRun, n *NodeManager, at sim.Time) {
+	if t.state != stateRestoring || t.node != n {
+		// The node failed mid-restore and the liveness sweep already
+		// requeued the task; this is the stale device-read completion.
+		return
+	}
+	if n.crashed || n.deadDeclared {
+		// The node died under the restore but the sweep has not fenced the
+		// task yet; leave it for declareNodeDead, which requeues restoring
+		// tasks losslessly.
+		return
+	}
 	for t.hasImage {
 		p, info, err := am.c.ckpt.Restore(n.store, t.imageName)
 		if err == nil {
+			if t.failedOver {
+				am.c.res.FailureRestores++
+			}
 			// The restored image may be older than the tip the bank was
 			// computed from; re-derive banked progress from the step
 			// counter actually restored and charge the difference as
@@ -254,6 +283,9 @@ func (am *AppMaster) restoreOrFallback(t *taskRun, n *NodeManager, at sim.Time) 
 	}
 	// Every image of the chain was unusable: restart from scratch.
 	am.c.res.RestoreRestarts++
+	if t.failedOver {
+		am.c.res.FailureRestarts++
+	}
 	am.discardImages(t, n)
 	am.c.addWaste(coresOf(t) * t.banked.Hours())
 	t.banked = 0
@@ -346,9 +378,71 @@ func (am *AppMaster) killFallback(t *taskRun, n *NodeManager, lost time.Duration
 	am.c.rm.schedulePass(now)
 }
 
+// onNodeFailure fences one of this AM's tasks off a node the RM has just
+// declared dead. What is lost depends on where the task's lifecycle stood:
+//
+//   - checkpointing: the frozen image already landed in the (replicated)
+//     DFS; the pending dump-drain closure will release the slot and
+//     re-request a container, so nothing to do here.
+//   - restoring: no progress had resumed yet; requeue losslessly — the
+//     image chain survives the node because it lives in the DFS.
+//   - running: progress since the attempt started is gone. On a crashed
+//     node the container died at the crash instant (failedAt); on a
+//     partitioned node the NM fences its containers on losing RM contact,
+//     so the kill lands now.
+func (am *AppMaster) onNodeFailure(t *taskRun, n *NodeManager, now sim.Time) {
+	switch t.state {
+	case stateCheckpointing:
+		return
+	case stateRestoring:
+		n.releaseSlot(now, t)
+		am.requeueAfterFailure(t, n, 0, now)
+	case stateRunning:
+		failed := now
+		if t.failedAt > 0 {
+			failed = t.failedAt
+		}
+		lost := time.Duration(failed - t.attemptStart)
+		if lost < 0 {
+			lost = 0
+		}
+		am.c.engine.Cancel(t.completion)
+		t.completion = nil
+		if t.process != nil {
+			// Partition fence: the machine is alive but unreachable, so
+			// its NM kills the container rather than risk a double
+			// completion the RM can no longer see.
+			t.process.Kill()
+			t.process = nil
+		}
+		n.releaseSlot(now, t)
+		am.c.addFailureWaste(coresOf(t) * lost.Hours())
+		am.requeueAfterFailure(t, n, lost, now)
+	}
+}
+
+// requeueAfterFailure puts a fenced task back in the RM queue, preferring
+// its image's home node unless that is the node that just died.
+func (am *AppMaster) requeueAfterFailure(t *taskRun, n *NodeManager, lost time.Duration, now sim.Time) {
+	t.node = nil
+	t.state = statePending
+	t.preCopying = false
+	t.failedOver = true
+	t.failedAt = 0
+	am.c.res.TasksRescheduled++
+	am.c.recordTaskRescheduled(t, n, lost, now)
+	pref := -1
+	if t.hasImage && t.imageNode != n.id {
+		pref = t.imageNode
+	}
+	am.c.rm.RequestContainer(t, pref, now)
+}
+
 func (am *AppMaster) startRun(t *taskRun, now sim.Time) {
 	t.state = stateRunning
 	t.attemptStart = now
+	t.failedOver = false
+	t.failedAt = 0
 	t.completion = am.c.engine.Schedule(t.remaining(), func(end sim.Time) {
 		am.onComplete(t, end)
 	})

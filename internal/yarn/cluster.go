@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"preemptsched/internal/checkpoint"
@@ -52,6 +53,28 @@ type Cluster struct {
 	imageBytes int64
 	dumps      int
 
+	// Node-liveness machinery (engine goroutine only). tasksSubmitted
+	// counts every task handed to the RM, so livenessShouldRun can tell
+	// when the workload has drained and the heartbeat loop must wind down —
+	// otherwise the perpetual timers would keep engine.Run from ever
+	// returning. livenessTimers counts outstanding heartbeat/sweep events;
+	// nmCrashTimer is the pending seeded NM-crash event, cancelled at
+	// wind-down so a far-future crash time cannot inflate the makespan of
+	// a run whose work finished early.
+	tasksSubmitted int
+	livenessOn     bool
+	livenessTimers int
+	nmCrashTimer   *sim.Timer
+
+	// decomRecovered/decomLost accumulate DataNode-decommission
+	// re-replication outcomes. The OnCrash callback runs on whichever
+	// goroutine tripped the crashed DataNode — under the TCP substrate
+	// that is a client RPC goroutine racing the engine — so the counts
+	// are folded into Result only at finish, under the books-closed
+	// barrier.
+	decomRecovered atomic.Int64
+	decomLost      atomic.Int64
+
 	// jobDone maps a job to its completion callback (service mode); the
 	// callback fires on the engine goroutine the moment the job's last
 	// task completes, so it must not block.
@@ -86,8 +109,8 @@ func (c *Cluster) buildDFS(repl int) error {
 			// next heartbeat sweep; the emulation collapses that delay
 			// into an immediate decommission.
 			if rep, err := nn.Decommission(id, c.dfsView); err == nil && rep != nil {
-				c.res.BlocksReReplicated += rep.Recovered
-				c.res.BlocksLost += rep.Lost
+				c.decomRecovered.Add(int64(rep.Recovered))
+				c.decomLost.Add(int64(rep.Lost))
 			}
 		}
 		c.injector = faults.NewInjector(plan)
@@ -271,6 +294,8 @@ func (c *Cluster) finish(end sim.Time) {
 		c.res.PipelineRebuilds += st.PipelineRebuilds
 		c.res.CorruptReads += st.CorruptReads
 	}
+	c.res.BlocksReReplicated += int(c.decomRecovered.Swap(0))
+	c.res.BlocksLost += int(c.decomLost.Swap(0))
 	if c.injector != nil {
 		c.res.FaultsInjected = c.injector.Counters().Snapshot()
 	}
@@ -345,6 +370,16 @@ func (c *Cluster) chargeOverhead(t *taskRun, d time.Duration) {
 func (c *Cluster) addWaste(coreHours float64) {
 	c.res.WastedCPUHours += coreHours
 	c.slo.AddWaste(coreHours)
+}
+
+// addFailureWaste books core-hours lost to a node failure: it lands in
+// the same waste totals as preemption waste, plus the failure-attributed
+// buckets, so reports can split blame between the scheduler and the
+// hardware.
+func (c *Cluster) addFailureWaste(coreHours float64) {
+	c.res.WastedCPUHours += coreHours
+	c.res.FailureWasteHours += coreHours
+	c.slo.AddFailureWaste(coreHours)
 }
 
 // addUseful books useful core-hours in the Result and the SLO tracker.

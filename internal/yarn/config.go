@@ -114,15 +114,31 @@ type Config struct {
 	// Result.SLO is always populated.
 	SLO *obs.SLOTracker
 
+	// NMHeartbeatEvery is the NodeManager heartbeat period on the virtual
+	// clock. Zero means DefaultNMHeartbeatEvery. Heartbeats (and the
+	// RM's liveness sweep) only run while NMLivenessTimeout > 0.
+	NMHeartbeatEvery time.Duration
+	// NMLivenessTimeout is how long the RM tolerates a silent
+	// NodeManager before its sweep declares the node dead, fences its
+	// containers, and reschedules the lost tasks through the AM's
+	// degradation ladder (latest verified image → older image →
+	// restart). Zero disables the liveness loop — unless Config.Faults
+	// schedules compute-node faults, in which case withDefaults arms it
+	// at DefaultNMLivenessBeats heartbeats (an NM fault without a sweep
+	// would strand the node's tasks forever).
+	NMLivenessTimeout time.Duration
+
 	// Faults, when non-nil, injects the configured fault scenario into
-	// the DFS substrate and the checkpoint store: DataNode RPC drops, a
-	// DataNode crash at the Nth block write, failed or torn dump writes.
-	// The stack is expected to absorb all of them — reads fail over,
-	// pipelines are rebuilt, crashed nodes are decommissioned and their
-	// blocks re-replicated, failed dumps degrade to kill-based
-	// preemption, and failed restores fall back to older images or a
-	// restart. The injector is seeded, so faulted runs stay
-	// deterministic.
+	// the DFS substrate, the checkpoint store, and the compute nodes:
+	// DataNode RPC drops, a DataNode crash at the Nth block write, failed
+	// or torn dump writes, a NodeManager crash or RM↔NM partition at a
+	// virtual time, dropped heartbeats. The stack is expected to absorb
+	// all of them — reads fail over, pipelines are rebuilt, crashed nodes
+	// are decommissioned and their blocks re-replicated, failed dumps
+	// degrade to kill-based preemption, failed restores fall back to
+	// older images or a restart, and tasks lost with their node resume
+	// from their latest verified checkpoint image. The injector is
+	// seeded, so faulted runs stay deterministic.
 	Faults *faults.Plan
 
 	// clientCtx, when non-nil, is threaded into every node's DFS client so
@@ -181,25 +197,40 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("yarn: unknown program %q (want kmeans|wordcount)", c.Program)
 	}
+	if c.NMHeartbeatEvery < 0 || c.NMLivenessTimeout < 0 {
+		return fmt.Errorf("yarn: negative NM heartbeat period or liveness timeout")
+	}
+	if hb := c.NMHeartbeatEvery; c.NMLivenessTimeout > 0 {
+		if hb == 0 {
+			hb = DefaultNMHeartbeatEvery
+		}
+		if c.NMLivenessTimeout < hb {
+			return fmt.Errorf("yarn: NMLivenessTimeout %v shorter than the heartbeat period %v — every sweep would declare every node dead",
+				c.NMLivenessTimeout, hb)
+		}
+	}
 	if c.Faults != nil {
-		for _, r := range []struct {
-			name string
-			v    float64
-		}{
-			{"RPCErrorRate", c.Faults.RPCErrorRate},
-			{"NameNodeErrorRate", c.Faults.NameNodeErrorRate},
-			{"CreateFailRate", c.Faults.CreateFailRate},
-			{"TornWriteRate", c.Faults.TornWriteRate},
-			{"BitFlipRate", c.Faults.BitFlipRate},
-			{"SilentTruncateRate", c.Faults.SilentTruncateRate},
-		} {
-			if r.v < 0 || r.v > 1 {
-				return fmt.Errorf("yarn: fault %s %v outside [0,1]", r.name, r.v)
-			}
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("yarn: %w", err)
+		}
+		if c.Faults.NMCrashAt > 0 && c.Faults.NMCrashNode >= c.Nodes {
+			return fmt.Errorf("yarn: NMCrashNode %d out of range (cluster has %d nodes)", c.Faults.NMCrashNode, c.Nodes)
+		}
+		if c.Faults.NMPartitionAt > 0 && c.Faults.NMPartitionNode >= c.Nodes {
+			return fmt.Errorf("yarn: NMPartitionNode %d out of range (cluster has %d nodes)", c.Faults.NMPartitionNode, c.Nodes)
 		}
 	}
 	return nil
 }
+
+// DefaultNMHeartbeatEvery is the NodeManager heartbeat period when the
+// config does not say otherwise.
+const DefaultNMHeartbeatEvery = 10 * time.Second
+
+// DefaultNMLivenessBeats is how many consecutive missed heartbeats get
+// a node declared dead when a fault plan arms the liveness sweep
+// without an explicit timeout.
+const DefaultNMLivenessBeats = 3
 
 func (c Config) withDefaults() Config {
 	if c.NetBandwidth == 0 {
@@ -210,6 +241,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Program == "" {
 		c.Program = "kmeans"
+	}
+	if c.NMHeartbeatEvery == 0 {
+		c.NMHeartbeatEvery = DefaultNMHeartbeatEvery
+	}
+	if c.NMLivenessTimeout == 0 && c.Faults != nil && c.Faults.HasNMFaults() {
+		c.NMLivenessTimeout = DefaultNMLivenessBeats * c.NMHeartbeatEvery
 	}
 	return c
 }
@@ -263,6 +300,22 @@ type Result struct {
 	FallbackKills  int
 	TasksCompleted int
 	JobsCompleted  int
+
+	// Compute-node fault domain. NodeFailures counts nodes the RM's
+	// liveness sweep declared dead (NM crash, partition, or dropped
+	// heartbeats); NodeRecoveries counts declared-dead nodes that
+	// re-registered after a partition healed. TasksRescheduled counts
+	// containers lost with their node and re-queued; of those,
+	// FailureRestores resumed from a checkpoint image and
+	// FailureRestarts started over from scratch (no usable image).
+	// FailureWasteHours is the slice of WastedCPUHours attributable to
+	// node failures rather than preemptions.
+	NodeFailures      int
+	NodeRecoveries    int
+	TasksRescheduled  int
+	FailureRestores   int
+	FailureRestarts   int
+	FailureWasteHours float64
 
 	// DFS client resilience totals, summed over every node's client.
 	DFSRetries       int64

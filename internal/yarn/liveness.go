@@ -1,0 +1,237 @@
+package yarn
+
+import (
+	"sort"
+
+	"preemptsched/internal/cluster"
+	"preemptsched/internal/sim"
+)
+
+// This file is the compute-node fault domain: NMs heartbeat the RM on the
+// virtual clock, a periodic RM sweep declares silent nodes dead after
+// Config.NMLivenessTimeout, and the seeded fault plan can crash an NM or
+// partition it from the RM. Everything runs on the engine goroutine.
+//
+// The loop is self-winding: every heartbeat/sweep event re-arms itself
+// only while livenessShouldRun() holds (liveness configured, work
+// outstanding, at least one survivable node). When the workload drains
+// the timers expire without re-arming and windDownLiveness cancels the
+// pending NM-crash event — otherwise the perpetual timers would keep
+// engine.Run (and the service drain) from ever running dry, and a
+// far-future crash time would inflate the makespan of a run whose work
+// finished early.
+
+// livenessShouldRun reports whether the heartbeat/sweep loop has a reason
+// to stay armed.
+func (c *Cluster) livenessShouldRun() bool {
+	if c.cfg.NMLivenessTimeout <= 0 || c.res.TasksCompleted >= c.tasksSubmitted {
+		return false
+	}
+	for _, n := range c.nodes {
+		if !n.crashed {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureLiveness arms the heartbeat/sweep loop (and the seeded NM-crash
+// event) if liveness is configured and work is outstanding. Called from
+// every job submission, so service mode re-arms after an idle drain.
+func (c *Cluster) ensureLiveness(now sim.Time) {
+	if c.cfg.NMLivenessTimeout <= 0 {
+		return
+	}
+	c.armNMCrash(now)
+	if c.livenessOn || !c.livenessShouldRun() {
+		return
+	}
+	c.livenessOn = true
+	for _, n := range c.nodes {
+		if n.crashed {
+			continue
+		}
+		n.lastBeat = now
+		c.scheduleHeartbeat(n, now)
+	}
+	c.scheduleSweep(now)
+}
+
+// armNMCrash schedules the fault plan's seeded NM crash, clamped to the
+// current instant when re-armed after its configured time already passed.
+func (c *Cluster) armNMCrash(now sim.Time) {
+	p := c.cfg.Faults
+	if p == nil || p.NMCrashAt <= 0 || c.nmCrashTimer != nil {
+		return
+	}
+	if p.NMCrashNode >= len(c.nodes) || c.nodes[p.NMCrashNode].crashed {
+		return
+	}
+	at := sim.Time(p.NMCrashAt)
+	if at < now {
+		at = now
+	}
+	c.nmCrashTimer = c.engine.ScheduleAt(at, c.crashNM)
+}
+
+// windDownLiveness closes the loop once the last outstanding liveness
+// timer has expired without re-arming.
+func (c *Cluster) windDownLiveness() {
+	if c.livenessTimers > 0 {
+		return
+	}
+	c.livenessOn = false
+	if c.nmCrashTimer != nil {
+		c.engine.Cancel(c.nmCrashTimer)
+		c.nmCrashTimer = nil
+	}
+}
+
+func (c *Cluster) scheduleHeartbeat(n *NodeManager, now sim.Time) {
+	c.livenessTimers++
+	c.engine.ScheduleAt(now+sim.Time(c.cfg.NMHeartbeatEvery), func(at sim.Time) {
+		c.heartbeat(n, at)
+	})
+}
+
+func (c *Cluster) scheduleSweep(now sim.Time) {
+	c.livenessTimers++
+	c.engine.ScheduleAt(now+sim.Time(c.cfg.NMHeartbeatEvery), c.sweep)
+}
+
+// heartbeat is one NM→RM beat. A crashed machine's stream ends here; a
+// partitioned or fault-dropped beat never reaches the RM; a delivered
+// beat refreshes lastBeat and re-registers a node the sweep had declared
+// dead (partition heal).
+func (c *Cluster) heartbeat(n *NodeManager, at sim.Time) {
+	c.livenessTimers--
+	if !c.livenessShouldRun() || n.crashed {
+		c.windDownLiveness()
+		return
+	}
+	switch {
+	case c.nmPartitioned(n, at):
+		if c.injector != nil {
+			c.injector.NotePartitionDrop()
+		}
+	case c.injector != nil && c.injector.DropHeartbeat():
+		// Dropped on the wire; the injector counted it.
+	default:
+		n.lastBeat = at
+		if n.deadDeclared {
+			c.nodeRecovered(n, at)
+		}
+	}
+	c.scheduleHeartbeat(n, at)
+}
+
+// sweep is the RM's liveness pass: any node silent longer than the
+// timeout is declared dead and its containers fenced.
+func (c *Cluster) sweep(at sim.Time) {
+	c.livenessTimers--
+	if !c.livenessShouldRun() {
+		c.windDownLiveness()
+		return
+	}
+	timeout := sim.Time(c.cfg.NMLivenessTimeout)
+	for _, n := range c.nodes {
+		if !n.deadDeclared && at-n.lastBeat > timeout {
+			c.declareNodeDead(n, at)
+		}
+	}
+	c.scheduleSweep(at)
+}
+
+// nmPartitioned reports whether the fault plan has node n unreachable
+// from the RM at instant now. The window is pure plan state, so a healed
+// partition needs no bookkeeping: beats simply start arriving again.
+func (c *Cluster) nmPartitioned(n *NodeManager, now sim.Time) bool {
+	p := c.cfg.Faults
+	if p == nil || p.NMPartitionAt <= 0 || n.id != p.NMPartitionNode {
+		return false
+	}
+	if now < sim.Time(p.NMPartitionAt) {
+		return false
+	}
+	if p.NMPartitionFor > 0 && now >= sim.Time(p.NMPartitionAt+p.NMPartitionFor) {
+		return false
+	}
+	return true
+}
+
+// crashNM is the seeded machine death: container processes die on the
+// spot, but slots stay held and the RM's books do not move until the
+// liveness sweep notices the silence — that detection delay is the point.
+func (c *Cluster) crashNM(now sim.Time) {
+	c.nmCrashTimer = nil
+	p := c.cfg.Faults
+	if p == nil || p.NMCrashNode >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[p.NMCrashNode]
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.settleEnergy(now)
+	if c.injector != nil {
+		c.injector.NoteNMCrash()
+	}
+	for _, id := range sortedRunning(n) {
+		t := n.running[id]
+		if t == nil || t.state != stateRunning {
+			continue
+		}
+		c.engine.Cancel(t.completion)
+		t.completion = nil
+		t.preCopying = false
+		if t.process != nil {
+			t.process.Kill()
+			t.process = nil
+		}
+		t.failedAt = now
+	}
+}
+
+// declareNodeDead is the sweep's verdict: release the node's containers,
+// fence its tasks through their AMs, drop reservations held on it, and
+// kick an allocation pass so the displaced work lands elsewhere.
+func (c *Cluster) declareNodeDead(n *NodeManager, now sim.Time) {
+	n.deadDeclared = true
+	c.res.NodeFailures++
+	c.recordNodeDown(n, now)
+	for _, id := range sortedRunning(n) {
+		t, ok := n.running[id]
+		if !ok {
+			continue
+		}
+		t.am.onNodeFailure(t, n, now)
+	}
+	c.rm.dropReservations(n)
+	c.rm.schedulePass(now)
+}
+
+// nodeRecovered re-registers a declared-dead node whose heartbeat came
+// back (a healed partition; a crashed machine never beats again).
+func (c *Cluster) nodeRecovered(n *NodeManager, now sim.Time) {
+	n.deadDeclared = false
+	c.res.NodeRecoveries++
+	c.recordNodeRecovered(n, now)
+	c.rm.schedulePass(now)
+}
+
+// sortedRunning snapshots a node's running-task IDs in deterministic
+// order, so fencing visits tasks identically across runs.
+func sortedRunning(n *NodeManager) []cluster.TaskID {
+	ids := make([]cluster.TaskID, 0, len(n.running))
+	for id := range n.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Job != ids[j].Job {
+			return ids[i].Job < ids[j].Job
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	return ids
+}

@@ -34,6 +34,15 @@ type NodeManager struct {
 
 	meter      *energy.Meter
 	lastChange sim.Time
+
+	// Liveness state, owned by the engine goroutine. crashed marks a
+	// permanently dead machine (NM crash fault): its container processes
+	// died with it. deadDeclared is the RM's view — a declared-dead node
+	// takes no placements until a delivered heartbeat re-registers it.
+	// lastBeat is the last heartbeat the RM received from this node.
+	crashed      bool
+	deadDeclared bool
+	lastBeat     sim.Time
 }
 
 func newNodeManager(id int, cfg Config, dev *storage.Device, cli *dfs.Client, store storage.Store) *NodeManager {
@@ -57,8 +66,12 @@ func (nm *NodeManager) Device() *storage.Device { return nm.device }
 func (nm *NodeManager) freeSlots() int { return nm.slots - nm.usedSlots }
 
 // availableFor is the slot count a request may claim, accounting for
-// reservations (its own reservation counts as available).
+// reservations (its own reservation counts as available). A crashed or
+// declared-dead node offers nothing.
 func (nm *NodeManager) availableFor(req *request) int {
+	if nm.crashed || nm.deadDeclared {
+		return 0
+	}
 	avail := nm.freeSlots() - nm.reservedSlots
 	if req != nil && req.reservedOn == nm {
 		avail++

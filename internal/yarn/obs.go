@@ -204,6 +204,9 @@ func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfe
 		if remote {
 			flags |= obs.FlagRemote
 		}
+		if t.failedOver {
+			flags |= obs.FlagFailure
+		}
 		c.rec.Append(obs.Record{
 			Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
 			Name: "restore", Task: t.spec.ID.String(), Node: nodeName(n.id),
@@ -211,6 +214,52 @@ func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfe
 			Bytes: t.spec.MemFootprint, Span: uint64(span), Flags: flags,
 		})
 	}
+}
+
+// recordNodeDown journals the liveness sweep declaring a node dead. The
+// record is node-centric: it has no Task, and Unsaved carries how long
+// the node had been silent.
+func (c *Cluster) recordNodeDown(n *NodeManager, now sim.Time) {
+	if c.tracer != nil {
+		c.tracer.Instant("liveness", "node-down", nodeName(n.id), "", 0, time.Duration(now),
+			obs.Bool("crashed", n.crashed))
+	}
+	if c.rec == nil {
+		return
+	}
+	c.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+		Name: "node-down", Node: nodeName(n.id),
+		Unsaved: time.Duration(now - n.lastBeat), Flags: obs.FlagFailure,
+	})
+}
+
+// recordNodeRecovered journals a declared-dead node whose heartbeat came
+// back (healed partition).
+func (c *Cluster) recordNodeRecovered(n *NodeManager, now sim.Time) {
+	if c.tracer != nil {
+		c.tracer.Instant("liveness", "node-recovered", nodeName(n.id), "", 0, time.Duration(now))
+	}
+	if c.rec == nil {
+		return
+	}
+	c.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+		Name: "node-recovered", Node: nodeName(n.id),
+	})
+}
+
+// recordTaskRescheduled journals one task fenced off a dead node and
+// requeued; Unsaved carries the progress the failure cost it.
+func (c *Cluster) recordTaskRescheduled(t *taskRun, n *NodeManager, lost time.Duration, now sim.Time) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Append(obs.Record{
+		Kind: obs.RecEvent, At: time.Duration(now), Source: "yarn",
+		Name: "task-rescheduled", Task: t.spec.ID.String(), Node: nodeName(n.id),
+		Priority: int(t.spec.Priority), Unsaved: lost, Flags: obs.FlagFailure,
+	})
 }
 
 // finishMetrics mirrors the run's Result counters into the registry in one
@@ -243,6 +292,11 @@ func (c *Cluster) finishMetrics() {
 		"yarn.fallback.kills":          int64(c.res.FallbackKills),
 		"yarn.tasks.completed":         int64(c.res.TasksCompleted),
 		"yarn.jobs.completed":          int64(c.res.JobsCompleted),
+		"yarn.node.failures":           int64(c.res.NodeFailures),
+		"yarn.node.recoveries":         int64(c.res.NodeRecoveries),
+		"yarn.tasks.rescheduled":       int64(c.res.TasksRescheduled),
+		"yarn.failure.restores":        int64(c.res.FailureRestores),
+		"yarn.failure.restarts":        int64(c.res.FailureRestarts),
 		"yarn.blocks.rereplicated":     int64(c.res.BlocksReReplicated),
 		"yarn.blocks.lost":             int64(c.res.BlocksLost),
 	}

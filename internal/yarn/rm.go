@@ -148,6 +148,18 @@ func (rm *ResourceManager) reserve(req *request, n *NodeManager) {
 	n.reservedSlots++
 }
 
+// dropReservations clears every reservation held on n. When a node is
+// declared dead its draining victims died with it, so the preemptors
+// waiting on those slots must compete for placement elsewhere.
+func (rm *ResourceManager) dropReservations(n *NodeManager) {
+	for _, req := range rm.queue {
+		if req.reservedOn == n {
+			rm.unreserve(req)
+		}
+	}
+	n.reservedSlots = 0
+}
+
 func (rm *ResourceManager) unreserve(req *request) {
 	if req.reservedOn == nil {
 		return
@@ -174,6 +186,11 @@ func (rm *ResourceManager) preemptFor(req *request, now sim.Time) bool {
 	var cands []scored
 	prio := req.task.spec.Priority
 	for _, n := range rm.c.nodes {
+		if n.crashed || n.deadDeclared {
+			// A dead node's containers are already lost; preempting them
+			// frees nothing.
+			continue
+		}
 		ids := make([]cluster.TaskID, 0, len(n.running))
 		for id := range n.running {
 			ids = append(ids, id)

@@ -270,9 +270,12 @@ func (c *Cluster) buildTCPDFS(repl int) error {
 			if userOnCrash != nil {
 				userOnCrash(id)
 			}
+			// The callback fires on whichever RPC goroutine tripped the
+			// crashed DataNode, racing the engine goroutine — accumulate
+			// into atomics and fold into Result at finish.
 			if rep, err := nn.Decommission(id, c.dfsView); err == nil && rep != nil {
-				c.res.BlocksReReplicated += rep.Recovered
-				c.res.BlocksLost += rep.Lost
+				c.decomRecovered.Add(int64(rep.Recovered))
+				c.decomLost.Add(int64(rep.Lost))
 			}
 		}
 		c.injector = faults.NewInjector(plan)
