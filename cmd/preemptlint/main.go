@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	preemptlint [-json] [packages...]
+//	preemptlint [-json] [-findings-out file] [packages...]
 //
 // With no patterns it analyzes ./... from the enclosing module root.
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage
@@ -14,6 +14,10 @@
 // With -json each finding is printed as one JSON object per line:
 //
 //	{"analyzer":"lockio","pos":"internal/dfs/tcp.go:41:3","message":"..."}
+//
+// With -findings-out the same JSON stream is additionally written to the
+// named file through an atomic rename — empty on a clean run — so CI can
+// upload it as an artifact even when the lint gate fails.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"strings"
 
 	"preemptsched/internal/lint"
+	"preemptsched/internal/obs"
 )
 
 func main() {
@@ -44,8 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("preemptlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text")
+	findingsOut := fs.String("findings-out", "", "also write the findings as JSON lines to this `file` (atomic rename; empty when clean)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: preemptlint [-json] [packages...]\n\nanalyzers: %s\n", lint.Names(lint.All()))
+		fmt.Fprintf(stderr, "usage: preemptlint [-json] [-findings-out file] [packages...]\n\nanalyzers: %s\n", lint.Names(lint.All()))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -78,18 +84,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *findingsOut != "" {
+		// Written before the exit status is decided: the artifact must
+		// exist precisely when the gate fails and someone wants the list.
+		if err := obs.WriteFileAtomic(*findingsOut, func(w io.Writer) error {
+			return writeJSON(w, modRoot, diags)
+		}); err != nil {
+			fmt.Fprintln(stderr, "preemptlint:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		for _, d := range diags {
-			rec := jsonDiag{
-				Analyzer: d.Analyzer,
-				Pos:      relPos(modRoot, d.Pos.String()),
-				Message:  d.Message,
-			}
-			if err := enc.Encode(rec); err != nil {
-				fmt.Fprintln(stderr, "preemptlint:", err)
-				return 2
-			}
+		if err := writeJSON(stdout, modRoot, diags); err != nil {
+			fmt.Fprintln(stderr, "preemptlint:", err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
@@ -100,6 +108,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeJSON encodes the findings one JSON object per line.
+func writeJSON(w io.Writer, modRoot string, diags []lint.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		rec := jsonDiag{
+			Analyzer: d.Analyzer,
+			Pos:      relPos(modRoot, d.Pos.String()),
+			Message:  d.Message,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // relPos rewrites an absolute file:line:col position relative to the

@@ -211,7 +211,9 @@ func (n *NameNode) Create(path string) ([]BlockLocation, error) {
 		if old.open {
 			return nil, &PathError{Op: "create", Path: path, Err: ErrFileOpen}
 		}
-		stale = old.info.Blocks
+		// Detach: the caller walks stale to delete replicas after the
+		// lock is released, and must not hold the entry's live slice.
+		stale = append([]BlockLocation(nil), old.info.Blocks...)
 	}
 	if err := n.logEditLocked(editRecord{Op: editCreate, Path: path}); err != nil {
 		return nil, &PathError{Op: "create", Path: path, Err: err}

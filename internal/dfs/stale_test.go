@@ -1,0 +1,46 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCreateStaleDetached guards the Create defensive copy from the
+// sliceshare sweep: the stale block list handed to the caller for
+// replica cleanup must be a snapshot, stable while the NameNode keeps
+// mutating the namespace underneath it.
+func TestCreateStaleDetached(t *testing.T) {
+	nn := NewNameNode(2)
+	for i := 0; i < 3; i++ {
+		if err := nn.Register(DataNodeInfo{ID: fmt.Sprintf("dn-%d", i), Addr: fmt.Sprintf("a%d", i)}); err != nil {
+			t.Fatalf("register dn-%d: %v", i, err)
+		}
+	}
+	if _, err := nn.Create("/f"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	b1, err := nn.AddBlock("/f", "")
+	if err != nil {
+		t.Fatalf("add block: %v", err)
+	}
+	if err := nn.Complete("/f", 1); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+
+	stale, err := nn.Create("/f")
+	if err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	if len(stale) != 1 || stale[0].ID != b1.ID {
+		t.Fatalf("stale = %+v, want the single original block %v", stale, b1.ID)
+	}
+
+	// Keep mutating: the new incarnation grows blocks; the caller's
+	// cleanup list must not move under it.
+	if _, err := nn.AddBlock("/f", ""); err != nil {
+		t.Fatalf("add block to new incarnation: %v", err)
+	}
+	if len(stale) != 1 || stale[0].ID != b1.ID {
+		t.Fatalf("stale snapshot changed after later namespace mutation: %+v", stale)
+	}
+}

@@ -1,0 +1,15 @@
+package faults
+
+import "testing"
+
+// TestPlanDetached guards the Plan() defensive copy from the sliceshare
+// sweep: a caller sorting or rewriting the returned node list must not
+// corrupt the injector's targeting mid-run.
+func TestPlanDetached(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, RPCErrorRate: 0.5, RPCErrorNodes: []string{"dn-1", "dn-2"}})
+	p := in.Plan()
+	p.RPCErrorNodes[0] = "scribbled"
+	if got := in.Plan().RPCErrorNodes[0]; got != "dn-1" {
+		t.Fatalf("injector plan corrupted through returned copy: RPCErrorNodes[0] = %q, want %q", got, "dn-1")
+	}
+}

@@ -240,8 +240,14 @@ func NewInjector(plan Plan) *Injector {
 // Counters exposes the per-fault-mode injection counts.
 func (in *Injector) Counters() *metrics.Counters { return in.counters }
 
-// Plan returns the scenario being injected.
-func (in *Injector) Plan() Plan { return in.plan }
+// Plan returns the scenario being injected. The node list is detached
+// so a caller sorting or rewriting it cannot corrupt the injector's
+// targeting mid-run.
+func (in *Injector) Plan() Plan {
+	p := in.plan
+	p.RPCErrorNodes = append([]string(nil), p.RPCErrorNodes...)
+	return p
+}
 
 // roll returns true with probability p.
 func (in *Injector) roll(p float64) bool {

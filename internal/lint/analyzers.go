@@ -11,5 +11,9 @@ func All() []*Analyzer {
 		CtxLeak,
 		FaultPlan,
 		DecisionLog,
+		MapIter,
+		SliceShare,
+		RandSrc,
+		FloatOrder,
 	}
 }

@@ -174,6 +174,32 @@ func TestDecisionLog(t *testing.T) {
 	})
 }
 
+func TestMapIter(t *testing.T) {
+	runAnalyzerGolden(t, MapIter, []tdPkg{
+		{"mapiter/a", "mapitertest/a"},
+	})
+}
+
+func TestSliceShare(t *testing.T) {
+	runAnalyzerGolden(t, SliceShare, []tdPkg{
+		{"sliceshare/dfs", "preemptsched/internal/dfs"},
+		{"sliceshare/outside", "slicesharetest/outside"},
+	})
+}
+
+func TestRandSrc(t *testing.T) {
+	runAnalyzerGolden(t, RandSrc, []tdPkg{
+		{"randsrc/sched", "preemptsched/internal/sched"},
+		{"randsrc/outside", "randsrctest/outside"},
+	})
+}
+
+func TestFloatOrder(t *testing.T) {
+	runAnalyzerGolden(t, FloatOrder, []tdPkg{
+		{"floatorder/a", "floatordertest/a"},
+	})
+}
+
 // TestAnalyzerMetadata keeps the suite's registry well-formed: unique
 // lower-case names and non-empty docs, since both feed the suppression
 // directives and the usage string.
@@ -194,7 +220,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer %s has no Run", a.Name)
 		}
 	}
-	if got := fmt.Sprintf("%d", len(All())); got != "7" {
-		t.Errorf("expected the seven-analyzer suite, got %s", got)
+	if got := fmt.Sprintf("%d", len(All())); got != "11" {
+		t.Errorf("expected the eleven-analyzer suite, got %s", got)
 	}
 }

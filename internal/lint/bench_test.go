@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintTree times the full suite over the whole module: load,
+// type-check, and every analyzer in All(). The bench job records this
+// next to the simulator benchmarks and gates it against
+// BENCH_baseline.json, so an accidentally quadratic analyzer shows up
+// as a CI wall-time regression instead of a slow drift everyone
+// tolerates.
+func BenchmarkLintTree(b *testing.B) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		units, err := LoadPatterns(root, []string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(units, All()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

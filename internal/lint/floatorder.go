@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags floating-point accumulation whose evaluation order is
+// not fixed by the source: float addition is non-associative, so a `+=`
+// reduction fed in map-range order, goroutine-completion order, or
+// channel-merge order produces bit-different sums run to run even when
+// the *set* of addends is identical. That is exactly the class the
+// byte-identical cross-`-parallel` determinism suite exists to catch —
+// but only on the workloads it happens to run. The sanctioned patterns
+// are: reduce over a sorted key slice, or accumulate per-shard into an
+// indexed slot (acc[i]) and reduce the shards sequentially afterwards —
+// the worker-pool convention in internal/experiments.
+//
+// What it deliberately cannot prove: that a sharded accumulator's index
+// is actually goroutine-private, or that a channel carries values whose
+// sum is consumed order-insensitively downstream. It flags the direct
+// shapes (scalar += under map range, captured scalar += in a go-routine,
+// += fed by a channel receive) and leaves indexed stores alone.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "float += reductions must not depend on map-range, goroutine-merge, or channel-merge order",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) error {
+	// seen dedupes sites reachable through nested nondeterministic
+	// contexts (a += under two stacked map ranges is one finding).
+	seen := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					reportFloatAccum(pass, seen, n.Body, "map iteration order is random — range over sorted keys instead")
+				case *types.Chan:
+					reportFloatAccum(pass, seen, n.Body, "channel-merge order follows goroutine completion — accumulate per-sender and reduce sequentially")
+				}
+			case *ast.GoStmt:
+				lit, ok := n.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				reportCapturedFloatAccum(pass, lit)
+			case *ast.AssignStmt:
+				// sum += <-ch merges in completion order even outside a
+				// range-over-channel loop.
+				if !isFloatAccumAssign(pass.Info, n) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if pos, ok := receiveExprPos(rhs); ok {
+						pass.Reportf(pos, "float accumulation from a channel receive: channel-merge order follows goroutine completion — accumulate per-sender and reduce sequentially")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportFloatAccum flags float compound-assignments under body, not
+// descending into function literals (they run in their own context and
+// are checked through the GoStmt path when launched concurrently).
+func reportFloatAccum(pass *Pass, seen map[token.Pos]bool, body ast.Node, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isFloatAccumAssign(pass.Info, as) {
+			return true
+		}
+		if seen[as.Pos()] {
+			return true
+		}
+		seen[as.Pos()] = true
+		pass.Reportf(as.Pos(), "float accumulation in nondeterministic order: %s", why)
+		return true
+	})
+}
+
+// reportCapturedFloatAccum flags float compound-assignments inside a
+// goroutine-launched literal whose target is captured from the enclosing
+// scope: the merge order across goroutines is the scheduler's choice.
+// Indexed stores (acc[i] += v) are the sanctioned sharding pattern and
+// are left alone.
+func reportCapturedFloatAccum(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isFloatAccumAssign(pass.Info, as) {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			pass.Reportf(as.Pos(), "float accumulation into captured %q from a goroutine: merge order follows the scheduler — accumulate into an indexed per-worker slot and reduce sequentially", id.Name)
+		}
+		return true
+	})
+}
+
+// isFloatAccumAssign reports whether as is a compound accumulation
+// (+=, -=, *=) on a floating-point target.
+func isFloatAccumAssign(info *types.Info, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+	default:
+		return false
+	}
+	if len(as.Lhs) != 1 {
+		return false
+	}
+	tv, ok := info.Types[as.Lhs[0]]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// receiveExprPos finds a channel receive inside e.
+func receiveExprPos(e ast.Expr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			pos, found = u.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -17,11 +18,20 @@ const ignorePrefix = "//lint:ignore"
 // directive is one parsed //lint:ignore comment.
 type directive struct {
 	analyzers map[string]bool
+	pos       token.Position
 	// line is the line the comment sits on.
 	line int
+	// endLine is the last line the directive covers: its own line for
+	// the trailing form, the next line for a standalone comment, and the
+	// declaration's last line when the directive sits in a declaration's
+	// doc comment.
+	endLine int
 	// standalone reports whether the comment occupies its own line (no
-	// code before it), in which case it also covers the next line.
+	// code before it).
 	standalone bool
+	// hits counts the diagnostics this directive suppressed in one Run;
+	// a well-formed directive with zero hits is stale.
+	hits int
 }
 
 // ignoreIndex maps file → directives, plus the diagnostics produced for
@@ -60,16 +70,54 @@ func buildIgnoreIndex(units []*Unit) *ignoreIndex {
 							set[name] = true
 						}
 					}
-					idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], directive{
+					dir := directive{
 						analyzers:  set,
+						pos:        pos,
 						line:       pos.Line,
+						endLine:    pos.Line,
 						standalone: standaloneComment(u.Fset, f, c),
-					})
+					}
+					if dir.standalone {
+						dir.endLine = pos.Line + 1
+						// A directive inside a declaration's doc comment
+						// covers the whole declaration: findings anywhere
+						// in its body can be excused at the decl head,
+						// where the reason reads as documentation.
+						if decl := docDeclFor(f, c); decl != nil {
+							if end := u.Fset.Position(decl.End()).Line; end > dir.endLine {
+								dir.endLine = end
+							}
+						}
+					}
+					idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], dir)
 				}
 			}
 		}
 	}
 	return idx
+}
+
+// docDeclFor returns the top-level declaration whose doc comment group
+// contains c, or nil.
+func docDeclFor(f *ast.File, c *ast.Comment) ast.Decl {
+	for _, decl := range f.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc == nil {
+			continue
+		}
+		for _, dc := range doc.List {
+			if dc == c {
+				return decl
+			}
+		}
+	}
+	return nil
 }
 
 // standaloneComment reports whether c is the first thing on its line,
@@ -93,19 +141,61 @@ func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 	return first
 }
 
-// suppressed reports whether d is covered by a directive: one on the
-// same line, or a standalone directive on the previous line.
+// suppressed reports whether d is covered by a directive naming its
+// analyzer, and credits every directive that covers it.
 func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
-	for _, dir := range idx.byFile[d.Pos.Filename] {
+	hit := false
+	dirs := idx.byFile[d.Pos.Filename]
+	for i := range dirs {
+		dir := &dirs[i]
 		if !dir.analyzers[d.Analyzer] {
 			continue
 		}
-		if dir.line == d.Pos.Line {
-			return true
-		}
-		if dir.standalone && dir.line == d.Pos.Line-1 {
-			return true
+		if d.Pos.Line >= dir.line && d.Pos.Line <= dir.endLine {
+			dir.hits++
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// staleDirectives returns a diagnostic for every well-formed directive
+// that suppressed nothing in this run even though every analyzer it
+// names was executed: the finding it excused has been fixed or has
+// moved, and an ignore that suppresses nothing is a latent hole the
+// next real finding will fall through silently. Directives naming an
+// analyzer outside the run set are left alone — a partial run cannot
+// judge them.
+func (idx *ignoreIndex) staleDirectives(ran map[string]bool) []Diagnostic {
+	files := make([]string, 0, len(idx.byFile))
+	for f := range idx.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []Diagnostic
+	for _, f := range files {
+		dirs := idx.byFile[f]
+		for i := range dirs {
+			dir := &dirs[i]
+			if dir.hits > 0 {
+				continue
+			}
+			judgeable := true
+			for name := range dir.analyzers {
+				if !ran[name] {
+					judgeable = false
+					break
+				}
+			}
+			if !judgeable {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  "stale //lint:ignore directive: it suppresses no current finding — delete it, or re-point it at the line it excuses",
+			})
+		}
+	}
+	return out
 }

@@ -9,8 +9,9 @@ import (
 // TestIgnoreDirectives exercises the //lint:ignore contract end to end
 // on testdata/src/ignore/a: same-line and standalone next-line
 // suppression remove findings, a directive naming a different analyzer
-// does not, a trailing directive covers only its own line, and a
-// directive without a reason is itself a diagnostic.
+// does not (and is reported stale), a trailing directive covers only
+// its own line, and a directive without a reason is itself a
+// diagnostic.
 func TestIgnoreDirectives(t *testing.T) {
 	units := loadTestdata(t, []tdPkg{{"ignore/a", "ignoretest/a"}})
 	diags, err := Run(units, All())
@@ -18,12 +19,14 @@ func TestIgnoreDirectives(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 
-	var sentinel, malformed []Diagnostic
+	var sentinel, malformed, stale []Diagnostic
 	for _, d := range diags {
-		switch d.Analyzer {
-		case "sentinelerr":
+		switch {
+		case d.Analyzer == "sentinelerr":
 			sentinel = append(sentinel, d)
-		case "lint":
+		case d.Analyzer == "lint" && strings.Contains(d.Message, "stale"):
+			stale = append(stale, d)
+		case d.Analyzer == "lint":
 			malformed = append(malformed, d)
 		default:
 			t.Errorf("unexpected diagnostic: %s", d)
@@ -52,6 +55,42 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if src := sourceLine(t, malformed[0].Pos.Filename, malformed[0].Pos.Line); !strings.Contains(src, "//lint:ignore sentinelerr") {
 		t.Errorf("malformed diagnostic points at %q, want the reasonless directive line", src)
+	}
+
+	// The directive naming metricname suppresses nothing, so it is the
+	// one stale directive in the package.
+	if len(stale) != 1 {
+		t.Fatalf("stale-directive diagnostics = %d, want 1:\n%s", len(stale), renderDiags(diags))
+	}
+	if src := sourceLine(t, stale[0].Pos.Filename, stale[0].Pos.Line); !strings.Contains(src, "//lint:ignore metricname") {
+		t.Errorf("stale diagnostic points at %q, want the metricname directive line", src)
+	}
+}
+
+// TestIgnoreSentry exercises the directive contract against the
+// determinism-sentry analyzers on testdata/src/ignore/sentry: same-line
+// coverage of a randsrc finding, decl-level coverage of a mapiter
+// finding through the doc comment, and a floatorder directive that
+// suppresses nothing and must be reported stale.
+func TestIgnoreSentry(t *testing.T) {
+	units := loadTestdata(t, []tdPkg{{"ignore/sentry", "preemptsched/internal/sched"}})
+	diags, err := Run(units, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "stale") {
+			stale = append(stale, d)
+			continue
+		}
+		t.Errorf("diagnostic leaked through suppression: %s", d)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("stale-directive diagnostics = %d, want 1:\n%s", len(stale), renderDiags(diags))
+	}
+	if src := sourceLine(t, stale[0].Pos.Filename, stale[0].Pos.Line); !strings.Contains(src, "//lint:ignore floatorder") {
+		t.Errorf("stale diagnostic points at %q, want the floatorder directive line", src)
 	}
 }
 

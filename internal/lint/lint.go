@@ -149,6 +149,11 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	kept = append(kept, idx.malformed...)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	kept = append(kept, idx.staleDirectives(ran)...)
 
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` over a map whose iteration order leaks into an
+// ordered artifact: a slice that is returned (or stored into struct
+// state) without a dominating sort, or bytes written to an io.Writer /
+// fmt sink mid-loop. Go randomizes map iteration on purpose, so both
+// shapes produce output that differs run to run — the exact failure
+// class the byte-identical determinism contract (DESIGN.md §11) bans.
+// The sanctioned patterns are: collect keys, sort, then range the
+// sorted slice; or sort the collected results before they escape
+// (`paths = append(paths, p)` … `sort.Strings(paths)` — the
+// findBlockLocked convention).
+//
+// What it deliberately cannot prove: that an unsorted result is
+// consumed order-insensitively by every caller (it assumes a returned
+// or state-stored slice is ordered data), or that a writer targeted
+// mid-loop is order-insensitive. Per-iteration writers (one created
+// inside the loop body, e.g. a fresh hash per key) are recognized and
+// left alone. Float accumulation under map ranges belongs to the
+// floatorder analyzer.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map-range order must not reach returned/stored slices unsorted, or io.Writer/fmt sinks",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mapIterScope(pass, fd.Type, fd.Body)
+			// Function literals are their own scope: their returns and
+			// sorts are what sanction their loops.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					mapIterScope(pass, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// mapIterScope analyzes one function body: finds map ranges directly in
+// this scope and judges the appends and sink writes under them against
+// the scope's sorts and returns.
+func mapIterScope(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	inspectScope(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if tv, ok := pass.Info.Types[r.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, r)
+				}
+			}
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+	sorts := collectSorts(pass, body)
+	returned := collectReturned(ftype, body)
+	seen := make(map[token.Pos]bool)
+	for _, r := range ranges {
+		checkMapRange(pass, r, sorts, returned, seen)
+	}
+}
+
+// inspectScope walks n without descending into function literals.
+func inspectScope(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// sortCall is one sort invocation in the scope: the canonical string of
+// the sorted expression and where the call sits.
+type sortCall struct {
+	target string
+	pos    token.Pos
+}
+
+// collectSorts finds every sort.*/slices.Sort* call in the scope,
+// keyed by the expression being sorted.
+func collectSorts(pass *Pass, body *ast.BlockStmt) []sortCall {
+	var sorts []sortCall
+	inspectScope(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sorting := false
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+				sorting = true
+			}
+		case "slices":
+			sorting = strings.HasPrefix(fn.Name(), "Sort")
+		}
+		if sorting {
+			sorts = append(sorts, sortCall{target: types.ExprString(ast.Unparen(call.Args[0])), pos: call.Pos()})
+		}
+		return true
+	})
+	return sorts
+}
+
+// collectReturned gathers the canonical strings of expressions that
+// escape through return statements, plus named result identifiers.
+func collectReturned(ftype *ast.FuncType, body *ast.BlockStmt) map[string]bool {
+	returned := make(map[string]bool)
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				returned[name.Name] = true
+			}
+		}
+	}
+	inspectScope(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.Ident:
+					returned[e.Name] = true
+				case *ast.SelectorExpr:
+					returned[types.ExprString(e)] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return returned
+}
+
+// checkMapRange judges one map range: appends to escaping slices must be
+// dominated by a later sort; sink writes are flagged unless the writer
+// is created inside the loop body.
+func checkMapRange(pass *Pass, r *ast.RangeStmt, sorts []sortCall, returned map[string]bool, seen map[token.Pos]bool) {
+	inspectScope(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			target, pos, ok := appendTarget(n)
+			if !ok || seen[pos] {
+				return true
+			}
+			if sortedAfter(sorts, target, r.End()) {
+				return true
+			}
+			if !escapes(target, n.Lhs[0], returned) {
+				return true
+			}
+			seen[pos] = true
+			pass.Reportf(pos, "slice %s accumulates in map-range order and escapes unsorted: map iteration order is random — sort the keys first or sort %s after the loop", target, target)
+		case *ast.CallExpr:
+			desc, fresh := sinkCall(pass, n, r.Body)
+			if desc == "" || fresh || seen[n.Pos()] {
+				return true
+			}
+			seen[n.Pos()] = true
+			pass.Reportf(n.Pos(), "%s inside range over map: output byte order follows map iteration — collect and sort the keys, then range the sorted slice", desc)
+		}
+		return true
+	})
+}
+
+// appendTarget matches `x = append(x, ...)` (including x.f forms) and
+// returns the canonical target string.
+func appendTarget(as *ast.AssignStmt) (string, token.Pos, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return "", token.NoPos, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", token.NoPos, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return "", token.NoPos, false
+	}
+	target := types.ExprString(ast.Unparen(as.Lhs[0]))
+	if types.ExprString(ast.Unparen(call.Args[0])) != target {
+		return "", token.NoPos, false
+	}
+	return target, as.Pos(), true
+}
+
+// sortedAfter reports whether target is sorted at a position after the
+// loop ends. A sort inside the loop body would re-sort per iteration —
+// wasteful but still deterministic at the end, so position after the
+// range is what establishes order.
+func sortedAfter(sorts []sortCall, target string, rangeEnd token.Pos) bool {
+	for _, s := range sorts {
+		if s.target == target && s.pos >= rangeEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// escapes reports whether the append target leaves the function in
+// ordered form: it is returned (directly or inside a larger return
+// expression), it is a named result, or it is stored into structure
+// state (a selector target).
+func escapes(target string, lhs ast.Expr, returned map[string]bool) bool {
+	if returned[target] {
+		return true
+	}
+	_, isSel := ast.Unparen(lhs).(*ast.SelectorExpr)
+	return isSel
+}
+
+// sinkCall classifies call as an ordered-output sink. fresh reports that
+// the sink is created inside loopBody, i.e. per-iteration, so the write
+// order within one iteration is self-contained.
+func sinkCall(pass *Pass, call *ast.CallExpr, loopBody *ast.BlockStmt) (desc string, fresh bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if recvType(fn) == nil {
+		if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			// Fprint writes to its first argument; Print to stdout.
+			if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+				return "fmt." + fn.Name(), declaredIn(pass, call.Args[0], loopBody)
+			}
+			return "fmt." + fn.Name(), false
+		}
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	case "Encode":
+		if !typeIs(recvType(fn), "encoding/json", "Encoder") {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X) + "." + fn.Name(), declaredIn(pass, sel.X, loopBody)
+}
+
+// declaredIn reports whether the root identifier of e is declared inside
+// body (a per-iteration local).
+func declaredIn(pass *Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
+
+// rootIdent unwraps selector/index/slice/star/paren chains to the base
+// identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

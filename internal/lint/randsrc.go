@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// RandSrc enforces the randomness half of the determinism contract
+// (DESIGN.md §11/§15): code in the module's deterministic core draws
+// every random number from a seeded *rand.Rand threaded in from
+// configuration (sim.NewRNG, faults.Plan.Seed, clusterd's WithSeed),
+// never from math/rand's process-global source and never from a source
+// seeded off the wall clock. One global rand.Intn in a victim-selection
+// tiebreak makes the byte-identical replay suite pass or fail by
+// coincidence: the global source is shared across goroutines, so the
+// draw sequence depends on scheduling, and a time-derived seed cannot be
+// written into the run report and replayed.
+var RandSrc = &Analyzer{
+	Name: "randsrc",
+	Doc:  "deterministic packages draw randomness from a seeded *rand.Rand, never the global math/rand source or a wall-clock seed",
+	Run:  runRandSrc,
+}
+
+// randPkgs are the randomness providers the analyzer polices. Both
+// generations of math/rand share the global-source design flaw.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors build explicit sources rather than drawing from the
+// global one; they are the sanctioned entry points, checked only for
+// wall-clock seeds.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// randSrcInScope reports whether the package is part of the
+// deterministic core: the root simulation package and everything under
+// internal/. cmd/ binaries are thin flag-parsing shells over internal
+// packages, so scoping to internal/ covers every code path a seeded run
+// replays.
+func randSrcInScope(path string) bool {
+	return path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/internal/")
+}
+
+func runRandSrc(pass *Pass) error {
+	if !randSrcInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	// seen dedupes wall-clock seeds visible from nested constructors:
+	// rand.New(rand.NewSource(time.Now().UnixNano())) is one finding.
+	seen := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if recvType(fn) != nil {
+				// Methods on *rand.Rand / rand.Source: drawing from an
+				// explicit source is the sanctioned pattern.
+				return true
+			}
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "rand.%s draws from the process-global source: the draw sequence depends on goroutine scheduling and cannot be replayed — thread a seeded *rand.Rand from config (sim.NewRNG)", fn.Name())
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, src := wallClockSource(pass.Info, arg); src != "" && !seen[pos] {
+					seen[pos] = true
+					pass.Reportf(pos, "rand source seeded from %s: a wall-clock seed cannot be recorded and replayed — use a fixed literal, a flag, or a forked sim.RNG", src)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

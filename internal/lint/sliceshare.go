@@ -1,0 +1,472 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SliceShare flags the NameNode.AddBlock aliasing class (PR 8): an
+// exported method on a stateful type returning a slice or map — bare,
+// inside a struct, or via a local that was stored into receiver state —
+// that still shares its backing store with the state a background sweep
+// mutates in place. The caller then reads its "snapshot" lock-free while
+// re-replication, liveness sweeps, or scrubbing rewrite the elements
+// under it: a data race the race detector only sees on workloads that
+// interleave just so. The sanctioned pattern is the AddBlock fix —
+// detach before returning (`append([]T(nil), x...)`, slices.Clone,
+// maps.Clone, or a fresh make+copy).
+//
+// Stateful types are structs carrying a sync.Mutex/RWMutex field
+// (anywhere in the module) plus every struct declared in the registered
+// shared-state layers (internal/dfs, internal/yarn, internal/sched).
+// The tracking is intra-procedural and heuristic: locals assigned from
+// receiver state (or stored into it) are tainted; non-append calls are
+// assumed to return fresh or self-managed data; a defensive-copy
+// assignment to a tainted local's field clears that local. It cannot
+// prove deep detachment (elements of a shallow-copied slice may
+// themselves hold shared slices) or see aliasing that crosses method
+// boundaries — those remain the race detector's job.
+var SliceShare = &Analyzer{
+	Name: "sliceshare",
+	Doc:  "exported methods on stateful types must not return struct-field slices/maps without a defensive copy",
+	Run:  runSliceShare,
+}
+
+// sliceSharePackages are the shared-state layers in which every struct
+// counts as stateful, mutex field or not: their objects are mutated by
+// background sweeps while callers hold returned snapshots.
+var sliceSharePackages = map[string]bool{
+	modulePrefix + "/internal/dfs":   true,
+	modulePrefix + "/internal/yarn":  true,
+	modulePrefix + "/internal/sched": true,
+}
+
+func runSliceShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvObj := receiverObject(pass.Info, fd)
+			if recvObj == nil || !statefulType(recvObj.Type()) {
+				continue
+			}
+			st := &shareState{
+				pass:    pass,
+				fd:      fd,
+				rooted:  map[types.Object]bool{recvObj: true},
+				recvObj: recvObj,
+			}
+			st.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// receiverObject resolves the declared receiver variable, or nil for
+// anonymous receivers (which cannot leak state they cannot name).
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return info.Defs[name]
+}
+
+// statefulType reports whether t is a struct type that owns shared
+// mutable state: it carries a mutex field, or it is declared in one of
+// the registered shared-state packages.
+func statefulType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if obj := named.Obj(); obj.Pkg() != nil && sliceSharePackages[obj.Pkg().Path()] {
+		return true
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if typeIs(ft, "sync", "Mutex") || typeIs(ft, "sync", "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+// shareState tracks, through one method body in source order, which
+// local variables alias receiver state.
+type shareState struct {
+	pass    *Pass
+	fd      *ast.FuncDecl
+	rooted  map[types.Object]bool
+	recvObj types.Object
+}
+
+// walk processes the body in source order. ast.Inspect visits nodes in
+// position order, which is exactly the linear approximation the taint
+// tracking wants; function literals are skipped (their own returns are
+// not this method's returns, and captured aliasing through goroutines is
+// beyond a lint pass).
+func (st *shareState) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			st.assign(n)
+		case *ast.ValueSpec:
+			st.valueSpec(n)
+		case *ast.RangeStmt:
+			st.rangeVars(n)
+		case *ast.ReturnStmt:
+			st.returnStmt(n)
+		}
+		return true
+	})
+}
+
+// assign applies one assignment to the taint state.
+func (st *shareState) assign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			rhs = as.Rhs[i]
+		case len(as.Rhs) == 1:
+			// Tuple assignment (f, ok := m[k]): every target gets the
+			// classification of the single source.
+			rhs = as.Rhs[0]
+		default:
+			continue
+		}
+		st.assignOne(lhs, rhs)
+	}
+}
+
+func (st *shareState) valueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			st.assignOne(name, vs.Values[i])
+		}
+	}
+}
+
+func (st *shareState) assignOne(lhs, rhs ast.Expr) {
+	tainted := st.stateExpr(rhs)
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := st.pass.Info.Defs[l]
+		if obj == nil {
+			obj = st.pass.Info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if tainted && aliasingType(obj.Type()) {
+			st.rooted[obj] = true
+		} else {
+			delete(st.rooted, obj)
+		}
+	default:
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := st.pass.Info.Uses[root]
+		if obj == nil {
+			return
+		}
+		switch {
+		case st.rooted[obj] && obj != st.recvObj && detachCopy(st.pass.Info, rhs):
+			// The AddBlock fix shape: a tainted local detaches its shared
+			// field before escaping. One detached field clears the local —
+			// multi-shared-field structs are beyond this approximation.
+			delete(st.rooted, obj)
+		case st.rooted[obj]:
+			// Store into state: every aliasing variable mentioned on the
+			// right now shares backing with receiver state
+			// (f.info.Blocks = append(f.info.Blocks, loc) roots loc).
+			st.taintIdents(rhs)
+		case tainted:
+			// State flowing into a local's field taints the local.
+			st.rooted[obj] = true
+		}
+	}
+}
+
+// rangeVars taints loop variables drawn from a stateful collection:
+// ranging over state yields element copies whose slice/map fields still
+// share backing stores.
+func (st *shareState) rangeVars(r *ast.RangeStmt) {
+	if !st.stateExpr(r.X) {
+		return
+	}
+	for _, v := range []ast.Expr{r.Key, r.Value} {
+		id, ok := v.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := st.pass.Info.Defs[id]; obj != nil && aliasingType(obj.Type()) {
+			st.rooted[obj] = true
+		}
+	}
+}
+
+// returnStmt flags escaping state.
+func (st *shareState) returnStmt(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		// Bare return: named results carry whatever they were last
+		// assigned.
+		if st.fd.Type.Results == nil {
+			return
+		}
+		for _, field := range st.fd.Type.Results.List {
+			for _, name := range field.Names {
+				obj := st.pass.Info.Defs[name]
+				if obj != nil && st.rooted[obj] && shareyType(obj.Type()) {
+					st.pass.Reportf(ret.Pos(), "exported method returns %s, which still shares receiver state: detach with a defensive copy before returning (the AddBlock bug class)", name.Name)
+				}
+			}
+		}
+		return
+	}
+	for _, res := range ret.Results {
+		st.checkEscape(res)
+	}
+}
+
+// checkEscape flags one returned expression if it aliases receiver
+// state in a shareable form.
+func (st *shareState) checkEscape(e ast.Expr) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		// &T{...}: check the literal it points to.
+		e = ast.Unparen(u.X)
+	}
+	if lit, ok := e.(*ast.CompositeLit); ok {
+		for _, elt := range lit.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			st.checkEscape(v)
+		}
+		return
+	}
+	if detachCopy(st.pass.Info, e) {
+		return
+	}
+	if !st.stateExpr(e) {
+		return
+	}
+	tv, ok := st.pass.Info.Types[e]
+	if !ok || !shareyType(tv.Type) {
+		return
+	}
+	st.pass.Reportf(e.Pos(), "%s escapes an exported method while sharing its backing store with receiver state: a background sweep mutating the state races the caller's lock-free read — return append([]T(nil), x...) / slices.Clone / maps.Clone instead (the AddBlock bug class)", types.ExprString(e))
+}
+
+// stateExpr reports whether evaluating e yields a value that still
+// references receiver state: a rooted identifier reached through
+// selector/index/slice/deref chains, a sharing append, a composite
+// literal embedding an aliasing field, or an address-of/type-assertion
+// over state. Call results are assumed fresh (a callee owns its copying
+// discipline), as are recognized defensive copies. Crucially, a value
+// COPY of a non-aliasing type (string, scalar struct) detaches — that is
+// what makes `append(ids, id)` over map keys clean while
+// `append(blocks, loc)` is not.
+func (st *shareState) stateExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := st.pass.Info.Uses[x]
+		return obj != nil && st.rooted[obj]
+	case *ast.ParenExpr:
+		return st.stateExpr(x.X)
+	case *ast.SelectorExpr:
+		return st.stateExpr(x.X)
+	case *ast.IndexExpr:
+		return st.stateExpr(x.X)
+	case *ast.SliceExpr:
+		return st.stateExpr(x.X)
+	case *ast.StarExpr:
+		return st.stateExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return st.stateExpr(x.X)
+	case *ast.UnaryExpr:
+		// &state aliases; every other unary result is a fresh scalar.
+		return x.Op == token.AND && st.stateExpr(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if st.aliasingExpr(v) && st.stateExpr(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if !isAppendCall(x) || detachCopy(st.pass.Info, x) {
+			return false
+		}
+		// append(state, ...) may return the state's own backing array
+		// when capacity allows; appended values share only when their
+		// type carries references (spread args share via their elements).
+		if len(x.Args) > 0 && st.stateExpr(x.Args[0]) {
+			return true
+		}
+		for _, arg := range x.Args[1:] {
+			t := st.exprType(arg)
+			if x.Ellipsis.IsValid() && arg == x.Args[len(x.Args)-1] {
+				if sl, ok := t.Underlying().(*types.Slice); ok {
+					t = sl.Elem()
+				}
+			}
+			if t != nil && aliasingType(t) && st.stateExpr(arg) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// aliasingExpr reports whether e's static type can carry a reference.
+func (st *shareState) aliasingExpr(e ast.Expr) bool {
+	t := st.exprType(e)
+	return t != nil && aliasingType(t)
+}
+
+func (st *shareState) exprType(e ast.Expr) types.Type {
+	tv, ok := st.pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// aliasingType reports whether a value copy of t can still reference
+// shared backing storage: reference types directly, and structs with a
+// reference-typed field one level deep. Strings and scalars detach on
+// copy.
+func aliasingType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Interface, *types.Chan, *types.Signature:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			switch u.Field(i).Type().Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Pointer, *types.Interface, *types.Chan, *types.Signature:
+				return true
+			}
+		}
+	case *types.Array:
+		return aliasingType(u.Elem())
+	}
+	return false
+}
+
+// taintIdents roots every plain variable mentioned in e: used when e is
+// stored into receiver state, after which those variables alias it.
+func (st *shareState) taintIdents(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := st.pass.Info.Uses[id].(*types.Var); ok && !obj.IsField() && aliasingType(obj.Type()) {
+			st.rooted[obj] = true
+		}
+		return true
+	})
+}
+
+// shareyType reports whether values of t keep live references to a
+// backing store after assignment: slices and maps directly, and structs
+// with a slice/map field (one level deep — returning such a struct by
+// value copies the struct but shares the field's backing array).
+func shareyType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			switch u.Field(i).Type().Underlying().(type) {
+			case *types.Slice, *types.Map:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// detachCopy recognizes the defensive-copy idioms: append onto a fresh
+// empty slice, the stdlib Clone helpers, and fresh allocation.
+func detachCopy(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isAppendCall(call) {
+		return len(call.Args) > 0 && freshSliceExpr(call.Args[0])
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || recvType(fn) != nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "slices":
+		switch fn.Name() {
+		case "Clone", "Concat", "Collect", "Sorted", "SortedFunc", "SortedStableFunc":
+			return true
+		}
+	case "maps":
+		return fn.Name() == "Clone"
+	case "bytes":
+		return fn.Name() == "Clone"
+	}
+	return false
+}
+
+// isAppendCall matches the append built-in.
+func isAppendCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// freshSliceExpr matches the empty-slice starts of a detach append:
+// []T(nil), []T{}, or make([]T, ...).
+func freshSliceExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" {
+			return true
+		}
+		// The []T(nil) conversion.
+		if _, ok := x.Fun.(*ast.ArrayType); ok && len(x.Args) == 1 {
+			if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package a is floatorder testdata: float reductions whose order
+// follows map ranges, goroutine completion, or channel merges must be
+// flagged; sorted reductions, indexed per-worker slots, and integer
+// accumulation must not.
+package a
+
+import "sort"
+
+// meanByKey accumulates floats in map-range order: flagged.
+func meanByKey(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "map iteration order is random"
+	}
+	return sum / float64(len(m))
+}
+
+// meanSorted reduces over sorted keys: the addend order is fixed by the
+// source. Sanctioned.
+func meanSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum / float64(len(m))
+}
+
+// countByKey accumulates an int under a map range: integer addition is
+// associative, so order cannot change the result. Sanctioned.
+func countByKey(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// mergeChan folds a channel in completion order: flagged.
+func mergeChan(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want "channel-merge order follows goroutine completion"
+	}
+	return sum
+}
+
+// recvAccum merges single receives: flagged at the receive.
+func recvAccum(ch chan float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += <-ch // want "float accumulation from a channel receive"
+	}
+	return sum
+}
+
+// captured accumulates into a scalar captured from the enclosing scope
+// inside goroutines: the merge order is the scheduler's choice (and a
+// data race besides). Flagged.
+func captured(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	for _, x := range xs {
+		x := x
+		go func() {
+			sum += x // want "captured"
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return sum
+}
+
+// sharded accumulates into an indexed per-worker slot and reduces the
+// shards sequentially afterwards: the internal/experiments worker-pool
+// convention. Sanctioned.
+func sharded(xs []float64, workers int) float64 {
+	acc := make([]float64, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			for i := w; i < len(xs); i += workers {
+				acc[w] += xs[i]
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	var sum float64
+	for _, v := range acc {
+		sum += v
+	}
+	return sum
+}

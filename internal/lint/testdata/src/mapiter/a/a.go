@@ -1,0 +1,94 @@
+// Package a is mapiter testdata: map-range order leaking into returned
+// or state-stored slices and into writer sinks must be flagged; the
+// sorted-after convention, sorted-key loops, per-iteration writers, and
+// non-escaping accumulators must not.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// keysUnsorted returns map keys in range order: flagged.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "accumulates in map-range order and escapes unsorted"
+	}
+	return out
+}
+
+// keysSorted follows the findBlockLocked convention: the sort after the
+// loop re-establishes a deterministic order before the slice escapes.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dump writes to the caller's sink mid-loop: the byte order of the
+// output follows map iteration. Flagged.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "inside range over map"
+	}
+}
+
+// dumpSorted collects, sorts, then ranges the sorted slice: the write
+// loop is over a slice, and the collection append is sanctioned by the
+// sort that follows it.
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// digestEach writes to a builder created inside the loop body: each
+// iteration's output is self-contained, so order cannot leak. Not
+// flagged.
+func digestEach(m map[string][]byte) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		b.Write(v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// longest accumulates into a slice that never escapes: the range-order
+// content is consumed order-insensitively in this function. Not flagged.
+func longest(m map[string]int) int {
+	var seen []string
+	for k := range m {
+		seen = append(seen, k)
+	}
+	best := 0
+	for _, k := range seen {
+		if len(k) > best {
+			best = len(k)
+		}
+	}
+	return best
+}
+
+type cache struct{ keys []string }
+
+// fill stores range-ordered keys into struct state, where a later
+// reader sees them as ordered data: flagged.
+func (c *cache) fill(m map[string]int) {
+	for k := range m {
+		c.keys = append(c.keys, k) // want "accumulates in map-range order and escapes unsorted"
+	}
+}

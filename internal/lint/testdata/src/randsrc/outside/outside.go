@@ -1,0 +1,10 @@
+// Package outside is randsrc testdata: packages outside the module's
+// deterministic core (tools, generators) may use the global source.
+package outside
+
+import "math/rand"
+
+// shuffle is not flagged: the package is outside preemptsched/internal.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,84 @@
+// Package dfs is sliceshare testdata: every struct declared in the dfs
+// layer is stateful, so exported methods returning field-backed slices
+// or maps without a detach must be flagged; the AddBlock-fix idioms
+// (append onto a fresh slice, make+copy, string value copies) must not.
+package dfs
+
+import "sort"
+
+// Block names a replicated block. Replicas is the aliasing field that
+// makes value copies of Block share backing store with the registry.
+type Block struct {
+	ID       string
+	Replicas []string
+}
+
+// Info is scalar-only: value copies detach completely.
+type Info struct {
+	ID   string
+	Size int64
+}
+
+// Table is a registry mutated by background sweeps.
+type Table struct {
+	blocks []Block
+	byID   map[string]Block
+	infos  map[string]Info
+	names  []string
+}
+
+// Blocks leaks the live field slice: flagged.
+func (t *Table) Blocks() []Block {
+	return t.blocks // want "escapes an exported method while sharing its backing store"
+}
+
+// Replicas leaks through a local drawn from state: the Block value copy
+// still shares its Replicas backing array. Flagged.
+func (t *Table) Replicas(id string) []string {
+	b := t.byID[id]
+	return b.Replicas // want "escapes an exported method while sharing its backing store"
+}
+
+// Grow is the pre-fix AddBlock shape: the argument is stored into state
+// and its slice field returned, so the caller and the registry share one
+// backing array. Flagged.
+func (t *Table) Grow(b Block) []string {
+	t.blocks = append(t.blocks, b)
+	return b.Replicas // want "escapes an exported method while sharing its backing store"
+}
+
+// Snapshot bare-returns a named result still rooted in state: flagged.
+func (t *Table) Snapshot() (blocks []Block) {
+	blocks = t.blocks
+	return // want "still shares receiver state"
+}
+
+// BlocksCopy detaches with the AddBlock fix before returning. The copy
+// is shallow — element Replicas still alias — which is the documented
+// limit of the analyzer, not a finding.
+func (t *Table) BlocksCopy() []Block {
+	return append([]Block(nil), t.blocks...)
+}
+
+// Names detaches with a make+append copy.
+func (t *Table) Names() []string {
+	out := make([]string, 0, len(t.names))
+	out = append(out, t.names...)
+	return out
+}
+
+// IDs copies map keys: string value copies detach, and the sort keeps
+// the result deterministic.
+func (t *Table) IDs() []string {
+	ids := make([]string, 0, len(t.byID))
+	for id := range t.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Meta returns a value copy of scalar state: nothing to share.
+func (t *Table) Meta(id string) Info {
+	return t.infos[id]
+}

@@ -1,0 +1,34 @@
+// Package outside is sliceshare testdata for the mutex-field rule:
+// outside the registered shared-state layers, only structs carrying a
+// sync.Mutex/RWMutex field count as stateful.
+package outside
+
+import "sync"
+
+// Locked guards vals with a mutex: stateful anywhere in the module.
+type Locked struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+// Vals leaks the guarded slice — the lock protects the read of the
+// header, not the caller's later traversal of the shared array. Flagged.
+func (l *Locked) Vals() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.vals // want "escapes an exported method while sharing its backing store"
+}
+
+// ValsCopy detaches under the lock: sanctioned.
+func (l *Locked) ValsCopy() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]int(nil), l.vals...)
+}
+
+// Plain has no mutex and sits outside the shared-state layers: not
+// stateful, so returning its field is the caller's business.
+type Plain struct{ vals []int }
+
+// Vals is not flagged: Plain is not a stateful type.
+func (p *Plain) Vals() []int { return p.vals }

@@ -224,13 +224,9 @@ func (t *SLOTracker) PublishGauges(reg *Registry) {
 	sort.Strings(bands)
 	for _, b := range bands {
 		r := s.Response[b]
-		//lint:ignore metricname per-band SLO gauge names are derived from the fixed band set
 		reg.SetGauge("slo.response."+b+".count", float64(r.Count))
-		//lint:ignore metricname per-band SLO gauge names are derived from the fixed band set
 		reg.SetGauge("slo.response."+b+".p50.seconds", r.P50)
-		//lint:ignore metricname per-band SLO gauge names are derived from the fixed band set
 		reg.SetGauge("slo.response."+b+".p95.seconds", r.P95)
-		//lint:ignore metricname per-band SLO gauge names are derived from the fixed band set
 		reg.SetGauge("slo.response."+b+".p99.seconds", r.P99)
 	}
 }

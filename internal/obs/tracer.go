@@ -182,11 +182,17 @@ func (t *Tracer) Snapshot() []Span {
 	var out []Span
 	if n <= capn {
 		out = append(out, t.ring[:n]...)
-		return out
+	} else {
+		// The ring has wrapped: the oldest retained span is at slot n % cap.
+		first := n % capn
+		out = append(out, t.ring[first:]...)
+		out = append(out, t.ring[:first]...)
 	}
-	// The ring has wrapped: the oldest retained span is at slot n % cap.
-	first := n % capn
-	out = append(out, t.ring[first:]...)
-	out = append(out, t.ring[:first]...)
+	// The Span value copies still share their Attrs backing arrays with
+	// ring slots that End mutates in place; detach so the snapshot stays
+	// stable after the lock is released.
+	for i := range out {
+		out[i].Attrs = append([]Attr(nil), out[i].Attrs...)
+	}
 	return out
 }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotDetachedFromRing is the mutation-under-concurrent-read
+// regression for the sliceshare sweep: before the fix, Snapshot's Span
+// copies shared their Attrs backing arrays with ring slots that End
+// mutates in place, so the recorder could overwrite attribute slots a
+// snapshot holder was using (and race it — run with -race).
+func TestSnapshotDetachedFromRing(t *testing.T) {
+	tr := NewTracer(8)
+
+	// Spare capacity in the recorded attrs is what let the pre-fix
+	// sharing bite: End's append lands in the shared backing array.
+	attrs := make([]Attr, 1, 8)
+	attrs[0] = String("k", "v")
+	id := tr.Start("cat", "open", "p", "t", 0, 0, attrs...)
+
+	// Sequential shape: the snapshot holder extends its copy, then the
+	// recorder closes the span. Pre-fix both appends wrote the same
+	// backing slot and the recorder's attr clobbered the holder's.
+	snap := tr.Snapshot()
+	mine := append(snap[0].Attrs, String("mine", "m"))
+	tr.End(id, 5, String("end", "e"))
+	if mine[1].Key != "mine" {
+		t.Fatalf("recorder overwrote a snapshot holder's attrs: got key %q, want %q", mine[1].Key, "mine")
+	}
+
+	// Concurrent shape: the same two writes from different goroutines,
+	// which the race detector flags pre-fix.
+	attrs2 := make([]Attr, 1, 8)
+	attrs2[0] = String("k2", "v2")
+	id2 := tr.Start("cat", "open2", "p", "t", 0, 10, attrs2...)
+	snap2 := tr.Snapshot()
+	var open Span
+	for _, s := range snap2 {
+		if s.Name == "open2" {
+			open = s
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tr.End(id2, 15, String("end2", "e2"))
+	}()
+	go func() {
+		defer wg.Done()
+		_ = append(open.Attrs, String("mine2", "m2"))
+	}()
+	wg.Wait()
+	if len(open.Attrs) != 1 || open.Attrs[0].Key != "k2" {
+		t.Fatalf("snapshot attrs mutated under the holder: %+v", open.Attrs)
+	}
+}

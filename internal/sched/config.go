@@ -11,6 +11,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"preemptsched/internal/cluster"
@@ -327,6 +328,9 @@ func (r *Result) FairnessIndex() float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	// Fix the addend order: float addition is non-associative, and map
+	// range would make the reported index vary bit-for-bit run to run.
+	sort.Float64s(xs)
 	var sum, sumSq float64
 	for _, x := range xs {
 		sum += x

@@ -1,0 +1,29 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFairnessIndexDeterministic guards the sorted reduction from the
+// mapiter sweep: per-user means of very different magnitudes summed in
+// map-range order would make the reported index vary bit-for-bit
+// between calls on the same Result.
+func TestFairnessIndexDeterministic(t *testing.T) {
+	r := &Result{JobResponseByUser: map[string]*Dist{}}
+	vals := []float64{1e16, 1, 1e-8, 3.1415, 2.718e7, 42, 1e12, 7e-3, 9.99e3, 0.125}
+	for i, v := range vals {
+		d := &Dist{}
+		d.Add(v)
+		r.JobResponseByUser[fmt.Sprintf("user-%d", i)] = d
+	}
+	first := r.FairnessIndex()
+	if first <= 0 || first > 1 {
+		t.Fatalf("FairnessIndex = %v, want a value in (0, 1]", first)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.FairnessIndex(); got != first {
+			t.Fatalf("FairnessIndex unstable on identical input: call %d returned %v, first returned %v", i, got, first)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sort"
 	"time"
 
 	"preemptsched/internal/cluster"
@@ -123,7 +124,20 @@ func Analyze(events []Event) *Analysis {
 	}{}
 	maxDay := 0
 
-	for _, seq := range perTask {
+	// Walk tasks in a fixed order: the CPU-hour sums below are float
+	// accumulations, and map-range order would make them bit-unstable.
+	ids := make([]cluster.TaskID, 0, len(perTask))
+	for id := range perTask {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Job != ids[j].Job {
+			return ids[i].Job < ids[j].Job
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	for _, id := range ids {
+		seq := perTask[id]
 		band := cluster.BandOf(seq[0].Priority)
 		latency := seq[0].Latency
 		cpuCores := float64(seq[0].CPU) / 1000

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"preemptsched/internal/cluster"
+)
+
+// TestAnalyzeCPUHoursDeterministic guards the sorted task walk from the
+// floatorder sweep: the wasted/useful CPU-hour sums are float
+// accumulations, and walking the per-task map in range order made them
+// bit-unstable across identical Analyze calls.
+func TestAnalyzeCPUHoursDeterministic(t *testing.T) {
+	var events []Event
+	for i := 0; i < 64; i++ {
+		id := cluster.TaskID{Job: cluster.JobID(i % 7), Index: int32(i)}
+		// Spread CPU demand across many binary orders of magnitude so a
+		// different addend order actually changes the rounded sum.
+		cpu := int64(1) << uint(i%40)
+		base := time.Duration(i) * time.Minute
+		events = append(events,
+			Event{Time: base, Type: Schedule, Task: id, CPU: cpu},
+			Event{Time: base + time.Minute, Type: Evict, Task: id, CPU: cpu},
+			Event{Time: base + 2*time.Minute, Type: Schedule, Task: id, CPU: cpu},
+			Event{Time: base + 3*time.Minute, Type: Finish, Task: id, CPU: cpu},
+		)
+	}
+	first := Analyze(events)
+	if first.WastedCPUHours <= 0 || first.UsefulCPUHours <= 0 {
+		t.Fatalf("degenerate fixture: wasted %v, useful %v", first.WastedCPUHours, first.UsefulCPUHours)
+	}
+	for i := 0; i < 50; i++ {
+		a := Analyze(events)
+		if a.WastedCPUHours != first.WastedCPUHours || a.UsefulCPUHours != first.UsefulCPUHours {
+			t.Fatalf("CPU-hour sums unstable across identical Analyze calls: wasted %v vs %v, useful %v vs %v",
+				a.WastedCPUHours, first.WastedCPUHours, a.UsefulCPUHours, first.UsefulCPUHours)
+		}
+	}
+}
