@@ -19,6 +19,16 @@
 // Metric drift is reported by default and fatal under -strict-metrics;
 // the experiment pipeline is seed-deterministic, so on identical inputs
 // any metric drift is a real behaviour change.
+//
+// Throughput baselines (BENCH_scale.json, the density suite) gate the
+// other direction: -scale treats every *_per_sec custom metric as a
+// higher-is-better floor, failing when the current rate drops below
+// -min-rate-ratio of the baseline. Rates are wall-clock measurements, so
+// drift tolerance is meaningless for them and the generous default ratio
+// absorbs machine-speed variance between the recording host and CI:
+//
+//	go test -bench Density -benchtime=1x -run '^$' ./internal/sched/density | benchdiff -emit cur.json
+//	benchdiff -scale -baseline BENCH_scale.json cur.json
 package main
 
 import (
@@ -67,6 +77,8 @@ func run() error {
 	maxRegress := flag.Float64("max-regress", 0.20, "fail when a benchmark's ns/op exceeds baseline by more than this fraction")
 	metricTol := flag.Float64("metric-tol", 1e-6, "relative tolerance before a custom metric counts as drifted")
 	strictMetrics := flag.Bool("strict-metrics", false, "treat custom-metric drift as a failure, not a warning")
+	scale := flag.Bool("scale", false, "throughput mode: gate *_per_sec metrics as higher-is-better floors instead of checking ns/op and metric drift")
+	minRateRatio := flag.Float64("min-rate-ratio", 0.5, "with -scale, fail when a rate metric falls below this fraction of baseline")
 	flag.Parse()
 
 	switch {
@@ -76,10 +88,28 @@ func run() error {
 		if flag.NArg() != 1 {
 			return fmt.Errorf("usage: benchdiff -baseline base.json current.json")
 		}
-		return compare(*baseline, flag.Arg(0), *maxRegress, *metricTol, *strictMetrics)
+		return compare(*baseline, flag.Arg(0), cmpOpts{
+			maxRegress:    *maxRegress,
+			metricTol:     *metricTol,
+			strictMetrics: *strictMetrics,
+			scale:         *scale,
+			minRateRatio:  *minRateRatio,
+		})
 	default:
 		return fmt.Errorf("one of -emit or -baseline is required")
 	}
+}
+
+// cmpOpts bundles the compare-mode knobs.
+type cmpOpts struct {
+	maxRegress    float64
+	metricTol     float64
+	strictMetrics bool
+	// scale switches to throughput gating: *_per_sec metrics become
+	// higher-is-better floors at minRateRatio of baseline, and ns/op (the
+	// same wall-clock measurement inverted) is reported but not gated.
+	scale        bool
+	minRateRatio float64
 }
 
 // benchLine matches one `go test -bench` result:
@@ -187,7 +217,11 @@ func loadSnapshot(path string) (*Snapshot, error) {
 	return &snap, nil
 }
 
-func compare(basePath, curPath string, maxRegress, metricTol float64, strictMetrics bool) error {
+// isRateMetric reports whether a custom metric is a throughput rate —
+// the -scale gating unit.
+func isRateMetric(name string) bool { return strings.HasSuffix(name, "_per_sec") }
+
+func compare(basePath, curPath string, o cmpOpts) error {
 	base, err := loadSnapshot(basePath)
 	if err != nil {
 		return err
@@ -202,7 +236,7 @@ func compare(basePath, curPath string, maxRegress, metricTol float64, strictMetr
 	}
 
 	var regressions, drifts []string
-	matched := 0
+	matched, ratesMatched := 0, 0
 	for _, c := range cur.Benchmarks {
 		b, ok := baseBy[c.Name]
 		if !ok {
@@ -216,16 +250,45 @@ func compare(basePath, curPath string, maxRegress, metricTol float64, strictMetr
 			ratio = c.NsPerOp / b.NsPerOp
 		}
 		mark := "  ok      "
-		if ratio > 1+maxRegress {
+		if !o.scale && ratio > 1+o.maxRegress {
 			mark = "  REGRESS "
 			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx, limit %.2fx)",
-				c.Name, b.NsPerOp, c.NsPerOp, ratio, 1+maxRegress))
-		} else if ratio < 1/(1+maxRegress) {
+				c.Name, b.NsPerOp, c.NsPerOp, ratio, 1+o.maxRegress))
+		} else if ratio < 1/(1+o.maxRegress) {
 			mark = "  faster  "
 		}
 		fmt.Printf("%s%-45s %12.0f -> %12.0f ns/op (%.2fx)\n", mark, c.Name, b.NsPerOp, c.NsPerOp, ratio)
-		for name, bv := range b.Metrics {
+		var names []string
+		for name := range b.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv := b.Metrics[name]
 			cv, ok := c.Metrics[name]
+			if o.scale && isRateMetric(name) {
+				if !ok {
+					regressions = append(regressions, fmt.Sprintf("%s: rate metric %s disappeared", c.Name, name))
+					continue
+				}
+				ratesMatched++
+				rr := math.Inf(1)
+				if bv > 0 {
+					rr = cv / bv
+				}
+				mark := "  ok      "
+				if rr < o.minRateRatio {
+					mark = "  SLOW    "
+					regressions = append(regressions, fmt.Sprintf("%s: %s %.0f -> %.0f (%.2fx, floor %.2fx)",
+						c.Name, name, bv, cv, rr, o.minRateRatio))
+				}
+				fmt.Printf("%s%-45s %12.0f -> %12.0f %s (%.2fx)\n", mark, c.Name, bv, cv, name, rr)
+				continue
+			}
+			if o.scale {
+				// Non-rate metrics in a throughput baseline are informational.
+				continue
+			}
 			if !ok {
 				drifts = append(drifts, fmt.Sprintf("%s: metric %s disappeared", c.Name, name))
 				continue
@@ -234,7 +297,7 @@ func compare(basePath, curPath string, maxRegress, metricTol float64, strictMetr
 			if den == 0 {
 				den = 1
 			}
-			if math.Abs(cv-bv)/den > metricTol {
+			if math.Abs(cv-bv)/den > o.metricTol {
 				drifts = append(drifts, fmt.Sprintf("%s: %s %.6g -> %.6g", c.Name, name, bv, cv))
 			}
 		}
@@ -253,11 +316,18 @@ func compare(basePath, curPath string, maxRegress, metricTol float64, strictMetr
 	for _, d := range drifts {
 		fmt.Println("  drift:", d)
 	}
-	if len(regressions) > 0 {
-		return fmt.Errorf("%d wall-time regressions beyond %.0f%%:\n  %s",
-			len(regressions), 100*maxRegress, strings.Join(regressions, "\n  "))
+	if o.scale && ratesMatched == 0 {
+		return fmt.Errorf("-scale matched no *_per_sec metrics between %s and %s", basePath, curPath)
 	}
-	if strictMetrics && len(drifts) > 0 {
+	if len(regressions) > 0 {
+		if o.scale {
+			return fmt.Errorf("%d rate floors broken (min ratio %.2f):\n  %s",
+				len(regressions), o.minRateRatio, strings.Join(regressions, "\n  "))
+		}
+		return fmt.Errorf("%d wall-time regressions beyond %.0f%%:\n  %s",
+			len(regressions), 100*o.maxRegress, strings.Join(regressions, "\n  "))
+	}
+	if o.strictMetrics && len(drifts) > 0 {
 		return fmt.Errorf("%d metric drifts under -strict-metrics", len(drifts))
 	}
 	return nil

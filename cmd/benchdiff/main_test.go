@@ -78,7 +78,7 @@ func TestEmitAndCompareRoundTrip(t *testing.T) {
 
 	// Identical run: no regression at any threshold.
 	cur := emitTo(t, dir, "same", benchOutput)
-	if err := compare(base, cur, 0.20, 1e-6, true); err != nil {
+	if err := compare(base, cur, cmpOpts{maxRegress: 0.20, metricTol: 1e-6, strictMetrics: true}); err != nil {
 		t.Errorf("identical snapshots failed compare: %v", err)
 	}
 }
@@ -88,12 +88,12 @@ func TestCompareFlagsRegression(t *testing.T) {
 	base := emitTo(t, dir, "base", benchOutput)
 	slower := strings.Replace(benchOutput, "123456789 ns/op", "999999999 ns/op", 1)
 	cur := emitTo(t, dir, "slow", slower)
-	err := compare(base, cur, 0.20, 1e-6, false)
+	err := compare(base, cur, cmpOpts{maxRegress: 0.20, metricTol: 1e-6})
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkFig3a") {
 		t.Errorf("8x slowdown not flagged: %v", err)
 	}
 	// A generous threshold lets the same snapshot through.
-	if err := compare(base, cur, 10.0, 1e-6, false); err != nil {
+	if err := compare(base, cur, cmpOpts{maxRegress: 10.0, metricTol: 1e-6}); err != nil {
 		t.Errorf("compare failed under 10x allowance: %v", err)
 	}
 }
@@ -104,10 +104,10 @@ func TestCompareMetricDriftStrict(t *testing.T) {
 	drifted := strings.Replace(benchOutput, "12.30 kill_waste_pct", "14.70 kill_waste_pct", 1)
 	cur := emitTo(t, dir, "drift", drifted)
 	// Wall time unchanged: default mode reports drift but passes.
-	if err := compare(base, cur, 0.20, 1e-6, false); err != nil {
+	if err := compare(base, cur, cmpOpts{maxRegress: 0.20, metricTol: 1e-6}); err != nil {
 		t.Errorf("metric drift fatal without -strict-metrics: %v", err)
 	}
-	if err := compare(base, cur, 0.20, 1e-6, true); err == nil {
+	if err := compare(base, cur, cmpOpts{maxRegress: 0.20, metricTol: 1e-6, strictMetrics: true}); err == nil {
 		t.Error("metric drift ignored under -strict-metrics")
 	}
 }
@@ -132,6 +132,118 @@ func TestLoadSnapshotRejectsUnknownSchema(t *testing.T) {
 	}
 	if _, err := loadSnapshot(path); err == nil {
 		t.Error("unknown schema version accepted")
+	}
+}
+
+const scaleOutput = `goos: linux
+BenchmarkDensity1k 	       1	10000000000 ns/op	     13000 decisions_per_sec	     44000 events_per_sec
+BenchmarkDensity10k	       1	99000000000 ns/op	      9000 decisions_per_sec	     30000 events_per_sec
+PASS
+`
+
+func TestCompareScaleMode(t *testing.T) {
+	dir := t.TempDir()
+	base := emitTo(t, dir, "scale-base", scaleOutput)
+	opts := func(ratio float64) cmpOpts { return cmpOpts{maxRegress: 0.20, metricTol: 1e-6, scale: true, minRateRatio: ratio} }
+
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		ratio   float64
+		wantErr string // substring; empty means the compare must pass
+	}{
+		{
+			name:   "identical rates pass",
+			mutate: func(s string) string { return s },
+			ratio:  0.9,
+		},
+		{
+			name: "faster rates pass",
+			mutate: func(s string) string {
+				return strings.Replace(s, "13000 decisions_per_sec", "26000 decisions_per_sec", 1)
+			},
+			ratio: 0.9,
+		},
+		{
+			name: "rate below floor fails",
+			mutate: func(s string) string {
+				return strings.Replace(s, "9000 decisions_per_sec", "4000 decisions_per_sec", 1)
+			},
+			ratio:   0.8,
+			wantErr: "BenchmarkDensity10k: decisions_per_sec",
+		},
+		{
+			name: "generous ratio absorbs a slow machine",
+			mutate: func(s string) string {
+				return strings.Replace(s, "9000 decisions_per_sec", "4000 decisions_per_sec", 1)
+			},
+			ratio: 0.25,
+		},
+		{
+			name: "disappeared rate metric fails",
+			mutate: func(s string) string {
+				return strings.Replace(s, "13000 decisions_per_sec\t", "", 1)
+			},
+			ratio:   0.5,
+			wantErr: "decisions_per_sec disappeared",
+		},
+		{
+			name: "slower wall time alone passes in scale mode",
+			mutate: func(s string) string {
+				// ns/op quadruples but the rates hold: only the rate floor
+				// gates throughput baselines.
+				return strings.Replace(s, "10000000000 ns/op", "40000000000 ns/op", 1)
+			},
+			ratio: 0.9,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := emitTo(t, dir, "scale-"+strings.ReplaceAll(tc.name, " ", "-"), tc.mutate(scaleOutput))
+			err := compare(base, cur, opts(tc.ratio))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCompareScaleRequiresRateMetrics(t *testing.T) {
+	dir := t.TempDir()
+	// benchOutput has no *_per_sec metrics: scale mode must refuse to
+	// "pass" a comparison that gated nothing.
+	base := emitTo(t, dir, "norates-base", benchOutput)
+	cur := emitTo(t, dir, "norates-cur", benchOutput)
+	err := compare(base, cur, cmpOpts{scale: true, minRateRatio: 0.5})
+	if err == nil || !strings.Contains(err.Error(), "no *_per_sec") {
+		t.Fatalf("scale compare without rate metrics: %v", err)
+	}
+}
+
+func TestScaleBaselineFileParses(t *testing.T) {
+	snap, err := loadSnapshot("../../BENCH_scale.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := 0
+	for _, b := range snap.Benchmarks {
+		if !strings.HasPrefix(b.Name, "BenchmarkDensity") {
+			t.Errorf("unexpected benchmark %q in scale baseline", b.Name)
+		}
+		for name := range b.Metrics {
+			if isRateMetric(name) {
+				rates++
+			}
+		}
+	}
+	if rates == 0 {
+		t.Fatal("checked-in scale baseline carries no *_per_sec metrics")
 	}
 }
 

@@ -36,9 +36,12 @@ var metricSinks = []struct {
 	{modulePrefix + "/internal/obs", "Registry", map[string]bool{
 		"Inc": true, "Add": true, "SetGauge": true, "MaxGauge": true,
 		"Observe": true, "ObserveDuration": true,
+		// Handle resolution is a name sink too: a dynamic name resolved
+		// once still lands on dashboards every time the handle records.
+		"Counter": true, "Histogram": true,
 	}},
 	{modulePrefix + "/internal/metrics", "Counters", map[string]bool{
-		"Add": true, "Get": true,
+		"Add": true, "Get": true, "Handle": true,
 	}},
 }
 

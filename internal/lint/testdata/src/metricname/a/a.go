@@ -17,3 +17,12 @@ func record(r *obs.Registry, dyn string) {
 	r.Inc("app." + dyn)                   // want "not a string constant"
 	r.SetGauge("app.queue.depth", 3)      // conforming
 }
+
+func handles(r *obs.Registry, dyn string) {
+	c := r.Counter("app.requests.handled") // constant, conforming
+	c.Inc()
+	r.Histogram("app.dump.seconds").Observe(0.5) // conforming
+	r.Counter(dyn)                               // want "not a string constant"
+	r.Counter("app." + dyn)                      // want "not a string constant"
+	r.Histogram("BadHandle")                     // want "does not match"
+}

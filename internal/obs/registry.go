@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"preemptsched/internal/metrics"
@@ -224,6 +225,69 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*hist),
 	}
+}
+
+// Counter is a pre-resolved counter handle: the name is looked up once at
+// Registry.Counter time, and every Inc/Add after that is a single atomic
+// add with no map access or lock. The zero value — including any handle
+// taken from a nil registry — is a valid no-op sink, mirroring the nil
+// *Registry contract.
+type Counter struct{ v *atomic.Int64 }
+
+// Inc adds 1 through the handle.
+func (c Counter) Inc() {
+	if c.v != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta through the handle.
+func (c Counter) Add(delta int64) {
+	if c.v != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Counter pre-resolves a counter handle for hot paths that would
+// otherwise pay a name lookup per increment.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{v: r.counters.Handle(name)}
+}
+
+// Histogram is a pre-resolved histogram handle; like Counter, the zero
+// value is a no-op sink and recording skips the registry's name map.
+type Histogram struct{ h *hist }
+
+// Observe records v through the handle.
+func (h Histogram) Observe(v float64) {
+	if h.h != nil {
+		h.h.observe(v)
+	}
+}
+
+// ObserveDuration records a duration, in seconds, through the handle.
+func (h Histogram) ObserveDuration(d time.Duration) {
+	if h.h != nil {
+		h.h.observe(d.Seconds())
+	}
+}
+
+// Histogram pre-resolves a histogram handle.
+func (r *Registry) Histogram(name string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return Histogram{h: h}
 }
 
 // Inc adds 1 to a counter.

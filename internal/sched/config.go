@@ -128,6 +128,17 @@ type Config struct {
 	// one record per victim selection, Algorithm 1 verdict, dump,
 	// restore, and task completion. Nil keeps the hot loop journal-free.
 	Recorder *obs.Recorder
+	// Probe, when non-nil, receives one callback per scheduling decision
+	// and task lifecycle edge (probe.go). The density suite installs it
+	// to count sustained decisions/sec and to shadow-check invariants;
+	// nil — the default — costs one pointer test per event.
+	Probe func(ProbeEvent)
+	// SampleEvery, when positive together with OnSample, arms a periodic
+	// sampler on the virtual clock reporting queue depth, tasks in
+	// flight, and cumulative decision counts. The sampler re-arms only
+	// while other events remain, so it never extends a run.
+	SampleEvery time.Duration
+	OnSample    func(Sample)
 }
 
 // NodeFailure is one seeded outage of a simulated machine.
@@ -270,6 +281,13 @@ type Result struct {
 	// FailureWasteHours is the share of WastedCPUHours attributable to
 	// node failures: progress that died with the machine.
 	FailureWasteHours float64
+
+	// Decisions counts scheduling decisions: successful placements plus
+	// preemption verdicts. EventsFired is the total number of
+	// discrete-event callbacks the engine executed. Together they are
+	// the numerators of the density suite's sustained-rate metrics.
+	Decisions   uint64
+	EventsFired uint64
 
 	// IOBusyHours is device-hours spent on checkpoint I/O (Fig. 12b).
 	IOBusyHours float64

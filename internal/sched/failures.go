@@ -25,9 +25,11 @@ func (s *Simulator) failNode(f NodeFailure, now sim.Time) {
 		return
 	}
 	n.down = true
+	n.touch()
 	n.settleEnergy(now)
 	s.res.NodeFailures++
 	s.journalNodeDown(n, now)
+	s.probe(ProbeNodeDown, cluster.TaskID{}, n.id, now)
 	for _, id := range downSortedRunning(n) {
 		t, ok := n.running[id]
 		if !ok {
@@ -46,7 +48,7 @@ func (s *Simulator) failNode(f NodeFailure, now sim.Time) {
 	// Shares are computed against live capacity.
 	s.totalCap = s.totalCap.Sub(n.cap)
 	if f.RecoverAfter > 0 {
-		s.engine.ScheduleAt(now+sim.Time(f.RecoverAfter), func(at sim.Time) {
+		s.engine.At(now+sim.Time(f.RecoverAfter), func(at sim.Time) {
 			s.recoverNode(n, at)
 		})
 	}
@@ -62,6 +64,8 @@ func (s *Simulator) fenceTask(t *taskRT, n *node, now sim.Time) {
 	case phaseCheckpointing:
 		return
 	case phaseRestoring:
+		s.inFlight--
+		s.probe(ProbeFence, t.spec.ID, n.id, now)
 		n.release(now, t.spec.Demand)
 		s.account(t, -1)
 		delete(n.running, t.spec.ID)
@@ -72,10 +76,12 @@ func (s *Simulator) fenceTask(t *taskRT, n *node, now sim.Time) {
 		s.engine.Cancel(t.completion)
 		t.completion = nil
 		t.preCopying = false
-		s.runningByPrio[t.spec.Priority]--
+		s.unmarkRunning(t)
 		cores := float64(t.spec.Demand.CPUMillis) / 1000
 		s.res.WastedCPUHours += cores * lost.Hours()
 		s.res.FailureWasteHours += cores * lost.Hours()
+		s.inFlight--
+		s.probe(ProbeFence, t.spec.ID, n.id, now)
 		n.release(now, t.spec.Demand)
 		s.account(t, -1)
 		delete(n.running, t.spec.ID)
@@ -98,9 +104,11 @@ func (s *Simulator) recoverNode(n *node, at sim.Time) {
 		return
 	}
 	n.down = false
+	n.touch()
 	s.res.NodeRecoveries++
 	s.totalCap = s.totalCap.Add(n.cap)
 	s.journalNodeRecovered(n, at)
+	s.probe(ProbeNodeUp, cluster.TaskID{}, n.id, at)
 	s.requestSchedule(at)
 }
 

@@ -1,0 +1,96 @@
+package sched
+
+// nodeIndex is a segment tree over per-node availability that answers
+// pickNode's first-fit query — "lowest-ID node whose free-minus-reserved
+// capacity fits this demand" — in roughly O(log n) instead of the O(n)
+// linear scan. Each internal segment stores the maximum available CPU and
+// memory among its leaves; the search descends leftmost-first and prunes
+// any segment whose maximum in either dimension is below the demand.
+//
+// The leaf value is the *generic* availability max(0, free-reserved) per
+// dimension, with down nodes pinned to zero. That equals
+// node.availableFor(t) for every task except on the one node holding t's
+// own reservation, which pickNode checks separately — so the indexed
+// first fit returns exactly the node the linear scan would have, and
+// simulation results stay byte-identical (the differential test in
+// nodeindex_test.go asserts this on randomized traffic).
+type nodeIndex struct {
+	n    int // leaf count (cluster size)
+	size int // leaf offset; smallest power of two >= n
+	// maxCPU and maxMem are 1-based segment arrays: node i's children are
+	// 2i and 2i+1, leaves start at size.
+	maxCPU []int64
+	maxMem []int64
+}
+
+func newNodeIndex(n int) *nodeIndex {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return &nodeIndex{
+		n:      n,
+		size:   size,
+		maxCPU: make([]int64, 2*size),
+		maxMem: make([]int64, 2*size),
+	}
+}
+
+// set updates leaf i's availability and refreshes ancestors, stopping
+// early once an ancestor's maxima are unchanged.
+func (ix *nodeIndex) set(i int, cpu, mem int64) {
+	i += ix.size
+	if ix.maxCPU[i] == cpu && ix.maxMem[i] == mem {
+		return
+	}
+	ix.maxCPU[i], ix.maxMem[i] = cpu, mem
+	for i >>= 1; i >= 1; i >>= 1 {
+		c := ix.maxCPU[2*i]
+		if r := ix.maxCPU[2*i+1]; r > c {
+			c = r
+		}
+		m := ix.maxMem[2*i]
+		if r := ix.maxMem[2*i+1]; r > m {
+			m = r
+		}
+		if ix.maxCPU[i] == c && ix.maxMem[i] == m {
+			return
+		}
+		ix.maxCPU[i], ix.maxMem[i] = c, m
+	}
+}
+
+// firstFit returns the lowest leaf whose availability covers (cpu, mem)
+// in both dimensions, or -1. Demands are strictly positive (JobSpec
+// validation), so zero-availability leaves — down nodes and the power-of-
+// two padding — never match.
+func (ix *nodeIndex) firstFit(cpu, mem int64) int {
+	if len(ix.maxCPU) < 2 || ix.maxCPU[1] < cpu || ix.maxMem[1] < mem {
+		return -1
+	}
+	i := 1
+	for i < ix.size {
+		// Descend to the leftmost child that can still contain a fit. A
+		// segment's CPU and memory maxima may come from different leaves,
+		// so a qualifying left child can turn out empty; when its subtree
+		// is exhausted, resume with the right sibling on the way back up.
+		l := 2 * i
+		if ix.maxCPU[l] >= cpu && ix.maxMem[l] >= mem {
+			i = l
+			continue
+		}
+		i = l + 1
+		for ix.maxCPU[i] < cpu || ix.maxMem[i] < mem {
+			// Climb past exhausted right subtrees to the next unvisited
+			// right sibling; running off the root means no leaf fits.
+			for i&1 == 1 {
+				i >>= 1
+			}
+			if i <= 1 {
+				return -1
+			}
+			i++
+		}
+	}
+	return i - ix.size
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linearFirstFit is the reference the index must match exactly: the
+// lowest leaf whose availability covers the demand in both dimensions.
+func linearFirstFit(cpu, mem []int64, dc, dm int64) int {
+	for i := range cpu {
+		if cpu[i] >= dc && mem[i] >= dm {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNodeIndexSmallShapes(t *testing.T) {
+	// Non-power-of-two sizes exercise the padding leaves; size 1 the
+	// degenerate tree.
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		ix := newNodeIndex(n)
+		if got := ix.firstFit(1, 1); got != -1 {
+			t.Fatalf("n=%d: empty index matched node %d", n, got)
+		}
+		ix.set(n-1, 10, 10)
+		if got := ix.firstFit(10, 10); got != n-1 {
+			t.Fatalf("n=%d: got %d, want %d", n, got, n-1)
+		}
+		if got := ix.firstFit(11, 10); got != -1 {
+			t.Fatalf("n=%d: overdemand matched node %d", n, got)
+		}
+		ix.set(n-1, 0, 0)
+		if got := ix.firstFit(1, 1); got != -1 {
+			t.Fatalf("n=%d: cleared index matched node %d", n, got)
+		}
+	}
+}
+
+// TestNodeIndexSplitMaxima pins the case the climb loop exists for: a
+// segment whose CPU and memory maxima come from different leaves
+// satisfies the pruning test but contains no fitting leaf, so the search
+// must back out and continue right.
+func TestNodeIndexSplitMaxima(t *testing.T) {
+	ix := newNodeIndex(4)
+	ix.set(0, 10, 1) // CPU-rich
+	ix.set(1, 1, 10) // memory-rich: left segment max is (10,10), no fit
+	ix.set(2, 10, 10)
+	if got := ix.firstFit(10, 10); got != 2 {
+		t.Fatalf("got %d, want 2 (left segment's maxima are split)", got)
+	}
+	if got := ix.firstFit(10, 1); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+	if got := ix.firstFit(1, 10); got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+// TestNodeIndexDifferential drives randomized availability churn —
+// allocate, release, reserve, node down/up are all just set() calls with
+// new values — and compares every query against the linear scan.
+func TestNodeIndexDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 7, 64, 137} {
+		ix := newNodeIndex(n)
+		cpu := make([]int64, n)
+		mem := make([]int64, n)
+		ops := 4000
+		if testing.Short() {
+			ops = 1000
+		}
+		for op := 0; op < ops; op++ {
+			// Mutate a few leaves. Small value ranges force heavy
+			// collisions, duplicates, and zeros (down nodes).
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				i := rng.Intn(n)
+				cpu[i] = int64(rng.Intn(8))
+				mem[i] = int64(rng.Intn(8))
+				ix.set(i, cpu[i], mem[i])
+			}
+			dc := int64(1 + rng.Intn(8))
+			dm := int64(1 + rng.Intn(8))
+			want := linearFirstFit(cpu, mem, dc, dm)
+			if got := ix.firstFit(dc, dm); got != want {
+				t.Fatalf("n=%d op=%d demand=(%d,%d): index %d, linear %d", n, op, dc, dm, got, want)
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -129,8 +128,39 @@ type node struct {
 	// no capacity until (and unless) its recovery event fires.
 	down bool
 
+	// idx is the cluster-wide first-fit index; every mutation of used,
+	// reserved, or down must publish the new availability via touch.
+	idx *nodeIndex
+	// byPrio counts phaseRunning tasks per priority and prioMask keeps a
+	// bit set per non-empty priority, so victim scans can reject a node
+	// without iterating its running map.
+	byPrio   [int(cluster.MaxPriority) + 1]uint16
+	prioMask uint16
+
 	meter      *energy.Meter
 	lastChange sim.Time
+}
+
+// touch publishes the node's generic availability — max(0, free-reserved)
+// per dimension, zero while down — into the first-fit index. This equals
+// availableFor(t) for every task without a reservation on this node,
+// which is what pickNode's indexed query relies on.
+func (n *node) touch() {
+	if n.idx == nil {
+		return
+	}
+	var cpu, mem int64
+	if !n.down {
+		cpu = n.cap.CPUMillis - n.used.CPUMillis - n.reserved.CPUMillis
+		mem = n.cap.MemBytes - n.used.MemBytes - n.reserved.MemBytes
+		if cpu < 0 {
+			cpu = 0
+		}
+		if mem < 0 {
+			mem = 0
+		}
+	}
+	n.idx.set(int(n.id), cpu, mem)
 }
 
 func (n *node) free() cluster.Resources { return n.cap.Sub(n.used) }
@@ -177,6 +207,7 @@ func (n *node) alloc(now sim.Time, r cluster.Resources) {
 	if n.used.Negative() || !n.used.Fits(n.cap) {
 		panic(fmt.Sprintf("sched: node %d over-allocated: used %v cap %v", n.id, n.used, n.cap))
 	}
+	n.touch()
 }
 
 func (n *node) release(now sim.Time, r cluster.Resources) {
@@ -185,38 +216,75 @@ func (n *node) release(now sim.Time, r cluster.Resources) {
 	if n.used.Negative() {
 		panic(fmt.Sprintf("sched: node %d released into negative: %v", n.id, n.used))
 	}
+	n.touch()
 }
 
-// pendingQueue orders tasks by (priority desc, queue entry asc, seq).
+// pendingQueue is an indexed binary min-heap of waiting tasks ordered by
+// (priority desc, queue entry asc, seq). Like sim's event queue it is
+// hand-specialized: the key is a total order (seq breaks every tie), so
+// pop order — and therefore simulation output — is identical to the old
+// container/heap implementation, minus the interface-dispatch overhead
+// on a queue that every scheduling pass pops and refills.
 type pendingQueue []*taskRT
 
-func (q pendingQueue) Len() int { return len(q) }
-func (q pendingQueue) Less(i, j int) bool {
-	if q[i].spec.Priority != q[j].spec.Priority {
-		return q[i].spec.Priority > q[j].spec.Priority
+// beforeTask is the strict queue ordering.
+func beforeTask(a, b *taskRT) bool {
+	if a.spec.Priority != b.spec.Priority {
+		return a.spec.Priority > b.spec.Priority
 	}
-	if q[i].queuedAt != q[j].queuedAt {
-		return q[i].queuedAt < q[j].queuedAt
+	if a.queuedAt != b.queuedAt {
+		return a.queuedAt < b.queuedAt
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q pendingQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+func (q *pendingQueue) push(t *taskRT) {
+	h := *q
+	i := len(h)
+	h = append(h, t)
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !beforeTask(t, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = t
+	t.index = i
+	*q = h
 }
-func (q *pendingQueue) Push(x any) {
-	t := x.(*taskRT)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-func (q *pendingQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
+
+func (q *pendingQueue) pop() *taskRT {
+	h := *q
+	t := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		i := 0
+		for {
+			kid := 2*i + 1
+			if kid >= n {
+				break
+			}
+			if r := kid + 1; r < n && beforeTask(h[r], h[kid]) {
+				kid = r
+			}
+			if !beforeTask(h[kid], last) {
+				break
+			}
+			h[i] = h[kid]
+			h[i].index = i
+			i = kid
+		}
+		h[i] = last
+		last.index = i
+	}
 	t.index = -1
-	*q = old[:n-1]
 	return t
 }
 
@@ -230,18 +298,41 @@ type Simulator struct {
 	rec    *obs.Recorder
 	engine *sim.Engine
 	nodes  []*node
-	queue  pendingQueue
-	jobs   []*jobRT
-	seq    uint64
+	// nodeIdx answers pickNode's first-fit query in O(log nodes).
+	nodeIdx *nodeIndex
+	queue   pendingQueue
+	jobs    []*jobRT
+	seq     uint64
+	// candScratch and batchScratch are reused across victim scans and
+	// scheduling passes so the hot loop stays allocation-free.
+	candScratch  []*taskRT
+	batchScratch []*taskRT
+	skipScratch  []*taskRT
 
 	res             *Result
 	totalImageBytes int64
 	// rescheduled guards against redundant trySchedule passes at one
 	// instant.
 	schedulePending bool
+	// decisions counts scheduling decisions: successful placements plus
+	// preemption verdicts. inFlight counts tasks holding node resources.
+	// Both feed the Probe/Sample surface (probe.go).
+	decisions uint64
+	inFlight  int
 	// runningByPrio counts phaseRunning tasks per priority so preemption
 	// feasibility is an O(12) check instead of a cluster scan.
 	runningByPrio [int(cluster.MaxPriority) + 1]int
+	// hm holds pre-resolved metric handles for per-event hot paths, so a
+	// dump or verdict records through one atomic slot instead of a
+	// name-keyed map lookup under the registry lock. All handles are
+	// no-op zero values when Config.Metrics is nil.
+	hm struct {
+		dumpQueue, dumpWrite, dumpTotal                          obs.Histogram
+		restoreQueue, restoreRead, restoreTotal, restoreTransfer obs.Histogram
+		predumpQueue, predumpTotal                               obs.Histogram
+		restoreLocal, restoreRemote                              obs.Counter
+		decision [int(core.ActionCheckpointIncremental) + 1]obs.Counter
+	}
 	// userUsage and bandUsage track allocated resources per tenant and
 	// per priority band for the fair-share and capacity disciplines.
 	userUsage map[string]cluster.Resources
@@ -333,6 +424,25 @@ func (s *Simulator) canPreempt(t, v *taskRT) bool {
 	}
 }
 
+// markRunning and unmarkRunning bracket a task's phaseRunning tenure,
+// keeping the global and per-node running-priority tallies in sync.
+// t.node must still be set when unmarking.
+func (s *Simulator) markRunning(t *taskRT) {
+	s.runningByPrio[t.spec.Priority]++
+	n := t.node
+	n.byPrio[t.spec.Priority]++
+	n.prioMask |= 1 << uint(t.spec.Priority)
+}
+
+func (s *Simulator) unmarkRunning(t *taskRT) {
+	s.runningByPrio[t.spec.Priority]--
+	n := t.node
+	n.byPrio[t.spec.Priority]--
+	if n.byPrio[t.spec.Priority] == 0 {
+		n.prioMask &^= 1 << uint(t.spec.Priority)
+	}
+}
+
 // anyRunningBelow reports whether some task with priority strictly below p
 // is currently running.
 func (s *Simulator) anyRunningBelow(p cluster.Priority) bool {
@@ -389,6 +499,28 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 			meter:   energy.NewMeter(cfg.EnergyModel),
 		})
 	}
+	s.nodeIdx = newNodeIndex(cfg.Nodes)
+	for _, n := range s.nodes {
+		n.idx = s.nodeIdx
+		n.touch()
+	}
+	if s.reg != nil {
+		s.hm.dumpQueue = s.reg.Histogram("sched.dump.queue.seconds")
+		s.hm.dumpWrite = s.reg.Histogram("sched.dump.write.seconds")
+		s.hm.dumpTotal = s.reg.Histogram("sched.dump.total.seconds")
+		s.hm.restoreQueue = s.reg.Histogram("sched.restore.queue.seconds")
+		s.hm.restoreRead = s.reg.Histogram("sched.restore.read.seconds")
+		s.hm.restoreTotal = s.reg.Histogram("sched.restore.total.seconds")
+		s.hm.restoreTransfer = s.reg.Histogram("sched.restore.transfer.seconds")
+		s.hm.predumpQueue = s.reg.Histogram("sched.predump.queue.seconds")
+		s.hm.predumpTotal = s.reg.Histogram("sched.predump.total.seconds")
+		s.hm.restoreLocal = s.reg.Counter("sched.policy.restore.local")
+		s.hm.restoreRemote = s.reg.Counter("sched.policy.restore.remote")
+		for a := core.ActionKill; a <= core.ActionCheckpointIncremental; a++ {
+			//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
+			s.hm.decision[a] = s.reg.Counter("sched.policy.decision." + a.String())
+		}
+	}
 
 	for i := range jobs {
 		spec := &jobs[i]
@@ -403,7 +535,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 				return nil, fmt.Errorf("sched: task %v demand %v exceeds node capacity %v", ts.ID, ts.Demand, cfg.NodeCapacity)
 			}
 			t := &taskRT{spec: ts, job: j, remaining: ts.Duration, index: -1}
-			s.engine.ScheduleAt(ts.Submit, func(now sim.Time) {
+			s.engine.At(ts.Submit, func(now sim.Time) {
 				s.enqueue(t, now)
 				s.requestSchedule(now)
 			})
@@ -412,13 +544,16 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 
 	for _, f := range cfg.NodeFailures {
 		f := f
-		s.engine.ScheduleAt(sim.Time(f.At), func(now sim.Time) {
+		s.engine.At(sim.Time(f.At), func(now sim.Time) {
 			s.failNode(f, now)
 		})
 	}
+	s.startSampler()
 
 	end := s.engine.Run()
 	s.res.Makespan = time.Duration(end)
+	s.res.Decisions = s.decisions
+	s.res.EventsFired = s.engine.Fired()
 	for _, n := range s.nodes {
 		n.settleEnergy(end)
 		s.res.EnergyKWh += n.meter.KWh()
@@ -432,7 +567,7 @@ func (s *Simulator) enqueue(t *taskRT, now sim.Time) {
 	t.queuedAt = now
 	t.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, t)
+	s.queue.push(t)
 }
 
 // requestSchedule coalesces multiple schedule triggers at one instant into
@@ -442,7 +577,7 @@ func (s *Simulator) requestSchedule(now sim.Time) {
 		return
 	}
 	s.schedulePending = true
-	s.engine.ScheduleAt(now, func(t sim.Time) {
+	s.engine.At(now, func(t sim.Time) {
 		s.schedulePending = false
 		s.trySchedule(t)
 	})
@@ -454,10 +589,11 @@ func (s *Simulator) requestSchedule(now sim.Time) {
 // for capacity.
 func (s *Simulator) popBatch() []*taskRT {
 	limit := s.cfg.ScanLimit
-	batch := make([]*taskRT, 0, limit)
+	batch := s.batchScratch[:0]
 	for len(s.queue) > 0 && len(batch) < limit {
-		batch = append(batch, heap.Pop(&s.queue).(*taskRT))
+		batch = append(batch, s.queue.pop())
 	}
+	s.batchScratch = batch
 	switch s.cfg.Discipline {
 	case DisciplineFairShare:
 		sort.SliceStable(batch, func(i, j int) bool {
@@ -480,7 +616,7 @@ func (s *Simulator) popBatch() []*taskRT {
 // fits and preempting for what does not (policy permitting).
 func (s *Simulator) trySchedule(now sim.Time) {
 	var (
-		skipped []*taskRT
+		skipped = s.skipScratch[:0]
 		// failed holds demands that could not be placed this pass; any
 		// later task dominating one of them cannot place either, so its
 		// node scan is skipped. Capped small: membership tests must stay
@@ -525,26 +661,30 @@ func (s *Simulator) trySchedule(now sim.Time) {
 		skipped = append(skipped, t)
 	}
 	for _, t := range skipped {
-		heap.Push(&s.queue, t)
+		s.queue.push(t)
 	}
+	s.skipScratch = skipped[:0]
 }
 
 // reserve parks t's demand on n until t is placed.
 func (s *Simulator) reserve(t *taskRT, n *node) {
 	t.reservedOn = n
 	n.reserved = n.reserved.Add(t.spec.Demand)
+	n.touch()
 }
 
 // unreserve drops t's reservation, if any.
 func (s *Simulator) unreserve(t *taskRT) {
-	if t.reservedOn == nil {
+	n := t.reservedOn
+	if n == nil {
 		return
 	}
-	t.reservedOn.reserved = t.reservedOn.reserved.Sub(t.spec.Demand)
-	if t.reservedOn.reserved.Negative() {
-		t.reservedOn.reserved = cluster.Resources{}
+	n.reserved = n.reserved.Sub(t.spec.Demand)
+	if n.reserved.Negative() {
+		n.reserved = cluster.Resources{}
 	}
 	t.reservedOn = nil
+	n.touch()
 }
 
 // place starts t on a node with free capacity, restoring from its
@@ -559,6 +699,9 @@ func (s *Simulator) place(t *taskRT, now sim.Time) bool {
 	s.account(t, +1)
 	target.running[t.spec.ID] = t
 	t.node = target
+	s.decisions++
+	s.inFlight++
+	s.probe(ProbePlace, t.spec.ID, target.id, now)
 
 	if t.hasCheckpoint {
 		s.startRestore(t, target, now)
@@ -580,12 +723,17 @@ func (s *Simulator) place(t *taskRT, now sim.Time) bool {
 // their image's home node when Algorithm 2 says local is cheaper
 // (adaptive policy only).
 func (s *Simulator) pickNode(t *taskRT, now sim.Time) *node {
+	// The index answers the first-fit query over generic availability; the
+	// one node where a task sees more than that — the node holding its own
+	// preemption reservation — is checked directly, and the lower ID wins,
+	// exactly as the linear availableFor scan would have resolved it.
 	var firstFit *node
-	for _, n := range s.nodes {
-		if t.spec.Demand.Fits(n.availableFor(t)) {
-			firstFit = n
-			break
-		}
+	d := t.spec.Demand
+	if i := s.nodeIdx.firstFit(d.CPUMillis, d.MemBytes); i >= 0 {
+		firstFit = s.nodes[i]
+	}
+	if r := t.reservedOn; r != nil && (firstFit == nil || r.id < firstFit.id) && d.Fits(r.availableFor(t)) {
+		firstFit = r
 	}
 	if firstFit == nil || !t.hasCheckpoint || s.cfg.Policy != core.PolicyAdaptive ||
 		s.cfg.DisableRestorePlacement {
@@ -613,7 +761,7 @@ func (s *Simulator) pickNode(t *taskRT, now sim.Time) *node {
 // startRun begins (or resumes) useful execution at now.
 func (s *Simulator) startRun(t *taskRT, now sim.Time) {
 	t.phase = phaseRunning
-	s.runningByPrio[t.spec.Priority]++
+	s.markRunning(t)
 	t.attemptStart = now
 	remaining := t.remaining
 	t.completion = s.engine.Schedule(remaining, func(end sim.Time) {
@@ -644,7 +792,7 @@ func (s *Simulator) startRestore(t *taskRT, target *node, now sim.Time) {
 	s.journalRestore(t, target, remote, now, done)
 	overhead := time.Duration(done - now)
 	s.chargeOverhead(t, overhead)
-	s.engine.ScheduleAt(done, func(at sim.Time) {
+	s.engine.At(done, func(at sim.Time) {
 		// The target may have failed during the read; the fence already
 		// requeued t, and this resume must not resurrect it there.
 		if t.phase != phaseRestoring || t.node != target {
@@ -658,11 +806,13 @@ func (s *Simulator) startRestore(t *taskRT, target *node, now sim.Time) {
 func (s *Simulator) finishTask(t *taskRT, now sim.Time) {
 	cores := float64(t.spec.Demand.CPUMillis) / 1000
 	s.res.UsefulCPUHours += cores * t.spec.Duration.Hours()
-	s.runningByPrio[t.spec.Priority]--
+	s.unmarkRunning(t)
 	t.phase = phaseDone
 	t.completion = nil
 	s.journalTaskDone(t, now)
 	s.removeImages(t)
+	s.inFlight--
+	s.probe(ProbeFinish, t.spec.ID, t.node.id, now)
 	t.node.release(now, t.spec.Demand)
 	s.account(t, -1)
 	delete(t.node.running, t.spec.ID)
@@ -698,9 +848,9 @@ func (s *Simulator) recordDump(now, start, done sim.Time) {
 	if s.reg == nil {
 		return
 	}
-	s.reg.ObserveDuration("sched.dump.queue.seconds", time.Duration(start-now))
-	s.reg.ObserveDuration("sched.dump.write.seconds", time.Duration(done-start))
-	s.reg.ObserveDuration("sched.dump.total.seconds", time.Duration(done-now))
+	s.hm.dumpQueue.ObserveDuration(time.Duration(start - now))
+	s.hm.dumpWrite.ObserveDuration(time.Duration(done - start))
+	s.hm.dumpTotal.ObserveDuration(time.Duration(done - now))
 }
 
 // recordRestore mirrors recordDump for the read side and counts the
@@ -711,14 +861,14 @@ func (s *Simulator) recordRestore(remote bool, transfer time.Duration, now, star
 		return
 	}
 	if remote {
-		s.reg.Inc("sched.policy.restore.remote")
-		s.reg.ObserveDuration("sched.restore.transfer.seconds", transfer)
+		s.hm.restoreRemote.Inc()
+		s.hm.restoreTransfer.ObserveDuration(transfer)
 	} else {
-		s.reg.Inc("sched.policy.restore.local")
+		s.hm.restoreLocal.Inc()
 	}
-	s.reg.ObserveDuration("sched.restore.queue.seconds", time.Duration(start-now)-transfer)
-	s.reg.ObserveDuration("sched.restore.read.seconds", time.Duration(done-start))
-	s.reg.ObserveDuration("sched.restore.total.seconds", time.Duration(done-now))
+	s.hm.restoreQueue.ObserveDuration(time.Duration(start-now) - transfer)
+	s.hm.restoreRead.ObserveDuration(time.Duration(done - start))
+	s.hm.restoreTotal.ObserveDuration(time.Duration(done - now))
 }
 
 // preemptFor vacates lower-priority work for t. It reports whether any
@@ -751,8 +901,20 @@ func (s *Simulator) chooseVictims(t *taskRT, now sim.Time) (*node, []*taskRT) {
 		bestSet  []*taskRT
 		bestCost time.Duration
 	)
+	// Under the priority discipline a node can only yield victims if some
+	// task with priority strictly below t's is running there; the per-node
+	// priority mask answers that in one AND, skipping the running-map walk
+	// on (typically) almost every node.
+	var belowMask uint16
+	maskable := s.cfg.Discipline != DisciplineFairShare && s.cfg.Discipline != DisciplineCapacity
+	if maskable {
+		belowMask = 1<<uint(t.spec.Priority) - 1
+	}
 	for _, n := range s.nodes {
 		if n.down {
+			continue
+		}
+		if maskable && n.prioMask&belowMask == 0 {
 			continue
 		}
 		cands := s.preemptableOn(n, t, now)
@@ -781,14 +943,16 @@ func (s *Simulator) chooseVictims(t *taskRT, now sim.Time) (*node, []*taskRT) {
 }
 
 // preemptableOn lists running tasks on n that t may evict under the
-// active discipline, in deterministic task-ID order.
+// active discipline, in deterministic task-ID order. The returned slice
+// aliases a per-simulator scratch buffer valid until the next call.
 func (s *Simulator) preemptableOn(n *node, t *taskRT, now sim.Time) []*taskRT {
-	var out []*taskRT
+	out := s.candScratch[:0]
 	for _, v := range n.running {
 		if v.phase == phaseRunning && !v.preCopying && s.canPreempt(t, v) {
 			out = append(out, v)
 		}
 	}
+	s.candScratch = out[:0]
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].spec.ID, out[j].spec.ID
 		if a.Job != b.Job {
@@ -803,13 +967,13 @@ func (s *Simulator) preemptableOn(n *node, t *taskRT, now sim.Time) []*taskRT {
 // cost-aware selection (core.SelectVictims); baseline mode takes the
 // lowest-priority tasks in order.
 func (s *Simulator) selectOn(n *node, cands []*taskRT, need cluster.Resources, now sim.Time, adaptive bool) ([]*taskRT, time.Duration, bool) {
-	byID := make(map[cluster.TaskID]*taskRT, len(cands))
-	coreCands := make([]core.Candidate, len(cands))
-	for i, v := range cands {
-		byID[v.spec.ID] = v
-		coreCands[i] = s.candidateFor(v, now)
-	}
 	if adaptive {
+		byID := make(map[cluster.TaskID]*taskRT, len(cands))
+		coreCands := make([]core.Candidate, len(cands))
+		for i, v := range cands {
+			byID[v.spec.ID] = v
+			coreCands[i] = s.candidateFor(v, now)
+		}
 		sel, ok := core.SelectVictims(coreCands, need, now, func(core.Candidate) *storage.Device { return n.device })
 		if !ok {
 			return nil, 0, false
@@ -857,22 +1021,22 @@ func (s *Simulator) candidateFor(v *taskRT, now sim.Time) core.Candidate {
 func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 	n := v.node
 	v.evictions++
+	s.decisions++
 	cand := s.candidateFor(v, now)
 	action := core.DecidePreemption(s.cfg.Policy, cand, n.device, now)
-	if s.reg != nil {
-		//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
-		s.reg.Inc("sched.policy.decision." + action.String())
-	}
+	s.hm.decision[action].Inc()
 	s.recordDecision(v, n, action, cand, now)
 
 	if !action.IsCheckpoint() {
 		// Kill: unsaved progress is lost; resources free immediately.
 		s.engine.Cancel(v.completion)
 		v.completion = nil
-		s.runningByPrio[v.spec.Priority]--
+		s.unmarkRunning(v)
 		cores := float64(v.spec.Demand.CPUMillis) / 1000
 		s.res.Kills++
 		s.res.WastedCPUHours += cores * v.unsavedProgress(now).Hours()
+		s.inFlight--
+		s.probe(ProbeKill, v.spec.ID, n.id, now)
 		n.release(now, v.spec.Demand)
 		s.account(v, -1)
 		delete(n.running, v.spec.ID)
@@ -882,6 +1046,7 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 		return
 	}
 
+	s.probe(ProbeCheckpoint, v.spec.ID, n.id, now)
 	s.res.Checkpoints++
 	if action == core.ActionCheckpointIncremental {
 		s.res.IncrementalCheckpoints++
@@ -896,7 +1061,7 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 	// queue.
 	s.engine.Cancel(v.completion)
 	v.completion = nil
-	s.runningByPrio[v.spec.Priority]--
+	s.unmarkRunning(v)
 	progress := v.unsavedProgress(now)
 	v.phase = phaseCheckpointing
 	v.remaining -= progress
@@ -913,7 +1078,7 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 	s.journalDump(v, dumpBytes, dumpFlags, now, done)
 	s.chargeOverhead(v, time.Duration(done-now))
 	s.trackImage(v, action, dumpBytes)
-	s.engine.ScheduleAt(done, func(at sim.Time) {
+	s.engine.At(done, func(at sim.Time) {
 		s.vacate(v, n, at)
 	})
 }
@@ -923,6 +1088,8 @@ func (s *Simulator) preemptTask(v *taskRT, now sim.Time) {
 func (s *Simulator) vacate(v *taskRT, n *node, at sim.Time) {
 	v.hasCheckpoint = true
 	v.ckptNode = n
+	s.inFlight--
+	s.probe(ProbeVacate, v.spec.ID, n.id, at)
 	n.release(at, v.spec.Demand)
 	s.account(v, -1)
 	delete(n.running, v.spec.ID)
@@ -941,10 +1108,8 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 	v.preCopying = true
 	preBytes := cand.DumpBytes()
 	preStart, preDone := n.device.ReserveWrite(now, preBytes)
-	if s.reg != nil {
-		s.reg.ObserveDuration("sched.predump.queue.seconds", time.Duration(preStart-now))
-		s.reg.ObserveDuration("sched.predump.total.seconds", time.Duration(preDone-now))
-	}
+	s.hm.predumpQueue.ObserveDuration(time.Duration(preStart - now))
+	s.hm.predumpTotal.ObserveDuration(time.Duration(preDone - now))
 	s.journalPreDump(v, preBytes, now, preDone)
 	preAction := core.ActionCheckpointFull
 	if cand.HasCheckpoint {
@@ -952,7 +1117,7 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 	}
 	s.trackImage(v, preAction, preBytes)
 
-	s.engine.ScheduleAt(preDone, func(at sim.Time) {
+	s.engine.At(preDone, func(at sim.Time) {
 		if v.phase != phaseRunning || !v.preCopying {
 			// The victim completed during the pre-copy window; its
 			// resources are already free and its images reclaimed.
@@ -961,7 +1126,7 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 		v.preCopying = false
 		s.engine.Cancel(v.completion)
 		v.completion = nil
-		s.runningByPrio[v.spec.Priority]--
+		s.unmarkRunning(v)
 		// All progress up to the freeze is banked — including the
 		// pre-copy window, which is the whole point.
 		progress := v.unsavedProgress(at)
@@ -982,7 +1147,7 @@ func (s *Simulator) startPreCopy(v *taskRT, cand core.Candidate, now sim.Time) {
 		s.journalDump(v, delta, obs.FlagIncremental|obs.FlagPreCopy, at, done)
 		s.chargeOverhead(v, time.Duration(done-at))
 		s.trackImage(v, core.ActionCheckpointIncremental, delta)
-		s.engine.ScheduleAt(done, func(end sim.Time) {
+		s.engine.At(done, func(end sim.Time) {
 			s.vacate(v, n, end)
 		})
 	})

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -33,6 +32,10 @@ type Timer struct {
 	fn      Handler
 	index   int // position in the heap, -1 once removed
 	stopped bool
+	// pooled marks records allocated from the engine's free list via
+	// At/After. No handle to a pooled timer ever escapes, so the engine
+	// zeroes and recycles it the moment it leaves the queue.
+	pooled bool
 }
 
 // At reports the virtual instant the timer is scheduled for.
@@ -49,6 +52,9 @@ type Engine struct {
 	seq     uint64
 	running bool
 	fired   uint64
+	// free recycles the records of fired no-handle timers. Its length is
+	// bounded by the peak number of pending At/After events.
+	free []*Timer
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -83,7 +89,7 @@ func (e *Engine) ScheduleAt(at Time, fn Handler) *Timer {
 	}
 	t := &Timer{at: at, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, t)
+	e.queue.push(t)
 	return t
 }
 
@@ -95,6 +101,39 @@ func (e *Engine) Schedule(d time.Duration, fn Handler) *Timer {
 	return e.ScheduleAt(e.now+d, fn)
 }
 
+// At registers fn to run at virtual instant at without returning a
+// handle. Events scheduled this way cannot be cancelled, which frees the
+// engine to recycle their records the moment they fire — prefer At over
+// ScheduleAt on hot paths that discard the timer.
+func (e *Engine) At(at Time, fn Handler) {
+	if at < e.now {
+		panic(fmt.Errorf("%w: now=%v requested=%v", ErrPast, e.now, at))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	var t *Timer
+	if n := len(e.free); n > 0 {
+		t = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		t = &Timer{}
+	}
+	t.at, t.seq, t.fn, t.pooled = at, e.seq, fn, true
+	e.seq++
+	e.queue.push(t)
+}
+
+// After registers fn to run after delay d (>= 0) without returning a
+// handle, with the same recycling freedom as At.
+func (e *Engine) After(d time.Duration, fn Handler) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
 // Cancel removes a pending timer. It is safe to call for timers that have
 // already fired or been cancelled.
 func (e *Engine) Cancel(t *Timer) {
@@ -103,22 +142,38 @@ func (e *Engine) Cancel(t *Timer) {
 	}
 	t.stopped = true
 	if t.index >= 0 {
-		heap.Remove(&e.queue, t.index)
+		e.queue.remove(t.index)
 	}
+}
+
+// release recycles a pooled record once it has left the queue. The record
+// is zeroed first so the pool never resurrects a stale handler closure and
+// tests can assert get-returns-zeroed.
+func (e *Engine) release(t *Timer) {
+	if !t.pooled {
+		return
+	}
+	*t = Timer{}
+	e.free = append(e.free, t)
 }
 
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		t := heap.Pop(&e.queue).(*Timer)
+		t := e.queue.pop()
 		if t.stopped {
+			e.release(t)
 			continue
 		}
 		t.stopped = true
-		e.now = t.at
+		at, fn := t.at, t.fn
+		// Recycle before invoking: t is fully consumed, and fn may itself
+		// schedule (and want to reuse) pooled records.
+		e.release(t)
+		e.now = at
 		e.fired++
-		t.fn(e.now)
+		fn(e.now)
 		return true
 	}
 	return false
@@ -143,7 +198,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.stopped {
-			heap.Pop(&e.queue)
+			e.release(e.queue.pop())
 			continue
 		}
 		if next.at > deadline {
@@ -157,36 +212,105 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// eventQueue is a binary min-heap ordered by (time, sequence).
+// eventQueue is an indexed binary min-heap of timers ordered by (time,
+// sequence). It is hand-specialized rather than built on container/heap:
+// the (at, seq) key is a total order, so any correct heap pops events in
+// exactly the same sequence, and skipping the interface-dispatch
+// Less/Swap round trips roughly halves the per-event queue cost (see
+// BenchmarkEngine* deltas in DESIGN.md §16).
 type eventQueue []*Timer
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the strict (at, seq) ordering.
+func before(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (q *eventQueue) push(t *Timer) {
+	h := *q
+	t.index = len(h)
+	h = append(h, t)
+	*q = h
+	h.siftUp(t.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
+func (q *eventQueue) pop() *Timer {
+	h := *q
+	t := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n > 1 {
+		h.siftDown(0)
+	}
 	t.index = -1
-	*q = old[:n-1]
 	return t
+}
+
+// remove deletes the timer at heap position i (Cancel's path).
+func (q *eventQueue) remove(i int) {
+	h := *q
+	n := len(h) - 1
+	t := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].index = i
+	}
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if i < n {
+		if !h.siftUp(i) {
+			h.siftDown(i)
+		}
+	}
+	t.index = -1
+}
+
+// siftUp restores the heap invariant upward from i, reporting whether the
+// element moved.
+func (q eventQueue) siftUp(i int) bool {
+	t := q[i]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(t, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+		moved = true
+	}
+	q[i] = t
+	t.index = i
+	return moved
+}
+
+// siftDown restores the heap invariant downward from i.
+func (q eventQueue) siftDown(i int) {
+	t := q[i]
+	n := len(q)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && before(q[r], q[kid]) {
+			kid = r
+		}
+		if !before(q[kid], t) {
+			break
+		}
+		q[i] = q[kid]
+		q[i].index = i
+		i = kid
+	}
+	q[i] = t
+	t.index = i
 }

@@ -52,3 +52,23 @@ func BenchmarkEngineCancel(b *testing.B) {
 		e.Cancel(t)
 	}
 }
+
+// BenchmarkEngineChurnAfter is BenchmarkEngineChurn on the no-handle
+// After path: fire-and-forget records recycle through the engine's free
+// list, so steady-state churn allocates nothing.
+func BenchmarkEngineChurnAfter(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var tick func(now Time)
+	tick = func(now Time) {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		e.After(time.Microsecond, tick)
+	}
+	e.After(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkHeap verifies the structural invariants the specialized queue must
+// maintain: parent <= child under the (at, seq) order, and every element's
+// index field pointing at its own slot.
+func checkHeap(t *testing.T, q eventQueue) {
+	t.Helper()
+	for i, tm := range q {
+		if tm.index != i {
+			t.Fatalf("queue[%d].index = %d", i, tm.index)
+		}
+		if i > 0 {
+			parent := (i - 1) / 2
+			if before(tm, q[parent]) {
+				t.Fatalf("heap violated at %d: (%v,%d) before parent (%v,%d)",
+					i, tm.at, tm.seq, q[parent].at, q[parent].seq)
+			}
+		}
+	}
+}
+
+// refSort returns the timers in the exact (at, seq) total order — the
+// reference the heap must reproduce pop by pop.
+func refSort(ts []*Timer) []*Timer {
+	out := append([]*Timer(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return before(out[i], out[j]) })
+	return out
+}
+
+// TestEventQueuePopOrderMatchesSort drains a randomly filled queue and
+// compares the pop sequence against a reference sort, pointer for
+// pointer. Duplicate timestamps are deliberately dense so the seq
+// tiebreak carries the ordering.
+func TestEventQueuePopOrderMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var q eventQueue
+		var all []*Timer
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			tm := &Timer{at: Time(rng.Intn(16)), seq: uint64(i)}
+			all = append(all, tm)
+			q.push(tm)
+		}
+		checkHeap(t, q)
+		want := refSort(all)
+		for i, w := range want {
+			got := q.pop()
+			if got != w {
+				t.Fatalf("trial %d pop %d: got (%v,%d), want (%v,%d)",
+					trial, i, got.at, got.seq, w.at, w.seq)
+			}
+			if got.index != -1 {
+				t.Fatalf("popped timer index %d, want -1", got.index)
+			}
+		}
+		if len(q) != 0 {
+			t.Fatalf("queue not drained: %d left", len(q))
+		}
+	}
+}
+
+// TestEventQueueRemoveKeepsOrder interleaves interior removals (Cancel's
+// path) with pushes and verifies the survivors still drain in reference
+// order.
+func TestEventQueueRemoveKeepsOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		var q eventQueue
+		live := map[*Timer]bool{}
+		seq := uint64(0)
+		for op := 0; op < 400; op++ {
+			if len(q) == 0 || rng.Intn(3) > 0 {
+				tm := &Timer{at: Time(rng.Intn(32)), seq: seq}
+				seq++
+				live[tm] = true
+				q.push(tm)
+			} else {
+				i := rng.Intn(len(q))
+				tm := q[i]
+				q.remove(i)
+				if tm.index != -1 {
+					t.Fatalf("removed timer index %d, want -1", tm.index)
+				}
+				delete(live, tm)
+			}
+			checkHeap(t, q)
+		}
+		var rest []*Timer
+		for tm := range live {
+			rest = append(rest, tm)
+		}
+		for i, w := range refSort(rest) {
+			if got := q.pop(); got != w {
+				t.Fatalf("trial %d drain %d: got (%v,%d), want (%v,%d)",
+					trial, i, got.at, got.seq, w.at, w.seq)
+			}
+		}
+	}
+}
+
+// FuzzEventQueue drives push/pop/remove from fuzz bytes against a mirror
+// model: every pop must return the (at, seq) minimum of the mirror, and
+// the heap invariants must hold after every operation.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 3, 1, 0, 2, 0, 0, 9, 1})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 1, 2, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q eventQueue
+		var mirror []*Timer
+		seq := uint64(0)
+		for i := 0; i < len(ops); i++ {
+			switch ops[i] % 3 {
+			case 0: // push, at from the next byte
+				i++
+				if i >= len(ops) {
+					return
+				}
+				tm := &Timer{at: Time(ops[i] % 8), seq: seq}
+				seq++
+				q.push(tm)
+				mirror = append(mirror, tm)
+			case 1: // pop
+				if len(q) == 0 {
+					continue
+				}
+				got := q.pop()
+				want := refSort(mirror)[0]
+				if got != want {
+					t.Fatalf("pop: got (%v,%d), want (%v,%d)", got.at, got.seq, want.at, want.seq)
+				}
+				mirror = removePtr(mirror, got)
+			case 2: // remove at a position from the next byte
+				if len(q) == 0 {
+					continue
+				}
+				i++
+				if i >= len(ops) {
+					return
+				}
+				pos := int(ops[i]) % len(q)
+				tm := q[pos]
+				q.remove(pos)
+				mirror = removePtr(mirror, tm)
+			}
+			if len(q) != len(mirror) {
+				t.Fatalf("size skew: heap %d, mirror %d", len(q), len(mirror))
+			}
+			checkHeap(t, q)
+		}
+	})
+}
+
+func removePtr(ts []*Timer, tm *Timer) []*Timer {
+	for i, x := range ts {
+		if x == tm {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// isZero reports whether a timer record has been wiped back to the zero
+// value (Handler is not comparable, so field-by-field).
+func isZero(tm *Timer) bool {
+	return tm.at == 0 && tm.seq == 0 && tm.fn == nil &&
+		tm.index == 0 && !tm.stopped && !tm.pooled
+}
+
+// TestPooledRecordsZeroedOnRelease: a fired At record lands on the free
+// list fully zeroed, so the pool can never resurrect a stale handler.
+func TestPooledRecordsZeroedOnRelease(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(5, func(now Time) { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d events", fired)
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d records, want 1", len(e.free))
+	}
+	if !isZero(e.free[0]) {
+		t.Fatalf("released record not zeroed: %+v", *e.free[0])
+	}
+}
+
+// TestPooledRecordsNotReusedWhilePending: concurrently pending At events
+// always occupy distinct records, and no queued record is ever also on
+// the free list.
+func TestPooledRecordsNotReusedWhilePending(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.At(Time(10+i), func(now Time) {})
+	}
+	if len(e.free) != 0 {
+		t.Fatalf("free list non-empty with all events pending: %d", len(e.free))
+	}
+	seen := map[*Timer]bool{}
+	for _, tm := range e.queue {
+		if seen[tm] {
+			t.Fatal("two queue slots share one record")
+		}
+		seen[tm] = true
+	}
+	// Fire one event; its record must be recycled by the next At, and the
+	// handler must still observe its own scheduled time.
+	e.Step()
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d records after one firing, want 1", len(e.free))
+	}
+	recycled := e.free[0]
+	if !isZero(recycled) {
+		t.Fatalf("free record not zeroed: %+v", *recycled)
+	}
+	var gotAt Time
+	e.At(40, func(now Time) { gotAt = now })
+	if len(e.free) != 0 {
+		t.Fatal("At did not take the free record")
+	}
+	found := false
+	for _, tm := range e.queue {
+		if tm == recycled {
+			found = true
+			if tm.at != 40 || tm.fn == nil || !tm.pooled {
+				t.Fatalf("recycled record misfilled: %+v", *tm)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("recycled record not back in the queue")
+	}
+	e.Run()
+	if gotAt != 40 {
+		t.Fatalf("recycled event fired at %v, want 40", gotAt)
+	}
+}
+
+// TestHandleTimersStayOutOfPool: ScheduleAt records can be cancelled
+// through their handle at any point, so they must never enter the free
+// list — fired or cancelled.
+func TestHandleTimersStayOutOfPool(t *testing.T) {
+	e := NewEngine()
+	h1 := e.ScheduleAt(1, func(now Time) {})
+	h2 := e.ScheduleAt(2, func(now Time) {})
+	e.Cancel(h2)
+	e.Run()
+	if len(e.free) != 0 {
+		t.Fatalf("handle-returning timers leaked into the pool: %d", len(e.free))
+	}
+	if !h1.Stopped() || !h2.Stopped() {
+		t.Fatal("handles not stopped after run")
+	}
+	// A stale Cancel on a long-dead handle must stay a no-op even after
+	// pooled traffic has churned the queue.
+	e.At(e.Now()+1, func(now Time) {})
+	e.Cancel(h2)
+	e.Run()
+	if e.Fired() != 2 {
+		t.Fatalf("fired %d events, want 2 (h2 was cancelled)", e.Fired())
+	}
+}

@@ -228,7 +228,7 @@ func (am *AppMaster) onAllocated(t *taskRun, n *NodeManager, now sim.Time) {
 	start, done := n.device.ReserveRead(now+transfer, t.spec.MemFootprint)
 	am.c.recordRestore(t, n, remote, transfer, now, start, done)
 	am.c.chargeOverhead(t, time.Duration(done-now))
-	am.c.engine.ScheduleAt(done, func(at sim.Time) {
+	am.c.engine.At(done, func(at sim.Time) {
 		am.restoreOrFallback(t, n, at)
 	})
 }
@@ -544,7 +544,7 @@ func (am *AppMaster) onPreempt(t *taskRun, now sim.Time) {
 	t.dumpCost = time.Duration(done - now)
 	am.c.recordDump(t, n, name, info.LogicalBytes, incremental, now, start, done)
 	am.c.chargeOverhead(t, time.Duration(done-now))
-	am.c.engine.ScheduleAt(done, func(at sim.Time) {
+	am.c.engine.At(done, func(at sim.Time) {
 		t.hasImage = true
 		t.imageName = name
 		t.imageNode = n.id
@@ -628,7 +628,7 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 	preStart, preDone := n.device.ReserveWrite(now, info.LogicalBytes)
 	t.dumpCost = time.Duration(preDone - now)
 	am.c.recordPreDump(t, n, preName, info.LogicalBytes, now, preStart, preDone)
-	am.c.engine.ScheduleAt(preDone, func(at sim.Time) {
+	am.c.engine.At(preDone, func(at sim.Time) {
 		if t.state != stateRunning || !t.preCopying {
 			// Completed during the window; images were (or will be)
 			// reclaimed by onComplete.
@@ -675,7 +675,7 @@ func (am *AppMaster) startPreCopyCheckpoint(t *taskRun, n *NodeManager, now sim.
 		t.dumpCost += time.Duration(done - at)
 		am.c.recordDump(t, n, deltaName, dinfo.LogicalBytes, true, at, start, done)
 		am.c.chargeOverhead(t, time.Duration(done-at))
-		am.c.engine.ScheduleAt(done, func(end sim.Time) {
+		am.c.engine.At(done, func(end sim.Time) {
 			n.releaseSlot(end, t)
 			t.node = nil
 			t.state = statePending

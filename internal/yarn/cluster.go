@@ -46,6 +46,9 @@ type Cluster struct {
 	reg    *obs.Registry
 	rec    *obs.Recorder
 	slo    *obs.SLOTracker
+	// hm holds pre-resolved handles for the per-event metric paths (see
+	// resolveHandles in obs.go); reg stays the sink for everything cold.
+	hm yarnHandles
 
 	res     *Result
 	taskSeq uint64
@@ -209,6 +212,7 @@ func newCluster(cfg Config, tcpDFS bool) (*Cluster, error) {
 	if c.slo == nil {
 		c.slo = obs.NewSLOTracker()
 	}
+	c.resolveHandles()
 
 	storageName := cfg.StorageKind.String()
 	if cfg.CustomBandwidth > 0 {
@@ -328,7 +332,7 @@ func Run(cfg Config, jobs []cluster.JobSpec) (*Result, error) {
 		}
 		totalTasks += len(spec.Tasks)
 		am := newAppMaster(c, spec)
-		c.engine.ScheduleAt(spec.Submit, func(now sim.Time) {
+		c.engine.At(spec.Submit, func(now sim.Time) {
 			am.submit(now)
 		})
 	}

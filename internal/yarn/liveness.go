@@ -89,14 +89,14 @@ func (c *Cluster) windDownLiveness() {
 
 func (c *Cluster) scheduleHeartbeat(n *NodeManager, now sim.Time) {
 	c.livenessTimers++
-	c.engine.ScheduleAt(now+sim.Time(c.cfg.NMHeartbeatEvery), func(at sim.Time) {
+	c.engine.At(now+sim.Time(c.cfg.NMHeartbeatEvery), func(at sim.Time) {
 		c.heartbeat(n, at)
 	})
 }
 
 func (c *Cluster) scheduleSweep(now sim.Time) {
 	c.livenessTimers++
-	c.engine.ScheduleAt(now+sim.Time(c.cfg.NMHeartbeatEvery), c.sweep)
+	c.engine.At(now+sim.Time(c.cfg.NMHeartbeatEvery), c.sweep)
 }
 
 // heartbeat is one NM→RM beat. A crashed machine's stream ends here; a

@@ -14,14 +14,49 @@ import (
 // nodeName is the span process-track label for a NodeManager.
 func nodeName(id int) string { return "node-" + strconv.Itoa(id) }
 
+// yarnHandles carries pre-resolved registry handles for the metrics hit
+// on every dump, restore, verdict, or container grant, replacing a
+// name-keyed lookup under the registry lock with one atomic slot each.
+type yarnHandles struct {
+	dumpQueue, dumpWrite, dumpTotal         obs.Histogram
+	predumpTotal                            obs.Histogram
+	containerWait                           obs.Histogram
+	restoreQueue, restoreRead, restoreTotal obs.Histogram
+	restoreTransfer, estimateRelerr         obs.Histogram
+	restoreLocal, restoreRemote             obs.Counter
+	decision                                [int(core.ActionCheckpointIncremental) + 1]obs.Counter
+}
+
+// resolveHandles fills hm from the cluster registry; reg is never nil by
+// the time this runs (Cluster construction guarantees it).
+func (c *Cluster) resolveHandles() {
+	c.hm = yarnHandles{
+		dumpQueue:       c.reg.Histogram("yarn.dump.queue.seconds"),
+		dumpWrite:       c.reg.Histogram("yarn.dump.write.seconds"),
+		dumpTotal:       c.reg.Histogram("yarn.dump.total.seconds"),
+		predumpTotal:    c.reg.Histogram("yarn.predump.total.seconds"),
+		containerWait:   c.reg.Histogram("yarn.container.wait.seconds"),
+		restoreQueue:    c.reg.Histogram("yarn.restore.queue.seconds"),
+		restoreRead:     c.reg.Histogram("yarn.restore.read.seconds"),
+		restoreTotal:    c.reg.Histogram("yarn.restore.total.seconds"),
+		restoreTransfer: c.reg.Histogram("yarn.restore.transfer.seconds"),
+		estimateRelerr:  c.reg.Histogram("yarn.overhead.estimate.relerr"),
+		restoreLocal:    c.reg.Counter("yarn.policy.restore.local"),
+		restoreRemote:   c.reg.Counter("yarn.policy.restore.remote"),
+	}
+	for a := core.ActionKill; a <= core.ActionCheckpointIncremental; a++ {
+		//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
+		c.hm.decision[a] = c.reg.Counter("yarn.policy.decision." + a.String())
+	}
+}
+
 // recordDecision books one Preemption Manager verdict: a policy-decision
 // counter keyed by the chosen action, an instant span on the victim's
 // track carrying the unsaved progress and the Algorithm 1 estimate, the
 // live SLO hit-rate tally, and a provenance record in the flight
 // recorder keyed to that span.
 func (c *Cluster) recordDecision(t *taskRun, n *NodeManager, action core.PreemptAction, now sim.Time) {
-	//lint:ignore metricname the suffix is a closed PreemptAction enum, one counter per verdict
-	c.reg.Inc("yarn.policy.decision." + action.String())
+	c.hm.decision[action].Inc()
 	c.slo.CountDecision(action.IsCheckpoint())
 	var span obs.SpanID
 	if c.tracer != nil {
@@ -81,9 +116,9 @@ func (c *Cluster) recordKillFallback(t *taskRun, n *NodeManager, lost time.Durat
 // queue-backlog high-water mark, and a dump span with dump-queue and
 // dump-write children.
 func (c *Cluster) recordDump(t *taskRun, n *NodeManager, image string, bytes int64, incremental bool, now, start, done sim.Time) {
-	c.reg.ObserveDuration("yarn.dump.queue.seconds", time.Duration(start-now))
-	c.reg.ObserveDuration("yarn.dump.write.seconds", time.Duration(done-start))
-	c.reg.ObserveDuration("yarn.dump.total.seconds", time.Duration(done-now))
+	c.hm.dumpQueue.ObserveDuration(time.Duration(start - now))
+	c.hm.dumpWrite.ObserveDuration(time.Duration(done - start))
+	c.hm.dumpTotal.ObserveDuration(time.Duration(done - now))
 	//lint:ignore metricname per-node gauge: the node id is part of the series identity
 	c.reg.MaxGauge(fmt.Sprintf("yarn.node.%d.ckpt.queue.peak.seconds", n.id), time.Duration(start-now).Seconds())
 	var span obs.SpanID
@@ -113,7 +148,7 @@ func (c *Cluster) recordDump(t *taskRun, n *NodeManager, image string, bytes int
 // recordPreDump books the pre-copy write window, during which the victim
 // keeps executing.
 func (c *Cluster) recordPreDump(t *taskRun, n *NodeManager, image string, bytes int64, now, start, done sim.Time) {
-	c.reg.ObserveDuration("yarn.predump.total.seconds", time.Duration(done-now))
+	c.hm.predumpTotal.ObserveDuration(time.Duration(done - now))
 	var span obs.SpanID
 	if c.tracer != nil {
 		pid, tid := nodeName(n.id), t.spec.ID.String()
@@ -152,7 +187,7 @@ func (c *Cluster) recordTaskDone(t *taskRun, n *NodeManager, now sim.Time) {
 // restore in the span chain, so it is traced even when zero.
 func (c *Cluster) recordContainerWait(req *request, n *NodeManager, now sim.Time) {
 	wait := time.Duration(now - req.queuedAt)
-	c.reg.ObserveDuration("yarn.container.wait.seconds", wait)
+	c.hm.containerWait.ObserveDuration(wait)
 	if c.tracer == nil || (wait <= 0 && !req.task.hasImage) {
 		return
 	}
@@ -168,14 +203,14 @@ func (c *Cluster) recordContainerWait(req *request, n *NodeManager, now sim.Time
 // span that produced the image.
 func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfer time.Duration, now, start, done sim.Time) {
 	arrive := now + sim.Time(transfer)
-	c.reg.ObserveDuration("yarn.restore.queue.seconds", time.Duration(start-arrive))
-	c.reg.ObserveDuration("yarn.restore.read.seconds", time.Duration(done-start))
-	c.reg.ObserveDuration("yarn.restore.total.seconds", time.Duration(done-now))
+	c.hm.restoreQueue.ObserveDuration(time.Duration(start - arrive))
+	c.hm.restoreRead.ObserveDuration(time.Duration(done - start))
+	c.hm.restoreTotal.ObserveDuration(time.Duration(done - now))
 	if remote {
-		c.reg.ObserveDuration("yarn.restore.transfer.seconds", transfer)
-		c.reg.Inc("yarn.policy.restore.remote")
+		c.hm.restoreTransfer.ObserveDuration(transfer)
+		c.hm.restoreRemote.Inc()
 	} else {
-		c.reg.Inc("yarn.policy.restore.local")
+		c.hm.restoreLocal.Inc()
 	}
 	// The full checkpoint round trip is dump + restore; est was captured
 	// at decision time and is compared (then cleared) here.
@@ -184,7 +219,7 @@ func (c *Cluster) recordRestore(t *taskRun, n *NodeManager, remote bool, transfe
 	if est > 0 {
 		if actual > 0 {
 			relerr := math.Abs(est.Seconds()-actual.Seconds()) / actual.Seconds()
-			c.reg.Observe("yarn.overhead.estimate.relerr", relerr)
+			c.hm.estimateRelerr.Observe(relerr)
 		}
 		t.estOverhead = 0
 	}

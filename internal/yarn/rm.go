@@ -89,7 +89,7 @@ func (rm *ResourceManager) schedulePass(now sim.Time) {
 		return
 	}
 	rm.passPending = true
-	rm.c.engine.ScheduleAt(now, func(at sim.Time) {
+	rm.c.engine.At(now, func(at sim.Time) {
 		rm.passPending = false
 		rm.pass(at)
 	})
